@@ -1,0 +1,57 @@
+"""Ablation: check-in-stub vs check-inlined-in-epilogue (§V-C).
+
+The paper folds the canary check into ``__stack_chk_fail`` so the
+rewritten epilogue fits the original byte budget.  The rejected
+alternative — inlining the split-xor-compare — works semantically but
+grows every protected function, breaking address-layout preservation.
+"""
+
+from repro.compiler.codegen import compile_source
+from repro.core.ablations import instrument_binary_inline, register_ablation_schemes
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+from repro.rewriter.rewrite import instrument_binary
+from repro.workloads.spec import SPEC_PROGRAMS
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+def test_check_placement_ablation(benchmark, run_once):
+    register_ablation_schemes()
+
+    def measure():
+        stub_growth = []
+        inline_growth = []
+        for program in SPEC_PROGRAMS[:8]:
+            native = compile_source(program.source, protection="ssp",
+                                    name=program.name)
+            stub = instrument_binary(native)
+            inline = instrument_binary_inline(native)
+            stub_growth.append(stub.total_size() - native.total_size())
+            inline_growth.append(inline.total_size() - native.total_size())
+        return sum(stub_growth), sum(inline_growth)
+
+    stub_total, inline_total = run_once(measure)
+    print("\n=== Ablation: check placement (bytes added over 8 programs) ===")
+    print(f"  stub-folded (paper): {stub_total:+d} B")
+    print(f"  inlined (rejected):  {inline_total:+d} B")
+
+    assert stub_total == 0          # the paper's layout-preservation win
+    assert inline_total > 100       # the cost of the rejected design
+
+    # The inline variant still *works* — the paper rejects it for layout,
+    # not correctness.
+    kernel = Kernel(5)
+    binary = build(VICTIM, "pssp-binary-inline", name="victim")
+    process, _ = deploy(kernel, binary, "pssp-binary-inline")
+    process.feed_stdin(b"A" * 200)
+    assert process.call("handler", (200,)).smashed
+    benchmark.extra_info["stub_bytes"] = stub_total
+    benchmark.extra_info["inline_bytes"] = inline_total

@@ -1,0 +1,58 @@
+"""Ablation: the rdtsc nonce in P-SSP-OWF (§IV-C).
+
+"Without the nounce being included, the stack frame will have a fixed
+canary that does not change with different executions ... Hence, it is
+subject to the byte-by-byte attack."  We build that weakened variant and
+run the attack against both.
+"""
+
+from repro.attacks.byte_by_byte import byte_by_byte_attack
+from repro.attacks.oracle import ForkingServer
+from repro.attacks.payloads import frame_map
+from repro.core.ablations import register_ablation_schemes
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+def _attack(scheme, max_trials=9000, seed=715):
+    kernel = Kernel(seed)
+    binary = build(VICTIM, scheme, name="srv")
+    parent, _ = deploy(kernel, binary, scheme)
+    server = ForkingServer(kernel, parent)
+    frame = frame_map(binary, "handler")
+    return byte_by_byte_attack(server, frame, max_trials=max_trials)
+
+
+def test_owf_nonce_ablation(benchmark, run_once):
+    register_ablation_schemes()
+
+    def measure():
+        return {
+            "pssp-owf": _attack("pssp-owf", max_trials=3000),
+            "pssp-owf-nononce": _attack("pssp-owf-nononce", max_trials=9000),
+        }
+
+    reports = run_once(measure)
+    print("\n=== Ablation: OWF nonce (byte-by-byte outcomes) ===")
+    for scheme, report in reports.items():
+        print(f"  {scheme:18s} success={report.success} trials={report.trials} "
+              f"recovered={len(report.recovered)}/24 bytes")
+
+    # With the nonce: no accumulation, attack stalls.
+    assert not reports["pssp-owf"].success
+    # Without it the canary region is constant across forks: the attacker
+    # recovers it byte by byte, exactly as the paper warns.
+    assert reports["pssp-owf-nononce"].success
+    benchmark.extra_info["with_nonce_trials"] = reports["pssp-owf"].trials
+    benchmark.extra_info["without_nonce_trials"] = reports[
+        "pssp-owf-nononce"
+    ].trials

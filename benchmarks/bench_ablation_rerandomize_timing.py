@@ -1,0 +1,38 @@
+"""Ablation: re-randomize at fork time (P-SSP) vs call time (P-SSP-NT).
+
+The paper's §IV-A comparison: P-SSP is cheaper per call (no rdrand) but
+needs the preload/fork wrapper; P-SSP-NT costs ~340 cycles per protected
+call but deploys with zero runtime support.  Security granularity also
+differs: NT gives every *frame* a distinct canary.
+"""
+
+from statistics import mean
+
+from repro.harness.figures import figure2, frames_share_canary
+from repro.harness.metrics import overhead_percent, run_program
+from repro.workloads.spec import SPEC_PROGRAMS
+
+
+def test_rerandomize_timing_ablation(benchmark, run_once):
+    def measure():
+        overheads = {"pssp": [], "pssp-nt": []}
+        for program in SPEC_PROGRAMS[:8]:
+            base = run_program(program.source, "ssp", name=program.name)
+            for scheme in overheads:
+                candidate = run_program(program.source, scheme,
+                                        name=program.name)
+                overheads[scheme].append(overhead_percent(base, candidate))
+        return {scheme: mean(values) for scheme, values in overheads.items()}
+
+    result = run_once(measure)
+    print("\n=== Ablation: re-randomization timing (mean overhead %) ===")
+    for scheme, value in result.items():
+        print(f"  {scheme:8s} {value:+.3f}%")
+
+    # Cost: per-call rdrand makes NT strictly more expensive.
+    assert result["pssp-nt"] > result["pssp"]
+    # Security granularity: NT's frames carry distinct canaries.
+    layouts = figure2()
+    assert frames_share_canary(layouts["pssp"])
+    assert not frames_share_canary(layouts["pssp-nt"])
+    benchmark.extra_info.update(result)

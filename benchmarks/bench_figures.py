@@ -1,0 +1,46 @@
+"""Regenerate the structural figures: 1, 2, 3/4, and 6."""
+
+from repro.harness.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure6,
+    frames_share_canary,
+)
+
+
+def test_figure1_stack_layouts(benchmark, run_once):
+    result = run_once(figure1)
+    print("\n=== Figure 1 (measured) ===")
+    for figure in result.values():
+        print(figure.render())
+    assert all(len(f.canary_words) == 1 for f in result["ssp"].frames)
+    assert all(len(f.canary_words) == 2 for f in result["pssp"].frames)
+    for frame in result["pssp"].frames:
+        words = dict(frame.canary_words)
+        assert words[8] != words[16]  # C0 and C1 are distinct halves
+
+
+def test_figure2_per_frame_canaries(benchmark, run_once):
+    result = run_once(figure2)
+    print("\n=== Figure 2 (measured) ===")
+    for figure in result.values():
+        print(figure.render())
+    assert frames_share_canary(result["pssp"])
+    assert not frames_share_canary(result["pssp-nt"])
+
+
+def test_figure3_stack_chk_listings(benchmark, run_once):
+    result = run_once(figure3)
+    print("\n=== Figures 3/4 (rewriter output) ===")
+    print(result.render())
+    assert "rdi" in result.rewritten_epilogue
+    assert "__GI__fortify_fail" in result.stack_chk_listing
+
+
+def test_figure6_global_buffer(benchmark, run_once):
+    result = run_once(figure6)
+    print("\n=== Figure 6 (measured) ===")
+    print(result.render())
+    assert result.consistent()
+    assert len(result.buffer_entries) == 2

@@ -1,0 +1,30 @@
+"""The measured scheme-properties matrix (Table I generalised).
+
+Every cell is an experiment: byte-by-byte campaign, fork-return probe,
+leak replay, unwinding probe, per-call cycle delta — across all ten
+schemes including the extensions the paper treats qualitatively.
+"""
+
+from repro.harness.matrix import properties_matrix
+
+
+def test_properties_matrix(benchmark, run_once):
+    matrix = run_once(lambda: properties_matrix(attack_trials=3000))
+    print("\n=== Measured properties matrix ===")
+    print(matrix.render())
+
+    assert {r.scheme for r in matrix.rows if not r.brop_prevented} == {"ssp"}
+    assert {r.scheme for r in matrix.rows if not r.fork_correct} == {"raf-ssp"}
+    assert {r.scheme for r in matrix.rows if r.leak_resilient} == {
+        "pssp-owf", "pssp-gb",
+    }
+    assert {r.scheme for r in matrix.rows if not r.unwinding_safe} == {
+        "dcr", "pssp-gb",
+    }
+    # P-SSP is the cheapest BROP-preventing, fork-correct scheme.
+    eligible = [
+        r for r in matrix.rows if r.brop_prevented and r.fork_correct
+    ]
+    cheapest = min(eligible, key=lambda r: r.per_call_cycles)
+    assert cheapest.scheme == "pssp"
+    benchmark.extra_info["matrix"] = matrix.render()

@@ -1,0 +1,54 @@
+"""Sweep: canary overhead vs. call density.
+
+Explains Figure 5's per-program spread from first principles: overhead is
+(protected calls × per-call cycles) / total cycles, so call-dense
+programs pay more.  The sweep generates synthetic programs from
+loop-heavy to call-heavy and measures P-SSP and P-SSP-NT against the SSP
+baseline — NT's rdrand makes the trend ~50× steeper, exactly the
+fork-time-vs-call-time trade the paper's §IV-A discusses.
+"""
+
+from repro.crypto.random import EntropySource
+from repro.harness.metrics import overhead_percent, run_program
+from repro.workloads.generator import call_density_sweep_configs, generate_program
+
+
+def test_call_density_sweep(benchmark, run_once):
+    def measure():
+        rows = []
+        for index, config in enumerate(call_density_sweep_configs()):
+            source = generate_program(config, EntropySource(1000 + index))
+            base = run_program(source, "ssp", name=f"sweep{index}")
+            pssp = run_program(source, "pssp", name=f"sweep{index}")
+            nt = run_program(source, "pssp-nt", name=f"sweep{index}")
+            assert base.exit_status == pssp.exit_status == nt.exit_status
+            calls_per_kcycle = (
+                config.functions * config.outer_iterations / base.cycles * 1000
+            )
+            rows.append(
+                (
+                    calls_per_kcycle,
+                    overhead_percent(base, pssp),
+                    overhead_percent(base, nt),
+                )
+            )
+        return rows
+
+    rows = run_once(measure)
+    print("\n=== Sweep: overhead vs call density ===")
+    print(f"{'calls/kcycle':>13s} {'pssp %':>8s} {'pssp-nt %':>10s}")
+    for density, pssp, nt in rows:
+        print(f"{density:13.2f} {pssp:8.3f} {nt:10.3f}")
+
+    densities = [row[0] for row in rows]
+    pssp_overheads = [row[1] for row in rows]
+    nt_overheads = [row[2] for row in rows]
+    # Sweep spans a real density range and overhead rises with it.
+    assert max(densities) > 4 * min(densities)
+    assert pssp_overheads[-1] > pssp_overheads[0]
+    assert nt_overheads[-1] > nt_overheads[0]
+    # rdrand makes per-call cost ~an order of magnitude heavier.
+    assert nt_overheads[-1] > 8 * pssp_overheads[-1]
+    benchmark.extra_info["rows"] = [
+        f"{d:.2f}/kcycle pssp={p:.3f}% nt={n:.3f}%" for d, p, n in rows
+    ]

@@ -1,0 +1,27 @@
+"""Regenerate Table II: code expansion per deployment vehicle.
+
+Paper reference: compilation 0.27 %, instrumentation (dynamic) 0 %,
+instrumentation (static) 2.78 %.
+
+Fidelity note: our MiniC benchmark functions are 50–200 bytes where real
+SPEC functions are kilobytes, so *percentages* scale up by that ratio;
+the invariant facts are the zero dynamic expansion, the ordering
+(static > compiler > dynamic = 0), and the absolute added bytes.
+"""
+
+from repro.harness.tables import table2
+
+
+def test_table2(benchmark, run_once):
+    result = run_once(lambda: table2())
+    print("\n=== Table II (measured) ===")
+    print(result.render())
+
+    assert result.instrumentation_dynamic_expansion == 0.0
+    assert 0 < result.compiler_expansion
+    assert result.instrumentation_static_expansion > result.compiler_expansion
+    # Compiler path adds a couple of extra mov/xor per protected function.
+    assert 8 <= result.compiler_bytes_per_function <= 64
+    # Static path adds one new section (~3 small functions).
+    assert 100 <= result.static_bytes_added <= 500
+    benchmark.extra_info["table"] = result.render()

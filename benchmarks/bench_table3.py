@@ -1,0 +1,30 @@
+"""Regenerate Table III: web-server mean response times (ms/request).
+
+Paper reference (ms): Apache2 33.006 / 33.008 / 33.099;
+Nginx 3.088 / 3.090 / 3.088 (native / compiler P-SSP / instrumented).
+"""
+
+from repro.harness.tables import table3
+
+
+def test_table3(benchmark, run_once):
+    result = run_once(lambda: table3(requests=40))
+    print("\n=== Table III (measured) ===")
+    print(result.render())
+
+    apache = result.results["apache2"]
+    nginx = result.results["nginx"]
+    # Absolute anchors near the paper's measurements.
+    assert 32.5 < apache["ssp"].mean_response_ms < 33.5
+    assert 3.0 < nginx["ssp"].mean_response_ms < 3.2
+    # P-SSP deltas live in the third decimal, as in the paper.
+    for server in (apache, nginx):
+        native = server["ssp"].mean_response_ms
+        assert abs(server["pssp"].mean_response_ms - native) < 0.05
+        assert abs(server["pssp-binary"].mean_response_ms - native) < 0.12
+        # Instrumented costs at least as much CPU as compiled.
+        assert (
+            server["pssp-binary"].cpu_cycles_per_request
+            >= server["pssp"].cpu_cycles_per_request
+        )
+    benchmark.extra_info["table"] = result.render()

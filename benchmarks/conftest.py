@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+regenerators are deterministic and heavy-ish, so each runs once per
+session (``rounds=1``) and attaches both the rendered artefact and the
+headline numbers to ``benchmark.extra_info`` — that is the data
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """``run_once(fn)``: execute ``fn`` exactly once under the clock."""
+
+    def _run(fn, **extra):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+        return result
+
+    return _run

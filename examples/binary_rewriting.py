@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Static binary rewriting: upgrade a legacy SSP binary to P-SSP.
+
+Mirrors the paper's §V-C/§V-D deployment path:
+
+1. Compile a program the "legacy" way (SSP — the distro default).
+2. Rewrite it in place: prologues retarget the TLS shadow canary;
+   epilogues pass the packed canary to the modified ``__stack_chk_fail``
+   — all without moving a single byte (address-layout preservation).
+3. For a statically linked binary, hook the embedded ``fork`` and
+   ``__stack_chk_fail`` Dyninst-style and append the new code section.
+
+Run:  python examples/binary_rewriting.py
+"""
+
+from repro import Kernel, deploy
+from repro.binfmt.diffing import diff_binaries
+from repro.binfmt.elf import STATIC, merge_binaries
+from repro.compiler.codegen import compile_source
+from repro.libc.glibc_sim import build_static_glibc
+from repro.rewriter import instrument_binary, instrument_static_binary
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+
+int main() { return 0; }
+"""
+
+
+def show_tail(binary, function, count=12, title=""):
+    print(title)
+    body = binary.function(function).body
+    for instruction in body[-count:]:
+        print(f"    {instruction}")
+    print()
+
+
+def dynamic_path():
+    print("=" * 64)
+    print("dynamic binary: layout-preserving rewrite")
+    print("=" * 64)
+    legacy = compile_source(VICTIM, protection="ssp", name="legacy")
+    rewritten = instrument_binary(legacy)
+
+    print(f"legacy size:    {legacy.total_size()} bytes")
+    print(f"rewritten size: {rewritten.total_size()} bytes "
+          f"(expansion: {rewritten.total_size() - legacy.total_size()})")
+    show_tail(legacy, "handler", title="SSP epilogue (before):")
+    show_tail(rewritten, "handler", title="P-SSP epilogue (after — Code 6):")
+    print("structural diff:")
+    print(diff_binaries(legacy, rewritten).render())
+    print()
+
+    # Prove it still works and still protects.
+    kernel = Kernel(99)
+    process, _ = deploy(kernel, rewritten, "pssp-binary")
+    process.feed_stdin(b"benign")
+    print("benign run:", process.call("handler", (6,)).state)
+    process2, _ = deploy(kernel, rewritten, "pssp-binary")
+    process2.feed_stdin(b"A" * 200)
+    result = process2.call("handler", (200,))
+    print("overflow run:", result.state, "-", result.crash)
+    print()
+
+
+def static_path():
+    print("=" * 64)
+    print("static binary: Dyninst-style hooks + new section")
+    print("=" * 64)
+    legacy = merge_binaries(
+        compile_source(VICTIM, protection="ssp", name="legacy-static",
+                       link_type=STATIC),
+        build_static_glibc(),
+        name="legacy-static",
+    )
+    instrumented = instrument_static_binary(legacy)
+    growth = instrumented.total_size() - legacy.total_size()
+    print(f"static size: {legacy.total_size()} -> {instrumented.total_size()} "
+          f"bytes (+{growth}, the new section)")
+    print("hooked fork:")
+    for instruction in instrumented.function("fork").body[:2]:
+        print(f"    {instruction}")
+    print("new-section functions:",
+          [n for n in instrumented.functions if n.startswith("__pssp")])
+
+    kernel = Kernel(100)
+    process, _ = deploy(kernel, instrumented, "pssp-binary-static")
+    process.feed_stdin(b"A" * 200)
+    result = process.call("handler", (200,))
+    print("overflow run:", result.state, "-", result.crash)
+
+
+def main():
+    dynamic_path()
+    static_path()
+
+
+if __name__ == "__main__":
+    main()

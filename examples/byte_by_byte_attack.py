@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment: the byte-by-byte (BROP-style) attack
+against a forking server, under SSP and under P-SSP.
+
+Under SSP every forked worker inherits the same canary, so the attacker
+confirms one byte at a time (~1024 trials for 8 bytes).  Under P-SSP the
+preload library re-randomizes the child's stack canary on every fork, so
+confirmations never accumulate and the attack stalls.
+
+Run:  python examples/byte_by_byte_attack.py
+"""
+
+from repro import Kernel, build, deploy
+from repro.attacks import ForkingServer, byte_by_byte_attack, frame_map
+from repro.attacks.byte_by_byte import expected_ssp_trials
+
+SERVER = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+
+int main() { return 0; }
+"""
+
+
+def attack(scheme: str, seed: int = 20180628) -> None:
+    kernel = Kernel(seed)
+    binary = build(SERVER, scheme, name="server")
+    parent, _ = deploy(kernel, binary, scheme)
+    server = ForkingServer(kernel, parent)
+    frame = frame_map(binary, "handler")
+
+    print(f"--- attacking {scheme}-compiled server ---")
+    print(f"canary region: {frame.canary_region_size} bytes "
+          f"starting {frame.canary_region_start} bytes into the payload")
+    report = byte_by_byte_attack(server, frame, max_trials=6000)
+    if report.success:
+        print(f"ATTACK SUCCEEDED after {report.trials} trials")
+        print(f"  recovered canary: {report.recovered.hex()}")
+        print(f"  per-byte trials:  {report.per_byte_trials}")
+        worker = server.worker()
+        print(f"  ground truth:     {worker.tls.canary:#018x}")
+    else:
+        print(f"attack FAILED after {report.trials} trials "
+              f"({len(report.recovered)} bytes of false progress)")
+    print(f"workers forked: {server.requests_served}")
+    print()
+
+
+def main() -> None:
+    print(f"analytic expectation vs SSP: ~{expected_ssp_trials():.0f} trials\n")
+    attack("ssp")
+    attack("pssp")
+    attack("pssp-nt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""P-SSP-OWF: surviving canary exposure (the paper's §IV-C).
+
+Scenario: one function has a memory-disclosure bug that leaks its own
+stack canary.  The attacker replays the leaked material while overflowing
+a *different* function, redirecting its return address to a ``win``
+gadget.
+
+* SSP / P-SSP / P-SSP-NT: one leaked canary (pair) unlocks every frame in
+  the process — the single point of failure.
+* P-SSP-OWF: the canary is AES(key, rdtsc || return-address); material
+  leaked from one frame never verifies in another.
+* P-SSP-GB: the buffer-resident half of the pair is not on the stack, so
+  the attacker cannot compose a consistent pair for the target frame.
+
+Run:  python examples/exposure_resilience.py
+"""
+
+from repro import Kernel, build, deploy
+from repro.attacks import leak_and_replay
+
+VICTIM = """
+int win() {
+    puts("PWNED");
+    return 1;
+}
+
+int leaky(int n) {
+    char buf[32];
+    buf[0] = 1;            // imagine a format-string bug printing the
+    return buf[0];         // canary words of this very frame
+}
+
+int target(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+
+int main() { return 0; }
+"""
+
+
+def main() -> None:
+    print(f"{'scheme':10s} {'hijacked':>9s} {'detected':>9s}   leaked material")
+    print("-" * 72)
+    for scheme in ("ssp", "pssp", "pssp-nt", "pssp-owf", "pssp-gb"):
+        kernel = Kernel(seed=1806)
+        binary = build(VICTIM, scheme, name="victim")
+        process, _ = deploy(kernel, binary, scheme)
+        report = leak_and_replay(kernel, process, binary)
+        material = ", ".join(
+            f"[rbp-{slot}]={value:#x}" for slot, value in sorted(report.leaked.items())
+        )
+        print(f"{scheme:10s} {str(report.hijacked):>9s} "
+              f"{str(report.detected):>9s}   {material[:60]}")
+    print()
+    print("Only the one-way-function extension (and the global-buffer")
+    print("variant) confine the damage of a leaked canary to its own frame.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""P-SSP-LV: protecting local variables, not just the return address.
+
+The paper's motivating scenario (§IV-B): an overflow that corrupts a
+*neighbouring local variable* — say, an ``is_admin`` flag or a crypto key
+— and never touches the return address.  SSP's single canary sits above
+all locals, so such an attack is invisible to it; P-SSP-LV interleaves a
+canary above every critical variable and additionally checks after
+overflow-prone libc calls, catching the corruption the moment it happens.
+
+Run:  python examples/local_variable_protection.py
+"""
+
+from repro import Kernel, build, deploy
+
+# `secret` sits above `buf` in memory; a modest overflow of buf rewrites
+# secret and stops — the return address and SSP's canary stay intact.
+VICTIM = """
+int check_login(int n) {
+    critical char secret[8];
+    critical char buf[16];
+    secret[0] = 0;                 // not authenticated
+    read(0, buf, 4096);            // attacker-controlled length
+    if (secret[0]) {
+        puts("access granted!");
+        return 1;
+    }
+    puts("access denied");
+    return 0;
+}
+
+int main() { return 0; }
+"""
+
+
+def attempt(scheme: str, payload: bytes) -> None:
+    kernel = Kernel(seed=4242)
+    binary = build(VICTIM, scheme, name="login")
+    process, _ = deploy(kernel, binary, scheme)
+    process.feed_stdin(payload)
+    result = process.call("check_login", (len(payload),))
+    if result.crashed:
+        print(f"{scheme:8s} -> {result.signal}: {result.crash}")
+    else:
+        granted = b"granted" in process.stdout
+        print(f"{scheme:8s} -> exited; access granted: {granted}")
+
+
+def main() -> None:
+    # 16 bytes fill the buffer; the next bytes flip the flag above it.
+    payload = b"A" * 16 + b"\x01" * 8
+
+    print("benign login attempt:")
+    attempt("ssp", b"password")
+    attempt("pssp-lv", b"password")
+
+    print("\nlocal-variable overflow (never reaches the return address):")
+    attempt("none", payload)      # silent privilege escalation
+    attempt("ssp", payload)       # SSP is blind to this too...
+    attempt("pssp-lv", payload)   # ...P-SSP-LV aborts at the read()
+
+    print("\nP-SSP-LV places a fresh random canary above each critical")
+    print("variable (XOR of all canaries == TLS canary) and inspects them")
+    print("right after overflow-prone calls — postmortem-at-return would")
+    print("be too late to stop the corrupted flag from being used.")
+
+
+if __name__ == "__main__":
+    main()

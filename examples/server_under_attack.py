@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A production server under a live BROP campaign.
+
+The operational view the paper's evaluation implies but never plots:
+legitimate clients keep hitting an Nginx-style forking server while an
+attacker interleaves byte-by-byte probes.  Under SSP the campaign walks
+through the canary in about a thousand probes and ends in remote code
+execution; under P-SSP the same traffic pattern never converges — the
+defender sees an elevated worker-crash rate (the paper's observable
+symptom of a brute-force attempt) and nothing else.
+
+Run:  python examples/server_under_attack.py
+"""
+
+from repro import Kernel, build, deploy
+from repro.attacks import (
+    CrashRateMonitor,
+    ForkingServer,
+    byte_by_byte_attack,
+    frame_map,
+)
+
+#: Nginx-like request handler with the classic unchecked-read bug: the
+#: recv buffer is 256 bytes but the handler accepts up to 1024.
+VULNERABLE_SERVER = """
+int handler(int n) {
+    char request[256];
+    char path[96];
+    int len; int i; int j;
+    len = read(0, request, 1024);
+    i = 0;
+    while (i < len && request[i] != ' ') { i = i + 1; }
+    while (i < len && request[i] == ' ') { i = i + 1; }
+    j = 0;
+    while (i < len && request[i] != ' ' && j < 95) {
+        path[j] = request[i];
+        i = i + 1;
+        j = j + 1;
+    }
+    path[j] = 0;
+    puts(path);
+    return 1;
+}
+
+int main() { return 0; }
+"""
+
+
+def campaign(scheme: str, seed: int = 2018) -> None:
+    kernel = Kernel(seed)
+    binary = build(VULNERABLE_SERVER, scheme, name="nginx")
+    parent, _ = deploy(kernel, binary, scheme)
+    # The defender's dashboard wraps the server: a crash-rate alarm.
+    server = CrashRateMonitor(ForkingServer(kernel, parent),
+                              window=50, threshold=0.5)
+    frame = frame_map(binary, "handler", buffer="request")
+
+    # Legitimate traffic baseline.
+    legit_ok = 0
+    for i in range(20):
+        response = server.handle_request(f"GET /page{i} HTTP/1.1".encode())
+        legit_ok += int(not response.crashed)
+
+    # The attack campaign.
+    report = byte_by_byte_attack(server, frame, max_trials=5000)
+
+    # Service health after the campaign: the parent still forks workers.
+    post_ok = 0
+    for i in range(20):
+        response = server.handle_request(f"GET /after{i} HTTP/1.1".encode())
+        post_ok += int(not response.crashed)
+
+    stats = server.stats()
+    print(f"--- {scheme} ---")
+    print(f"legit traffic before attack: {legit_ok}/20 served")
+    print(f"attack probes:               {report.trials} "
+          f"(window crash rate {stats.window_crash_rate:.1%})")
+    if server.alarmed_at is not None:
+        print(f"DEFENDER ALARM tripped at request #{server.alarmed_at}")
+    if report.success:
+        print(f"OUTCOME: canary recovered ({report.recovered.hex()}) — "
+              f"server compromised")
+    else:
+        print(f"OUTCOME: attack stalled after {len(report.recovered)} "
+              f"'recovered' bytes — defence held")
+    print(f"legit traffic after attack:  {post_ok}/20 served")
+    print()
+
+
+def main() -> None:
+    print("Byte-by-byte campaign against a vulnerable Nginx-style server\n")
+    campaign("ssp")
+    campaign("pssp")
+    print("Either way the *service* stays up (crashed workers are")
+    print("replaced) — the difference is whether the attacker walks away")
+    print("with the canary. Watch your worker-crash-rate dashboards.")
+
+
+if __name__ == "__main__":
+    main()

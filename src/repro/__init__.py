@@ -1,0 +1,62 @@
+"""repro — reproduction of "To Detect Stack Buffer Overflow with
+Polymorphic Canaries" (Wang et al., DSN 2018).
+
+The package implements P-SSP and its three extensions (P-SSP-NT,
+P-SSP-LV, P-SSP-OWF), the baselines they are compared against (SSP,
+RAF-SSP, DynaGuard, DCR), and every substrate the evaluation needs: an
+x86-64-flavoured machine simulator, a process model with faithful fork
+semantics, a MiniC compiler with an LLVM-style protection-pass framework,
+a layout-preserving static binary rewriter, an attack framework, and the
+workloads/harness that regenerate every table and figure in the paper.
+
+Quick start::
+
+    from repro import Kernel, build, deploy
+
+    SOURCE = '''
+    int handler(int n) {
+        char buf[64];
+        read(0, buf, n);
+        return 0;
+    }
+    int main() { return 0; }
+    '''
+
+    kernel = Kernel(seed=7)
+    binary = build(SOURCE, "pssp", name="victim")
+    process, _ = deploy(kernel, binary, "pssp")
+    process.feed_stdin(b"A" * 200)
+    result = process.call("handler", (200,))
+    assert result.smashed   # the overflow was detected
+"""
+
+from .core.deploy import SCHEMES, build, deploy, get_scheme, launch
+from .core.rerandomize import fold32, re_randomize
+from .errors import (
+    MachineFault,
+    ReproError,
+    SegmentationFault,
+    StackSmashDetected,
+)
+from .kernel.kernel import Kernel
+from .kernel.process import Process, ProcessResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "MachineFault",
+    "Process",
+    "ProcessResult",
+    "ReproError",
+    "SCHEMES",
+    "SegmentationFault",
+    "StackSmashDetected",
+    "build",
+    "deploy",
+    "fold32",
+    "get_scheme",
+    "launch",
+    "re_randomize",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Attack framework: oracle servers, payload construction, the
+byte-by-byte and exhaustive brute-force attacks, leak-and-replay, and the
+fork-correctness probe."""
+
+from .byte_by_byte import ByteByByteReport, byte_by_byte_attack, expected_ssp_trials
+from .correctness import (
+    CORRECTNESS_PROBE_SOURCE,
+    CorrectnessReport,
+    probe_fork_correctness,
+)
+from .detection import CrashRateMonitor, MonitorStats
+from .exhaustive import (
+    ExhaustiveReport,
+    exhaustive_attack,
+    survival_probability_montecarlo,
+)
+from .leak import CanarySniffer, LeakReport, leak_and_replay
+from .oracle import ForkingServer, Response, ThreadedServer
+from .payloads import FrameMap, PayloadBuilder, frame_map
+from .recon import ReconReport, blind_byte_by_byte, find_canary_start
+
+__all__ = [
+    "ByteByByteReport",
+    "CORRECTNESS_PROBE_SOURCE",
+    "CanarySniffer",
+    "CorrectnessReport",
+    "CrashRateMonitor",
+    "MonitorStats",
+    "ExhaustiveReport",
+    "ForkingServer",
+    "FrameMap",
+    "LeakReport",
+    "PayloadBuilder",
+    "ReconReport",
+    "Response",
+    "ThreadedServer",
+    "blind_byte_by_byte",
+    "byte_by_byte_attack",
+    "find_canary_start",
+    "exhaustive_attack",
+    "expected_ssp_trials",
+    "frame_map",
+    "leak_and_replay",
+    "probe_fork_correctness",
+    "survival_probability_montecarlo",
+]

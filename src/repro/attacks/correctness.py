@@ -1,0 +1,70 @@
+"""Fork-correctness probe (Table I's "Correctness" column).
+
+RAF-SSP's defect: it renews the child's *TLS* canary on fork but cannot
+update the canaries already sitting in stack frames the child inherited
+from its parent.  When the child's control flow returns through such a
+frame, the epilogue compares an old stack canary against the new TLS
+canary and aborts a perfectly healthy process.
+
+The probe builds that exact control-flow shape *in simulated code*: a
+protected function calls ``fork``; the child then returns through the
+protected frame created before the fork.  A correct scheme lets the child
+exit cleanly; RAF-SSP kills it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.deploy import build, deploy
+from ..kernel.kernel import Kernel
+
+#: The protected parent frame is created by ``outer`` *before* fork; both
+#: parent and child return through it afterwards.
+CORRECTNESS_PROBE_SOURCE = """
+int outer() {
+    char buf[32];
+    int pid;
+    buf[0] = 7;
+    pid = fork();
+    return buf[0];      // both sides return through the pre-fork frame
+}
+
+int main() {
+    return outer();
+}
+"""
+
+
+@dataclass
+class CorrectnessReport:
+    """Did the child survive returning into an inherited frame?"""
+
+    scheme: str
+    parent_ok: bool
+    child_ok: bool
+    child_signal: str
+
+    @property
+    def fork_correct(self) -> bool:
+        return self.parent_ok and self.child_ok
+
+
+def probe_fork_correctness(scheme: str, seed: int = 11) -> CorrectnessReport:
+    """Run the probe under ``scheme`` and report both sides' fates."""
+    kernel = Kernel(seed)
+    binary = build(CORRECTNESS_PROBE_SOURCE, scheme, name="probe")
+    process, _ = deploy(kernel, binary, scheme)
+    result = process.run()
+    children = getattr(process, "child_results", [])
+    child_ok = bool(children) and all(r.state == "exited" for _, r in children)
+    child_signal = ""
+    for _pid, child_result in children:
+        if child_result.crashed:
+            child_signal = child_result.signal
+    return CorrectnessReport(
+        scheme=scheme,
+        parent_ok=result.state == "exited" and result.exit_status == 7,
+        child_ok=child_ok,
+        child_signal=child_signal,
+    )

@@ -1,0 +1,91 @@
+"""Defender-side telemetry: spotting a brute-force campaign in flight.
+
+The paper's effectiveness experiment (§VI-C) has an operational flip
+side: even when a canary scheme *stops* the byte-by-byte attack, the
+campaign is loud — every failed probe kills a worker.  A defender
+watching worker-crash rates sees the attack immediately (and under
+RAF-SSP-style schemes could distinguish it from the scheme's own
+false positives by the crash signals involved).
+
+:class:`CrashRateMonitor` wraps any oracle-style server and keeps a
+sliding window of outcomes; ``alarm`` trips when the crash rate over the
+window exceeds the threshold.  This is the "watch your dashboards"
+control the paper's deployment story implies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from .oracle import Response
+
+
+@dataclass
+class MonitorStats:
+    """A snapshot of the monitor's view."""
+
+    requests: int
+    crashes: int
+    window_crash_rate: float
+    alarmed: bool
+
+
+class CrashRateMonitor:
+    """Sliding-window worker-crash-rate alarm.
+
+    Parameters
+    ----------
+    server:
+        Any object with ``handle_request(payload) -> Response``.
+    window:
+        Number of recent requests considered.
+    threshold:
+        Crash fraction over the window that trips the alarm.  Benign
+        traffic crashes (bugs happen) should stay well below it; a
+        byte-by-byte campaign runs near 1.0 (every probe but the
+        per-byte confirmation dies).
+    """
+
+    def __init__(self, server, *, window: int = 50, threshold: float = 0.5) -> None:
+        self.server = server
+        self.window = window
+        self.threshold = threshold
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self.requests = 0
+        self.crashes = 0
+        #: Request index at which the alarm first tripped (None = never).
+        self.alarmed_at: Optional[int] = None
+
+    def handle_request(self, payload: bytes) -> Response:
+        """Proxy a request, recording its outcome."""
+        response = self.server.handle_request(payload)
+        self.requests += 1
+        self.crashes += int(response.crashed)
+        self._outcomes.append(response.crashed)
+        if self.alarmed_at is None and self.alarm:
+            self.alarmed_at = self.requests
+        return response
+
+    @property
+    def window_crash_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    @property
+    def alarm(self) -> bool:
+        """True when the recent crash rate exceeds the threshold.
+
+        Requires at least half a window of data so one unlucky request
+        cannot page anyone at 3 a.m.
+        """
+        if len(self._outcomes) < max(2, self.window // 2):
+            return False
+        return self.window_crash_rate >= self.threshold
+
+    def stats(self) -> MonitorStats:
+        return MonitorStats(
+            self.requests, self.crashes, self.window_crash_rate, self.alarm
+        )

@@ -1,0 +1,129 @@
+"""Canary-exposure (leak-and-replay) attacks — the single-point-of-failure
+experiment motivating P-SSP-OWF (paper §IV-C).
+
+Scenario: a memory-disclosure bug in one function exposes that frame's
+canary material; the attacker replays it while overflowing a *different*
+function in the same process, aiming to overwrite the return address and
+hijack control flow to a ``win`` gadget.
+
+* SSP / P-SSP / P-SSP-NT / P-SSP-LV: any pair XOR-consistent with the TLS
+  canary verifies in any frame, so the replay succeeds — the ripple
+  effect the paper describes.
+* P-SSP-OWF: the leaked (nonce, ciphertext) binds to the leaking frame's
+  return address; replayed into another frame it fails the AES check.
+* P-SSP-GB: the target frame's buffer-resident half is never on the
+  stack, so the replayed stack half cannot be made consistent.
+
+The disclosure itself is modelled host-side (we read the canary material
+out of a paused worker's frame) — equivalent to a format-string read and
+independent of the defence under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..binfmt.elf import Binary
+from ..kernel.kernel import Kernel
+from ..kernel.process import Process
+from .payloads import FrameMap, PayloadBuilder, frame_map
+
+
+@dataclass
+class LeakReport:
+    """Outcome of a leak-and-replay campaign."""
+
+    leaked: Dict[int, int]
+    hijacked: bool
+    detected: bool
+    response_output: bytes
+
+
+class CanarySniffer:
+    """Captures a function's in-frame canary words as it executes.
+
+    Installs a CPU trace hook that snapshots the canary slots right after
+    the prologue has populated them — the information a disclosure bug in
+    that function would print.
+    """
+
+    def __init__(self, process: Process, function: str, frame: FrameMap) -> None:
+        self.process = process
+        self.function = function
+        self.frame = frame
+        self.captured: Dict[int, int] = {}
+        self._armed = True
+        process.cpu.trace = self._hook
+
+    def _hook(self, name: str, index: int, instruction) -> None:
+        if not self._armed or name != self.function:
+            return
+        if instruction.note in ("frame", "spill"):
+            # During frame setup/teardown rbp belongs to the caller.
+            return
+        # Sample the slots at every step of the body; the last body sample
+        # before the function returns holds the fully populated canaries.
+        rbp = self.process.registers.read("rbp")
+        if rbp == 0:
+            return
+        try:
+            for slot in self.frame.canary_slots:
+                self.captured[slot] = self.process.memory.read_word(rbp - slot)
+        except Exception:  # frame not mapped yet (pre-prologue)
+            return
+
+    def disarm(self) -> Dict[int, int]:
+        self._armed = False
+        self.process.cpu.trace = None
+        return dict(self.captured)
+
+
+def leak_and_replay(
+    kernel: Kernel,
+    victim: Process,
+    binary: Binary,
+    *,
+    leaky_function: str = "leaky",
+    target_function: str = "target",
+    win_function: str = "win",
+    win_marker: bytes = b"PWNED",
+) -> LeakReport:
+    """Run the full chain inside one process (one worker).
+
+    1. Execute ``leaky_function`` while sniffing its canary slots.
+    2. Overflow ``target_function``'s buffer, replaying the leaked words
+       into the target's canary slots and redirecting the return address
+       to ``win_function``.
+    3. Report whether the hijack landed (``win_marker`` observed on
+       stdout) or the defence detected the smash.
+    """
+    leak_frame = frame_map(binary, leaky_function)
+    sniffer = CanarySniffer(victim, leaky_function, leak_frame)
+    victim.call(leaky_function, (0,))
+    leaked = sniffer.disarm()
+
+    target_frame = frame_map(binary, target_function)
+    builder = PayloadBuilder(target_frame)
+    # Replay leaked words positionally: slot i of the leak into slot i of
+    # the target (both schemes lay canaries out identically per scheme).
+    replay = {
+        slot: leaked[leak_slot]
+        for slot, leak_slot in zip(target_frame.canary_slots, leak_frame.canary_slots)
+        if leak_slot in leaked
+    }
+    win_address = victim.image.address_of(win_function)
+    sane_rbp = victim.registers.read("rsp") - 0x200
+    payload = builder.with_canaries(
+        replay, new_return=win_address, new_rbp=sane_rbp
+    )
+    victim.stdin.clear()
+    victim.feed_stdin(payload)
+    result = victim.call(target_function, (len(payload),))
+    output = bytes(victim.stdout)
+    return LeakReport(
+        leaked=leaked,
+        hijacked=win_marker in output,
+        detected=result.smashed,
+        response_output=output,
+    )

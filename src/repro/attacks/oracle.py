@@ -1,0 +1,103 @@
+"""The attacker's oracle: a forking network server.
+
+The byte-by-byte attack (paper §II-B) needs exactly one capability: send
+a request to a server whose parent forks a fresh worker per connection,
+and observe whether the worker crashed.  :class:`ForkingServer` provides
+that interface over a deployed victim process; :class:`ThreadedServer`
+provides the pthread variant.
+
+The oracle deliberately reveals only what a network attacker sees — the
+binary outcome (connection closed normally vs. reset) and the response
+bytes — never process internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..kernel.kernel import Kernel
+from ..kernel.process import Process, ProcessResult
+
+
+@dataclass
+class Response:
+    """What the attacker observes from one request."""
+
+    crashed: bool
+    output: bytes
+    #: Diagnostic only (never consulted by attack logic): full result.
+    result: ProcessResult
+
+
+class ForkingServer:
+    """A prefork server: each request handled by a fresh forked child.
+
+    Crashed children are simply replaced — the parent (and therefore the
+    TLS it clones into workers) lives on, which is exactly the structure
+    the byte-by-byte attack exploits against SSP and the structure P-SSP's
+    fork hook defends.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        parent: Process,
+        handler: str = "handler",
+        *,
+        pass_length: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.parent = parent
+        self.handler = handler
+        self.pass_length = pass_length
+        #: Total workers forked (attack-cost accounting).
+        self.requests_served = 0
+
+    def handle_request(self, payload: bytes) -> Response:
+        """Fork a worker, feed it the payload, run the handler."""
+        child = self.kernel.fork(self.parent)
+        child.stdin.clear()
+        child.feed_stdin(payload)
+        args: Tuple[int, ...] = (len(payload),) if self.pass_length else ()
+        result = child.call(self.handler, args)
+        self.requests_served += 1
+        response = Response(result.crashed, bytes(child.stdout), result)
+        self.kernel.reap(child)
+        return response
+
+    def worker(self) -> Process:
+        """Fork a worker without running it (for introspective tests)."""
+        return self.kernel.fork(self.parent)
+
+
+class ThreadedServer:
+    """A thread-per-request server (the paper's multithread mode).
+
+    A crashed thread takes the whole process down in reality; here each
+    request gets a fresh thread context in a fresh fork so the oracle
+    stays reusable while keeping pthread TLS semantics on the request
+    path.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        parent: Process,
+        handler: str = "handler",
+    ) -> None:
+        self.kernel = kernel
+        self.parent = parent
+        self.handler = handler
+        self.requests_served = 0
+
+    def handle_request(self, payload: bytes) -> Response:
+        process = self.kernel.fork(self.parent)
+        thread = self.kernel.create_thread(process)
+        thread.stdin.clear()
+        thread.feed_stdin(payload)
+        result = thread.call(self.handler, (len(payload),))
+        self.requests_served += 1
+        response = Response(result.crashed, bytes(thread.stdout), result)
+        self.kernel.reap(process)
+        return response

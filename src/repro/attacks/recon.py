@@ -1,0 +1,106 @@
+"""Remote reconnaissance: deriving attack geometry from the oracle alone.
+
+The byte-by-byte attack needs to know where the canary starts relative to
+the overflowing input.  ``frame_map`` derives it from the binary (the
+paper's adversary model allows that); this module recovers the same fact
+*blind*, the way Hacking Blind's stack-reading stage does — by probing
+payload lengths and watching where crashes begin:
+
+* length ≤ buffer: worker survives;
+* length = buffer + k (k ≥ 1): the k-th canary byte is clobbered; the
+  worker survives only if the written byte happens to match, so a filler
+  byte crashes with probability 1 − 2⁻⁸ per extra byte.
+
+The smallest reliably-crashing length minus one is the canary region
+start.  From there the blind attacker runs the standard byte-by-byte
+loop with no binary in hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .byte_by_byte import ByteByByteReport, byte_by_byte_attack
+from .oracle import ForkingServer
+from .payloads import FrameMap
+
+
+@dataclass
+class ReconReport:
+    """Result of the length-probing stage."""
+
+    canary_start: Optional[int]
+    probes: int
+
+    @property
+    def success(self) -> bool:
+        return self.canary_start is not None
+
+
+def find_canary_start(
+    server: ForkingServer,
+    *,
+    max_length: int = 512,
+    fill: bytes = b"A",
+    confirmations: int = 3,
+) -> ReconReport:
+    """Probe payload lengths to locate the first canary byte.
+
+    Linear scan with confirmation: a crash at length L is only trusted
+    once lengths L, L (repeated), and L+1 all crash while L−1 survives —
+    filtering out the 2⁻⁸ survive-by-luck cases.
+    """
+    probes = 0
+    length = 1
+    while length <= max_length:
+        probes += 1
+        response = server.handle_request(fill * length)
+        if not response.crashed:
+            length += 1
+            continue
+        # Candidate boundary: confirm L-1 survives and L crashes reliably.
+        candidate = length
+        if candidate == 1:
+            return ReconReport(0, probes)
+        ok = True
+        for _ in range(confirmations):
+            probes += 1
+            if server.handle_request(fill * (candidate - 1)).crashed:
+                ok = False
+                break
+            probes += 1
+            if not server.handle_request(fill * candidate).crashed:
+                ok = False
+                break
+        if ok:
+            return ReconReport(candidate - 1, probes)
+        length += 1
+    return ReconReport(None, probes)
+
+
+def blind_byte_by_byte(
+    server: ForkingServer,
+    *,
+    max_length: int = 512,
+    canary_bytes: int = 8,
+    max_trials: int = 20_000,
+) -> "tuple[ReconReport, Optional[ByteByByteReport]]":
+    """The full blind chain: find the geometry, then brute the canary.
+
+    Returns ``(recon, attack)``; ``attack`` is ``None`` when recon failed.
+    The attacker guesses the canary width (8 bytes — the architectural
+    word size; against P-SSP the wider region simply makes the stall
+    happen earlier).
+    """
+    recon = find_canary_start(server, max_length=max_length)
+    if not recon.success:
+        return recon, None
+    frame = FrameMap(
+        function="<blind>",
+        buffer_offset=recon.canary_start + canary_bytes,
+        buffer_size=recon.canary_start,
+        canary_slots=[8 * (i + 1) for i in range(canary_bytes // 8)],
+    )
+    report = byte_by_byte_attack(server, frame, max_trials=max_trials)
+    return recon, report

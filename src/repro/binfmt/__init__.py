@@ -1,0 +1,18 @@
+"""ELF-like binaries, static linking, serialization, and the loader."""
+
+from .elf import DYNAMIC, STATIC, Binary, merge_binaries
+from .loader import LoadedImage, load
+from .serialize import dumps, load_file, loads, save
+
+__all__ = [
+    "Binary",
+    "DYNAMIC",
+    "LoadedImage",
+    "STATIC",
+    "dumps",
+    "load",
+    "load_file",
+    "loads",
+    "merge_binaries",
+    "save",
+]

@@ -1,0 +1,117 @@
+"""Binary diffing: what did an instrumentation pass actually change?
+
+The rewriting experiments need to *show their work*: which instructions
+were substituted, which functions were added, and whether the byte
+budget was respected.  ``diff_binaries`` produces a structured report
+the examples and docs render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.encoding import function_length
+from .elf import Binary
+
+
+@dataclass
+class InstructionChange:
+    """One differing instruction position inside a shared function."""
+
+    index: int
+    before: Optional[str]
+    after: Optional[str]
+
+
+@dataclass
+class FunctionDiff:
+    """Differences for one function present in both binaries."""
+
+    name: str
+    changes: List[InstructionChange] = field(default_factory=list)
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.changes)
+
+    @property
+    def layout_preserved(self) -> bool:
+        return self.bytes_before == self.bytes_after
+
+
+@dataclass
+class BinaryDiff:
+    """Complete structural diff of two binaries."""
+
+    functions: List[FunctionDiff]
+    added_functions: List[str]
+    removed_functions: List[str]
+    size_before: int
+    size_after: int
+
+    @property
+    def size_delta(self) -> int:
+        return self.size_after - self.size_before
+
+    def changed_functions(self) -> List[FunctionDiff]:
+        return [d for d in self.functions if d.changed]
+
+    def render(self, *, context: int = 0) -> str:
+        lines = [
+            f"size: {self.size_before} -> {self.size_after} "
+            f"({self.size_delta:+d} bytes)"
+        ]
+        for name in self.added_functions:
+            lines.append(f"+ function {name}")
+        for name in self.removed_functions:
+            lines.append(f"- function {name}")
+        for diff in self.changed_functions():
+            preserved = "layout preserved" if diff.layout_preserved else (
+                f"{diff.bytes_after - diff.bytes_before:+d} bytes"
+            )
+            lines.append(f"@ {diff.name} ({len(diff.changes)} sites, {preserved})")
+            for change in diff.changes:
+                if change.before is not None:
+                    lines.append(f"    [{change.index:3d}] - {change.before}")
+                if change.after is not None:
+                    lines.append(f"    [{change.index:3d}] + {change.after}")
+        return "\n".join(lines)
+
+
+def diff_binaries(before: Binary, after: Binary) -> BinaryDiff:
+    """Structural diff: per-function instruction changes + adds/removes."""
+    function_diffs: List[FunctionDiff] = []
+    for name, original in before.functions.items():
+        if name not in after.functions:
+            continue
+        rewritten = after.functions[name]
+        diff = FunctionDiff(
+            name,
+            bytes_before=function_length(original.body),
+            bytes_after=function_length(rewritten.body),
+        )
+        length = max(len(original.body), len(rewritten.body))
+        for index in range(length):
+            old = original.body[index] if index < len(original.body) else None
+            new = rewritten.body[index] if index < len(rewritten.body) else None
+            if old != new:
+                diff.changes.append(
+                    InstructionChange(
+                        index,
+                        str(old) if old is not None else None,
+                        str(new) if new is not None else None,
+                    )
+                )
+        function_diffs.append(diff)
+    added = sorted(set(after.functions) - set(before.functions))
+    removed = sorted(set(before.functions) - set(after.functions))
+    return BinaryDiff(
+        functions=function_diffs,
+        added_functions=added,
+        removed_functions=removed,
+        size_before=before.total_size(),
+        size_after=after.total_size(),
+    )

@@ -1,0 +1,127 @@
+"""ELF-like binary model.
+
+A :class:`Binary` is the unit the compiler produces, the static rewriter
+instruments, and the loader maps: a named bag of code functions plus
+read-only data, zero-initialised globals, constructor lists, and linkage
+metadata.  Byte sizes come from the ISA encoding model, which is what the
+code-expansion experiment (Table II) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import LinkError
+from ..isa.encoding import function_length
+from ..isa.instructions import Function
+
+#: Linkage styles; static binaries embed their libc functions as simulated
+#: code (and are what the Dyninst path instruments), dynamic binaries call
+#: out to native libc.
+DYNAMIC = "dynamic"
+STATIC = "static"
+
+
+@dataclass
+class Binary:
+    """A linkable/loadable program image."""
+
+    name: str
+    functions: Dict[str, Function] = field(default_factory=dict)
+    entry: str = "main"
+    link_type: str = DYNAMIC
+    #: Symbols invoked before ``entry`` (``__attribute__((constructor))``).
+    constructors: List[str] = field(default_factory=list)
+    #: Initialised read-only data: symbol → bytes.
+    rodata: Dict[str, bytes] = field(default_factory=dict)
+    #: Zero-initialised globals: symbol → size in bytes.
+    bss: Dict[str, int] = field(default_factory=dict)
+    #: Names of shared libraries requested at load time (informational).
+    needed: List[str] = field(default_factory=list)
+    #: Which protection scheme built/instrumented this binary ("" = native).
+    protection: str = ""
+
+    def add_function(self, function: Function) -> Function:
+        """Add (or replace) a function."""
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        """Fetch a function, raising :class:`LinkError` when absent."""
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise LinkError(f"{self.name}: no function {name!r}") from None
+
+    def has_function(self, name: str) -> bool:
+        """True if the binary defines ``name``."""
+        return name in self.functions
+
+    # -- size accounting (Table II) -----------------------------------------
+
+    def text_size(self) -> int:
+        """Encoded size of all code, in bytes."""
+        return sum(function_length(f.body) for f in self.functions.values())
+
+    def rodata_size(self) -> int:
+        """Size of initialised data."""
+        return sum(len(blob) for blob in self.rodata.values())
+
+    def total_size(self) -> int:
+        """Approximate file size: text + rodata (bss occupies no file bytes)."""
+        return self.text_size() + self.rodata_size()
+
+    def clone(self) -> "Binary":
+        """Deep-enough copy for instrumentation: new function objects
+        (bodies are lists of immutable instructions, so copied shallowly),
+        shared data blobs."""
+        copy = Binary(
+            self.name,
+            {name: fn.copy() for name, fn in self.functions.items()},
+            self.entry,
+            self.link_type,
+            list(self.constructors),
+            dict(self.rodata),
+            dict(self.bss),
+            list(self.needed),
+            self.protection,
+        )
+        return copy
+
+    def disassemble(self) -> str:
+        """Full program listing."""
+        return "\n\n".join(f.disassemble() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Binary({self.name!r}, {len(self.functions)} functions, "
+            f"{self.text_size()} text bytes, {self.link_type})"
+        )
+
+
+def merge_binaries(primary: Binary, *others: Binary, name: Optional[str] = None) -> Binary:
+    """Static linking: fold ``others`` into a copy of ``primary``.
+
+    Later binaries do *not* override earlier definitions — duplicate
+    strong symbols are a link error, as with real ``ld``.
+    """
+    result = primary.clone()
+    if name:
+        result.name = name
+    result.link_type = STATIC
+    for other in others:
+        for fname, function in other.functions.items():
+            if fname in result.functions:
+                raise LinkError(f"duplicate symbol {fname!r} linking {other.name}")
+            result.functions[fname] = function.copy()
+        for sym, blob in other.rodata.items():
+            if sym in result.rodata:
+                raise LinkError(f"duplicate data symbol {sym!r}")
+            result.rodata[sym] = blob
+        for sym, size in other.bss.items():
+            if sym in result.bss:
+                raise LinkError(f"duplicate bss symbol {sym!r}")
+            result.bss[sym] = size
+        result.constructors.extend(other.constructors)
+    return result

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate individual experiments or the whole report:
+
+.. code-block:: console
+
+    $ python -m repro schemes            # list registered protections
+    $ python -m repro table 1           # regenerate Table I
+    $ python -m repro figure 5          # regenerate Figure 5
+    $ python -m repro attack --scheme ssp
+    $ python -m repro effectiveness
+    $ python -m repro report -o EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.deploy import SCHEMES, build, deploy
+from .harness import figures as _figures
+from .harness import tables as _tables
+from .harness.report import generate_report
+from .kernel.kernel import Kernel
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    print(f"{'scheme':22s} {'pass':16s} {'runtime':12s} {'notes'}")
+    for name, spec in sorted(SCHEMES.items()):
+        if spec.runtime_factory is None:
+            runtime = "-"
+        else:
+            instance = spec.make_runtime()
+            runtime = type(instance).__name__.replace("Runtime", "") or "yes"
+        notes = []
+        if spec.rewrite:
+            notes.append("rewritten")
+        if spec.dbi_multiplier != 1.0:
+            notes.append(f"instr tax ×{spec.dbi_multiplier}")
+        if not spec.fork_correct:
+            notes.append("breaks fork correctness")
+        if not spec.prevents_brop:
+            notes.append("no BROP prevention")
+        print(f"{name:22s} {spec.pass_name:16s} {runtime:12s} {', '.join(notes)}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    regenerators = {
+        1: lambda: _tables.table1(
+            spec_names=_tables.DEFAULT_SPEC_SUBSET, attack_trials=args.trials
+        ),
+        2: _tables.table2,
+        3: _tables.table3,
+        4: _tables.table4,
+        5: _tables.table5,
+    }
+    try:
+        regenerate = regenerators[args.number]
+    except KeyError:
+        print(f"no table {args.number}; the paper has tables 1-5", file=sys.stderr)
+        return 2
+    print(regenerate().render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    number = args.number
+    if number == 1:
+        for figure in _figures.figure1().values():
+            print(figure.render())
+    elif number == 2:
+        captured = _figures.figure2()
+        for figure in captured.values():
+            print(figure.render())
+        print("pssp frames share canary:",
+              _figures.frames_share_canary(captured["pssp"]))
+        print("pssp-nt frames share canary:",
+              _figures.frames_share_canary(captured["pssp-nt"]))
+    elif number in (3, 4):
+        print(_figures.figure3().render())
+    elif number == 5:
+        result = _figures.figure5()
+        if getattr(args, "plot", False):
+            from .harness.plots import figure5_chart
+
+            print(figure5_chart(result))
+        else:
+            print(result.render())
+        if getattr(args, "csv", None):
+            with open(args.csv, "w") as handle:
+                handle.write(result.to_csv())
+            print(f"wrote {args.csv}")
+    elif number == 6:
+        print(_figures.figure6().render())
+    else:
+        print(f"no figure {number}; the paper has figures 1-6", file=sys.stderr)
+        return 2
+    return 0
+
+
+_ATTACK_VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .attacks import ForkingServer, byte_by_byte_attack, frame_map
+
+    kernel = Kernel(args.seed)
+    binary = build(_ATTACK_VICTIM, args.scheme, name="server")
+    parent, _ = deploy(kernel, binary, args.scheme)
+    server = ForkingServer(kernel, parent)
+    frame = frame_map(binary, "handler")
+    report = byte_by_byte_attack(server, frame, max_trials=args.trials)
+    print(f"scheme:    {args.scheme}")
+    print(f"success:   {report.success}")
+    print(f"trials:    {report.trials}")
+    print(f"recovered: {report.recovered.hex() or '(nothing)'}")
+    return 0 if not report.success else 1  # exit 1 = defence broken
+
+
+def _cmd_effectiveness(args: argparse.Namespace) -> int:
+    print(_tables.effectiveness(max_trials=args.trials).render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.kind == "density":
+        from statistics import mean
+
+        from .crypto.random import EntropySource
+        from .harness.metrics import overhead_percent, run_program
+        from .workloads.generator import (
+            call_density_sweep_configs,
+            generate_program,
+        )
+
+        print(f"{'calls/kcycle':>13s} {'pssp %':>8s} {'pssp-nt %':>10s}")
+        for index, config in enumerate(call_density_sweep_configs()):
+            source = generate_program(config, EntropySource(1000 + index))
+            base = run_program(source, "ssp", name=f"sweep{index}")
+            pssp = run_program(source, "pssp", name=f"sweep{index}")
+            nt = run_program(source, "pssp-nt", name=f"sweep{index}")
+            density = (config.functions * config.outer_iterations
+                       / base.cycles * 1000)
+            print(f"{density:13.2f} {overhead_percent(base, pssp):8.3f} "
+                  f"{overhead_percent(base, nt):10.3f}")
+        return 0
+    if args.kind == "width":
+        from .attacks.exhaustive import survival_probability_montecarlo
+
+        print(f"{'scheme':14s} {'survival P (16-bit scale)':>26s}")
+        for scheme in ("ssp", "pssp", "pssp-binary"):
+            rate = survival_probability_montecarlo(
+                scheme, bits=16, samples=args.samples
+            )
+            print(f"{scheme:14s} {rate:26.6f}")
+        return 0
+    print(f"unknown sweep {args.kind!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .harness.matrix import properties_matrix
+
+    print(properties_matrix(attack_trials=args.trials).render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .harness.validate import validate_all
+
+    report = validate_all(seed=args.seed)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = generate_report(attack_trials=args.trials)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P-SSP reproduction (DSN 2018) experiment driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list registered protection schemes")
+
+    table = sub.add_parser("table", help="regenerate a paper table (1-5)")
+    table.add_argument("number", type=int)
+    table.add_argument("--trials", type=int, default=4000)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure (1-6)")
+    figure.add_argument("number", type=int)
+    figure.add_argument("--plot", action="store_true",
+                        help="render figure 5 as a terminal bar chart")
+    figure.add_argument("--csv", default=None,
+                        help="also write figure 5 data as CSV")
+
+    attack = sub.add_parser("attack", help="run the byte-by-byte attack")
+    attack.add_argument("--scheme", default="ssp", choices=sorted(SCHEMES))
+    attack.add_argument("--trials", type=int, default=6000)
+    attack.add_argument("--seed", type=int, default=20180625)
+
+    eff = sub.add_parser("effectiveness", help="regenerate §VI-C")
+    eff.add_argument("--trials", type=int, default=4000)
+
+    sweep = sub.add_parser("sweep", help="run a parameter sweep")
+    sweep.add_argument("kind", choices=("density", "width"))
+    sweep.add_argument("--samples", type=int, default=100_000)
+
+    validate = sub.add_parser("validate",
+                              help="health-check every registered scheme")
+    validate.add_argument("--seed", type=int, default=1234)
+
+    matrix = sub.add_parser("matrix",
+                            help="measure the scheme-properties matrix")
+    matrix.add_argument("--trials", type=int, default=3000)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("-o", "--output", default=None)
+    report.add_argument("--trials", type=int, default=4000)
+
+    return parser
+
+
+_COMMANDS = {
+    "schemes": _cmd_schemes,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "attack": _cmd_attack,
+    "effectiveness": _cmd_effectiveness,
+    "sweep": _cmd_sweep,
+    "matrix": _cmd_matrix,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""MiniC compiler: frontend, code generation, and protection passes."""
+
+from .ast_nodes import FunctionDecl, Program, Type
+from .codegen import compile_program, compile_source
+from .lexer import tokenize
+from .parser import parse
+from .passes.base import FramePlan, NoProtection, ProtectionPass
+from .passes.manager import available_passes, get_pass, register_pass
+
+__all__ = [
+    "FramePlan",
+    "FunctionDecl",
+    "NoProtection",
+    "Program",
+    "ProtectionPass",
+    "Type",
+    "available_passes",
+    "compile_program",
+    "compile_source",
+    "get_pass",
+    "parse",
+    "register_pass",
+    "tokenize",
+]

@@ -1,0 +1,260 @@
+"""AST node definitions and the MiniC type model.
+
+Types are deliberately small: 64-bit ``int``, 8-bit ``char``, pointers to
+either, and fixed-size arrays of either.  Arrays decay to pointers in
+expression position, as in C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniC type.
+
+    ``base`` is ``int``, ``char``, or ``void``; ``pointer`` counts
+    indirections; ``array_length`` is set for array-typed declarations.
+    """
+
+    base: str = "int"
+    pointer: int = 0
+    array_length: Optional[int] = None
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer > 0
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_length is not None
+
+    def element(self) -> "Type":
+        """The pointee/element type of a pointer or array."""
+        if self.is_array:
+            return Type(self.base, self.pointer)
+        if self.is_pointer:
+            return Type(self.base, self.pointer - 1)
+        raise ValueError(f"{self} has no element type")
+
+    def decay(self) -> "Type":
+        """Array-to-pointer decay."""
+        if self.is_array:
+            return Type(self.base, self.pointer + 1)
+        return self
+
+    @property
+    def size(self) -> int:
+        """Byte size of one object of this type."""
+        if self.is_array:
+            return self.array_length * self.element().size
+        if self.is_pointer:
+            return 8
+        return {"int": 8, "char": 1, "void": 0}[self.base]
+
+    @property
+    def access_width(self) -> int:
+        """Load/store width for scalar accesses (1 for char, else 8)."""
+        if self.is_pointer or self.base == "int":
+            return 8
+        return 1
+
+    def __str__(self) -> str:
+        text = self.base + "*" * self.pointer
+        if self.is_array:
+            text += f"[{self.array_length}]"
+        return text
+
+
+INT = Type("int")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class; ``ctype`` is filled in during type annotation."""
+
+    line: int = 0
+    ctype: Type = INT
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+    #: rodata symbol assigned during codegen.
+    symbol: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '!', '~', '*', '&'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Optional[Expr] = None  # VarRef, Index, or Unary('*')
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Index(Expr):
+    array: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Declaration(Stmt):
+    name: str = ""
+    ctype: Type = INT
+    init: Optional[Expr] = None
+    #: P-SSP-LV: declared with the ``critical`` qualifier.
+    critical: bool = False
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: List[Stmt] = field(default_factory=list)
+    otherwise: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: Type
+
+
+@dataclass
+class FunctionDecl:
+    """One function definition."""
+
+    name: str
+    return_type: Type
+    params: List[Param]
+    body: List[Stmt]
+    line: int = 0
+
+    def local_declarations(self) -> List[Declaration]:
+        """All declarations anywhere in the body, in source order."""
+        found: List[Declaration] = []
+
+        def walk(statements: List[Stmt]) -> None:
+            for statement in statements:
+                if isinstance(statement, Declaration):
+                    found.append(statement)
+                elif isinstance(statement, If):
+                    walk(statement.then)
+                    walk(statement.otherwise)
+                elif isinstance(statement, While):
+                    walk(statement.body)
+                elif isinstance(statement, For):
+                    if isinstance(statement.init, Declaration):
+                        found.append(statement.init)
+                    walk(statement.body)
+
+        walk(self.body)
+        return found
+
+    def has_buffer(self) -> bool:
+        """True if any local is a (char or int) array — the condition the
+        paper's pass uses to decide whether to protect a function."""
+        return any(d.ctype.is_array for d in self.local_declarations())
+
+
+@dataclass
+class Program:
+    """A parsed translation unit."""
+
+    functions: List[FunctionDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDecl:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)

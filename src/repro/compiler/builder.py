@@ -1,0 +1,38 @@
+"""AsmBuilder: an IRBuilder-style emitter over a :class:`Function`.
+
+Both the code generator and the protection passes append instructions and
+define labels through one builder, so label indices are always consistent
+regardless of who emitted the surrounding code.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Function, Operand
+
+
+class AsmBuilder:
+    """Appends instructions/labels to a function under construction."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+
+    def emit(self, op: str, *operands: Operand, note: str = "") -> None:
+        """Append one instruction."""
+        self.function.emit(op, *operands, note=note)
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current position."""
+        self.function.label_here(name)
+
+    def fresh(self, hint: str = "L") -> str:
+        """Reserve a fresh label name (not yet defined)."""
+        name = self.function.fresh_label(hint)
+        # Reserve it so a second fresh() before label() cannot collide;
+        # label() will overwrite the placeholder index.
+        self.function.labels[name] = -1
+        return name
+
+    @property
+    def position(self) -> int:
+        """Index the next instruction will occupy."""
+        return len(self.function.body)

@@ -1,0 +1,194 @@
+"""Lexer for MiniC, the small C dialect the workloads are written in.
+
+MiniC covers what the paper's benchmark programs and vulnerable servers
+need: ``int``/``char`` (and pointers/arrays of them), functions, the usual
+statements and operators, string/char literals, and one extension — the
+``critical`` storage qualifier marking variables for P-SSP-LV protection
+(the paper's §V-E2 "manually identify sensitive variables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import CompileError
+
+KEYWORDS = frozenset(
+    (
+        "int",
+        "char",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "critical",
+    )
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", '"': '"', "r": "\r"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'int', 'ident', 'string', 'char', 'op', 'kw', 'eof'
+    text: str
+    value: int = 0
+    line: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC source, raising :class:`CompileError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        char = source[i]
+        if char == "\n":
+            line += 1
+            i += 1
+            continue
+        if char in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if char.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("int", source[i:j], value, line))
+            i = j
+            continue
+        if char.isalpha() or char == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, 0, line))
+            i = j
+            continue
+        if char == '"':
+            value_chars, i = _scan_quoted(source, i, '"', line)
+            tokens.append(Token("string", value_chars, 0, line))
+            continue
+        if char == "'":
+            value_chars, i = _scan_quoted(source, i, "'", line)
+            if len(value_chars) != 1:
+                raise CompileError(f"bad char literal {value_chars!r}", line)
+            tokens.append(Token("char", value_chars, ord(value_chars), line))
+            continue
+        for operator in _OPERATORS:
+            if source.startswith(operator, i):
+                tokens.append(Token("op", operator, 0, line))
+                i += len(operator)
+                break
+        else:
+            raise CompileError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", "", 0, line))
+    return tokens
+
+
+def _scan_quoted(source: str, start: int, quote: str, line: int) -> "tuple[str, int]":
+    """Scan a quoted literal starting at ``start``; return (text, next_i)."""
+    out: List[str] = []
+    i = start + 1
+    n = len(source)
+    while i < n:
+        char = source[i]
+        if char == quote:
+            return "".join(out), i + 1
+        if char == "\n":
+            raise CompileError("newline in literal", line)
+        if char == "\\":
+            if i + 1 >= n:
+                raise CompileError("dangling escape", line)
+            escape = source[i + 1]
+            if escape not in _ESCAPES:
+                raise CompileError(f"unknown escape \\{escape}", line)
+            out.append(_ESCAPES[escape])
+            i += 2
+            continue
+        out.append(char)
+        i += 1
+    raise CompileError("unterminated literal", line)
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        """Look at the current (or a later) token without consuming."""
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        """Consume and return the current token."""
+        token = self.peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def accept(self, kind: str, text: str = "") -> "Token | None":
+        """Consume the current token iff it matches; else return None."""
+        token = self.peek()
+        if token.kind == kind and (not text or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str = "") -> Token:
+        """Consume a token of the given kind/text or raise."""
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise CompileError(
+                f"expected {wanted!r}, found {actual.text or actual.kind!r}",
+                actual.line,
+            )
+        return token
+
+    def at(self, kind: str, text: str = "") -> bool:
+        """True if the current token matches."""
+        token = self.peek()
+        return token.kind == kind and (not text or token.text == text)

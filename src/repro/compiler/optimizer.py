@@ -1,0 +1,260 @@
+"""Compiler optimizations.
+
+Two layers, both optional (``compile_source(..., optimize=True)``):
+
+* **AST constant folding** — arithmetic/logic on literals, constant
+  branch pruning.
+* **Peephole** — a small set of *flag-safe* rewrites on generated code
+  (``push R; pop S`` → ``mov S, R``; self-moves; jumps to the next
+  instruction).  Patterns that would clobber condition flags are
+  deliberately excluded: canary epilogues and comparison idioms depend on
+  ZF surviving between producer and consumer.
+
+There is also :func:`reorder_declarations`, which shuffles local-array
+declaration order the way LLVM's optimizations reorder stack slots — the
+phenomenon the paper flags as breaking naive local-variable canaries
+(§V-E2).  Our P-SSP-LV pass owns the frame layout, so it keeps each
+canary adjacent to its variable regardless of declaration order; the
+tests demonstrate exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..crypto.random import EntropySource
+from ..isa.instructions import Function, Instruction, Label, Reg, ins
+from . import ast_nodes as ast
+
+# ---------------------------------------------------------------------------
+# AST constant folding
+# ---------------------------------------------------------------------------
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: int(a / b) if b else None,
+    "%": lambda a, b: a - int(a / b) * b if b else None,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << (b & 63),
+    ">>": lambda a, b: a >> (b & 63),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+def fold_expr(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+    """Recursively fold constant sub-expressions."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Binary):
+        expr.left = fold_expr(expr.left)
+        expr.right = fold_expr(expr.right)
+        if isinstance(expr.left, ast.IntLiteral) and isinstance(
+            expr.right, ast.IntLiteral
+        ):
+            op = _FOLDABLE.get(expr.op)
+            if op is not None:
+                value = op(expr.left.value, expr.right.value)
+                if value is not None:
+                    return ast.IntLiteral(line=expr.line, value=value)
+        return expr
+    if isinstance(expr, ast.Unary):
+        expr.operand = fold_expr(expr.operand)
+        if isinstance(expr.operand, ast.IntLiteral):
+            if expr.op == "-":
+                return ast.IntLiteral(line=expr.line, value=-expr.operand.value)
+            if expr.op == "!":
+                return ast.IntLiteral(line=expr.line,
+                                      value=int(not expr.operand.value))
+            if expr.op == "~":
+                return ast.IntLiteral(line=expr.line, value=~expr.operand.value)
+        return expr
+    if isinstance(expr, ast.Assign):
+        expr.value = fold_expr(expr.value)
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.array = fold_expr(expr.array)
+        expr.index = fold_expr(expr.index)
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [fold_expr(a) for a in expr.args]
+        return expr
+    return expr
+
+
+def _fold_statements(statements: List[ast.Stmt]) -> List[ast.Stmt]:
+    result: List[ast.Stmt] = []
+    for statement in statements:
+        if isinstance(statement, ast.Declaration):
+            statement.init = fold_expr(statement.init)
+            result.append(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            statement.expr = fold_expr(statement.expr)
+            result.append(statement)
+        elif isinstance(statement, ast.Return):
+            statement.value = fold_expr(statement.value)
+            result.append(statement)
+        elif isinstance(statement, ast.If):
+            statement.cond = fold_expr(statement.cond)
+            statement.then = _fold_statements(statement.then)
+            statement.otherwise = _fold_statements(statement.otherwise)
+            if isinstance(statement.cond, ast.IntLiteral):
+                # Constant branch: keep only the live arm.  Declarations in
+                # the dead arm must survive (they own frame slots), so the
+                # arm is pruned only when it declares nothing.
+                live = statement.then if statement.cond.value else statement.otherwise
+                dead = statement.otherwise if statement.cond.value else statement.then
+                if not _declares_anything(dead):
+                    result.extend(live)
+                    continue
+            result.append(statement)
+        elif isinstance(statement, ast.While):
+            statement.cond = fold_expr(statement.cond)
+            statement.body = _fold_statements(statement.body)
+            result.append(statement)
+        elif isinstance(statement, ast.For):
+            if isinstance(statement.init, ast.ExprStmt):
+                statement.init.expr = fold_expr(statement.init.expr)
+            elif isinstance(statement.init, ast.Declaration):
+                statement.init.init = fold_expr(statement.init.init)
+            statement.cond = fold_expr(statement.cond)
+            statement.step = fold_expr(statement.step)
+            statement.body = _fold_statements(statement.body)
+            result.append(statement)
+        else:
+            result.append(statement)
+    return result
+
+
+def _declares_anything(statements: List[ast.Stmt]) -> bool:
+    for statement in statements:
+        if isinstance(statement, ast.Declaration):
+            return True
+        if isinstance(statement, ast.If):
+            if _declares_anything(statement.then) or _declares_anything(
+                statement.otherwise
+            ):
+                return True
+        if isinstance(statement, (ast.While,)) and _declares_anything(statement.body):
+            return True
+        if isinstance(statement, ast.For):
+            if isinstance(statement.init, ast.Declaration):
+                return True
+            if _declares_anything(statement.body):
+                return True
+    return False
+
+
+def fold_program(program: ast.Program) -> ast.Program:
+    """Fold constants across every function (in place; returns program)."""
+    for function in program.functions:
+        function.body = _fold_statements(function.body)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# peephole
+# ---------------------------------------------------------------------------
+
+
+def peephole(function: Function) -> Function:
+    """Apply flag-safe peephole rewrites; labels are re-indexed."""
+    body = list(function.body)
+    labels = dict(function.labels)
+    changed = True
+    while changed:
+        changed = False
+        new_body: List[Instruction] = []
+        remap: Dict[int, int] = {}
+        skip_next = False
+        for index, instruction in enumerate(body):
+            remap[index] = len(new_body)
+            if skip_next:
+                skip_next = False
+                continue
+            nxt = body[index + 1] if index + 1 < len(body) else None
+            # push R ; pop S  →  mov S, R   (or nothing when R == S)
+            if (
+                instruction.op == "push"
+                and nxt is not None
+                and nxt.op == "pop"
+                and isinstance(instruction.operands[0], Reg)
+                and isinstance(nxt.operands[0], Reg)
+                and not _label_between(labels, index + 1)
+            ):
+                src = instruction.operands[0]
+                dst = nxt.operands[0]
+                if src.name != dst.name:
+                    new_body.append(ins("mov", dst, src, note="peephole"))
+                skip_next = True
+                changed = True
+                continue
+            # mov R, R  →  (drop)
+            if (
+                instruction.op == "mov"
+                and len(instruction.operands) == 2
+                and isinstance(instruction.operands[0], Reg)
+                and isinstance(instruction.operands[1], Reg)
+                and instruction.operands[0] == instruction.operands[1]
+            ):
+                changed = True
+                continue
+            # jmp .L where .L is the very next position  →  (drop)
+            if (
+                instruction.op == "jmp"
+                and isinstance(instruction.operands[0], Label)
+                and labels.get(instruction.operands[0].name) == index + 1
+            ):
+                changed = True
+                continue
+            new_body.append(instruction)
+        remap[len(body)] = len(new_body)
+        labels = {name: remap[idx] for name, idx in labels.items()}
+        body = new_body
+    optimized = Function(function.name, body, labels)
+    optimized.protected = function.protected
+    optimized.has_buffer = function.has_buffer
+    optimized.frame_size = function.frame_size
+    optimized.meta = dict(function.meta)
+    return optimized
+
+
+def _label_between(labels: Dict[str, int], index: int) -> bool:
+    """True if any label lands exactly at ``index`` (a jump target sits
+    between the two instructions, so fusing them would change behaviour)."""
+    return any(position == index for position in labels.values())
+
+
+# ---------------------------------------------------------------------------
+# declaration reordering (the LLVM behaviour §V-E2 warns about)
+# ---------------------------------------------------------------------------
+
+
+def reorder_declarations(program: ast.Program, entropy: EntropySource) -> ast.Program:
+    """Shuffle each function's top-level array declarations in place.
+
+    Models optimizing compilers reordering stack slots.  Breaks any
+    scheme that assumes source order == stack order; P-SSP-LV survives
+    because its pass assigns layout from the (reordered) declaration list
+    itself, keeping every canary adjacent to its variable.
+    """
+    for function in program.functions:
+        indices = [
+            i for i, statement in enumerate(function.body)
+            if isinstance(statement, ast.Declaration) and statement.ctype.is_array
+        ]
+        declarations = [function.body[i] for i in indices]
+        entropy.shuffle(declarations)
+        for position, declaration in zip(indices, declarations):
+            function.body[position] = declaration
+    return program

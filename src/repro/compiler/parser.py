@@ -1,0 +1,283 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import CompileError
+from . import ast_nodes as ast
+from .lexer import Token, TokenStream, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+def parse(source: str) -> ast.Program:
+    """Parse a MiniC translation unit."""
+    return _Parser(TokenStream(tokenize(source))).parse_program()
+
+
+class _Parser:
+    def __init__(self, stream: TokenStream) -> None:
+        self.ts = stream
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.ts.at("eof"):
+            program.functions.append(self.parse_function())
+        return program
+
+    def _parse_base_type(self) -> ast.Type:
+        token = self.ts.peek()
+        if token.kind == "kw" and token.text in ("int", "char", "void"):
+            self.ts.next()
+            pointer = 0
+            while self.ts.accept("op", "*"):
+                pointer += 1
+            return ast.Type(token.text, pointer)
+        raise CompileError(f"expected a type, found {token.text!r}", token.line)
+
+    def parse_function(self) -> ast.FunctionDecl:
+        line = self.ts.peek().line
+        return_type = self._parse_base_type()
+        name = self.ts.expect("ident").text
+        self.ts.expect("op", "(")
+        params: List[ast.Param] = []
+        if not self.ts.at("op", ")"):
+            while True:
+                if self.ts.at("kw", "void") and self.ts.peek(1).text == ")":
+                    self.ts.next()
+                    break
+                ptype = self._parse_base_type()
+                pname = self.ts.expect("ident").text
+                params.append(ast.Param(pname, ptype))
+                if not self.ts.accept("op", ","):
+                    break
+        self.ts.expect("op", ")")
+        body = self.parse_block()
+        return ast.FunctionDecl(name, return_type, params, body, line)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.ts.expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self.ts.accept("op", "}"):
+            statements.append(self.parse_statement())
+        return statements
+
+    def _at_declaration(self) -> bool:
+        token = self.ts.peek()
+        return token.kind == "kw" and token.text in ("int", "char", "critical")
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.ts.peek()
+        if self._at_declaration():
+            statement = self.parse_declaration()
+            self.ts.expect("op", ";")
+            return statement
+        if token.kind == "kw":
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "return":
+                self.ts.next()
+                value: Optional[ast.Expr] = None
+                if not self.ts.at("op", ";"):
+                    value = self.parse_expression()
+                self.ts.expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if token.text == "break":
+                self.ts.next()
+                self.ts.expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self.ts.next()
+                self.ts.expect("op", ";")
+                return ast.Continue(line=token.line)
+        if self.ts.at("op", "{"):
+            # Anonymous block: flatten into an If(1) for simplicity.
+            block = self.parse_block()
+            return ast.If(line=token.line, cond=ast.IntLiteral(value=1), then=block)
+        expr = self.parse_expression()
+        self.ts.expect("op", ";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def parse_declaration(self) -> ast.Declaration:
+        token = self.ts.peek()
+        critical = bool(self.ts.accept("kw", "critical"))
+        ctype = self._parse_base_type()
+        name = self.ts.expect("ident").text
+        if self.ts.accept("op", "["):
+            length = self.ts.expect("int").value
+            self.ts.expect("op", "]")
+            ctype = ast.Type(ctype.base, ctype.pointer, length)
+        init: Optional[ast.Expr] = None
+        if self.ts.accept("op", "="):
+            init = self.parse_expression()
+        return ast.Declaration(
+            line=token.line, name=name, ctype=ctype, init=init, critical=critical
+        )
+
+    def parse_if(self) -> ast.If:
+        token = self.ts.expect("kw", "if")
+        self.ts.expect("op", "(")
+        cond = self.parse_expression()
+        self.ts.expect("op", ")")
+        then = self._statement_or_block()
+        otherwise: List[ast.Stmt] = []
+        if self.ts.accept("kw", "else"):
+            otherwise = self._statement_or_block()
+        return ast.If(line=token.line, cond=cond, then=then, otherwise=otherwise)
+
+    def parse_while(self) -> ast.While:
+        token = self.ts.expect("kw", "while")
+        self.ts.expect("op", "(")
+        cond = self.parse_expression()
+        self.ts.expect("op", ")")
+        return ast.While(line=token.line, cond=cond, body=self._statement_or_block())
+
+    def parse_for(self) -> ast.For:
+        token = self.ts.expect("kw", "for")
+        self.ts.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.ts.at("op", ";"):
+            if self._at_declaration():
+                init = self.parse_declaration()
+            else:
+                init = ast.ExprStmt(line=token.line, expr=self.parse_expression())
+        self.ts.expect("op", ";")
+        cond: Optional[ast.Expr] = None
+        if not self.ts.at("op", ";"):
+            cond = self.parse_expression()
+        self.ts.expect("op", ";")
+        step: Optional[ast.Expr] = None
+        if not self.ts.at("op", ")"):
+            step = self.parse_expression()
+        self.ts.expect("op", ")")
+        return ast.For(
+            line=token.line, init=init, cond=cond, step=step,
+            body=self._statement_or_block(),
+        )
+
+    def _statement_or_block(self) -> List[ast.Stmt]:
+        if self.ts.at("op", "{"):
+            return self.parse_block()
+        return [self.parse_statement()]
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_binary(0)
+        token = self.ts.peek()
+        if token.kind == "op" and token.text == "=":
+            self.ts.next()
+            value = self.parse_assignment()
+            return ast.Assign(line=token.line, target=left, value=value)
+        if token.kind == "op" and token.text in _COMPOUND_ASSIGN:
+            self.ts.next()
+            value = self.parse_assignment()
+            op = _COMPOUND_ASSIGN[token.text]
+            combined = ast.Binary(line=token.line, op=op, left=left, right=value)
+            return ast.Assign(line=token.line, target=left, value=combined)
+        return left
+
+    def parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.ts.peek()
+            if token.kind != "op":
+                return left
+            precedence = _PRECEDENCE.get(token.text, 0)
+            if precedence == 0 or precedence < min_precedence:
+                return left
+            self.ts.next()
+            right = self.parse_binary(precedence + 1)
+            left = ast.Binary(line=token.line, op=token.text, left=left, right=right)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.ts.peek()
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self.ts.next()
+            operand = self.parse_unary()
+            return ast.Unary(line=token.line, op=token.text, operand=operand)
+        if token.kind == "op" and token.text in ("++", "--"):
+            # Prefix increment: sugar for (x = x +/- 1).
+            self.ts.next()
+            target = self.parse_unary()
+            op = "+" if token.text == "++" else "-"
+            combined = ast.Binary(
+                line=token.line, op=op, left=target, right=ast.IntLiteral(value=1)
+            )
+            return ast.Assign(line=token.line, target=target, value=combined)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.ts.accept("op", "["):
+                index = self.parse_expression()
+                self.ts.expect("op", "]")
+                expr = ast.Index(line=self.ts.peek().line, array=expr, index=index)
+                continue
+            token = self.ts.peek()
+            if token.kind == "op" and token.text in ("++", "--"):
+                # Postfix on a statement-expression level behaves like
+                # prefix in MiniC (value not used in any workload).
+                self.ts.next()
+                op = "+" if token.text == "++" else "-"
+                combined = ast.Binary(
+                    line=token.line, op=op, left=expr, right=ast.IntLiteral(value=1)
+                )
+                expr = ast.Assign(line=token.line, target=expr, value=combined)
+                continue
+            return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.ts.next()
+        if token.kind == "int":
+            return ast.IntLiteral(line=token.line, value=token.value)
+        if token.kind == "char":
+            return ast.IntLiteral(line=token.line, value=token.value)
+        if token.kind == "string":
+            return ast.StringLiteral(line=token.line, value=token.text)
+        if token.kind == "ident":
+            if self.ts.accept("op", "("):
+                args: List[ast.Expr] = []
+                if not self.ts.at("op", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.ts.accept("op", ","):
+                            break
+                self.ts.expect("op", ")")
+                return ast.Call(line=token.line, name=token.text, args=args)
+            return ast.VarRef(line=token.line, name=token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self.parse_expression()
+            self.ts.expect("op", ")")
+            return expr
+        raise CompileError(f"unexpected token {token.text or token.kind!r}", token.line)

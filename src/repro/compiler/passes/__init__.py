@@ -1,0 +1,29 @@
+"""Protection passes (the LLVM-plugin analogues)."""
+
+from .base import FramePlan, FrameVar, NoProtection, ProtectionPass
+from .baselines import DCRPass, DynaGuardPass
+from .global_buffer import GlobalBufferPass
+from .manager import available_passes, get_pass, register_pass
+from .pssp import PSSPPass
+from .pssp_lv import PSSPLVPass
+from .pssp_nt import PSSPNTPass
+from .pssp_owf import PSSPOWFPass
+from .ssp import SSPPass
+
+__all__ = [
+    "DCRPass",
+    "DynaGuardPass",
+    "FramePlan",
+    "FrameVar",
+    "GlobalBufferPass",
+    "NoProtection",
+    "PSSPLVPass",
+    "PSSPNTPass",
+    "PSSPOWFPass",
+    "PSSPPass",
+    "ProtectionPass",
+    "SSPPass",
+    "available_passes",
+    "get_pass",
+    "register_pass",
+]

@@ -1,0 +1,74 @@
+"""The 64-bit global-buffer variant (paper §VII-C, Figure 6).
+
+Addresses the instrumentation path's entropy loss without growing the
+frame: the stack keeps a single 64-bit word ``C0`` (SSP-compatible
+layout), while the matching ``C1 = C0 ⊕ C`` half lives in a per-thread
+side buffer that fork clones along with the rest of the address space.
+The prologue pushes a fresh ``C0``/``C1`` pair per call; the epilogue pops
+the buffer and verifies ``C0 ⊕ C1 == C``.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Label, Mem, Reg, Sym
+from ...machine.tls import (
+    CANARY_OFFSET,
+    GLOBAL_BUFFER_BASE_OFFSET,
+    GLOBAL_BUFFER_COUNT_OFFSET,
+)
+from .base import FramePlan
+from .ssp import SSPPass
+
+
+class GlobalBufferPass(SSPPass):
+    """P-SSP with full-width canaries and a per-thread side buffer."""
+
+    name = "pssp-gb"
+
+    def emit_prologue(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        note = "pssp-gb-prologue"
+        slot = plan.canary_slots[0]
+        builder.emit("rdrand", Reg("rax"), note=note)
+        builder.emit("mov", Mem(base="rbp", disp=-slot), Reg("rax"), note=note)
+        builder.emit("mov", Reg("rcx"), Mem(seg="fs", disp=CANARY_OFFSET), note=note)
+        builder.emit("xor", Reg("rcx"), Reg("rax"), note=note)
+        builder.emit("mov", Reg("rdx"), Mem(seg="fs", disp=GLOBAL_BUFFER_BASE_OFFSET),
+                     note=note)
+        builder.emit("mov", Reg("r10"), Mem(seg="fs", disp=GLOBAL_BUFFER_COUNT_OFFSET),
+                     note=note)
+        builder.emit("mov", Mem(base="rdx", index="r10", scale=8), Reg("rcx"),
+                     note=note)
+        builder.emit("inc", Reg("r10"), note=note)
+        builder.emit("mov", Mem(seg="fs", disp=GLOBAL_BUFFER_COUNT_OFFSET), Reg("r10"),
+                     note=note)
+        builder.emit("xor", Reg("rax"), Reg("rax"), note=note)
+        builder.emit("xor", Reg("rcx"), Reg("rcx"), note=note)
+
+    def emit_epilogue_check(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        note = "pssp-gb-epilogue"
+        slot = plan.canary_slots[0]
+        ok = builder.fresh("gb_ok")
+        builder.emit("mov", Reg("r10"), Mem(seg="fs", disp=GLOBAL_BUFFER_COUNT_OFFSET),
+                     note=note)
+        builder.emit("dec", Reg("r10"), note=note)
+        builder.emit("mov", Mem(seg="fs", disp=GLOBAL_BUFFER_COUNT_OFFSET), Reg("r10"),
+                     note=note)
+        builder.emit("mov", Reg("rdx"), Mem(seg="fs", disp=GLOBAL_BUFFER_BASE_OFFSET),
+                     note=note)
+        builder.emit("mov", Reg("rdi"), Mem(base="rdx", index="r10", scale=8),
+                     note=note)
+        builder.emit("mov", Reg("rdx"), Mem(base="rbp", disp=-slot), note=note)
+        builder.emit("xor", Reg("rdx"), Reg("rdi"), note=note)
+        builder.emit("xor", Reg("rdx"), Mem(seg="fs", disp=CANARY_OFFSET), note=note)
+        builder.emit("je", Label(ok), note=note)
+        builder.emit("call", Sym("__stack_chk_fail"), note=note)
+        builder.label(ok)
+
+    def runtime(self):
+        from ...core.schemes import GlobalBufferRuntime
+
+        return GlobalBufferRuntime()

@@ -1,0 +1,58 @@
+"""Pass registry and manager (the analogue of LLVM's PassManager).
+
+The paper registers ``P-SSP-Pass`` (compiled into ``libP-SSP.so``) with
+LLVM's pass manager; here schemes register by name and the compiler
+front-end asks the manager for the configured protection pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ...errors import ProtectionError
+from .base import NoProtection, ProtectionPass
+from .baselines import DCRPass, DynaGuardPass
+from .global_buffer import GlobalBufferPass
+from .pssp import PSSPPass
+from .pssp_lv import PSSPLVPass
+from .pssp_nt import PSSPNTPass
+from .pssp_owf import PSSPOWFPass
+from .ssp import SSPPass
+
+_REGISTRY: Dict[str, Callable[[], ProtectionPass]] = {
+    "none": NoProtection,
+    "ssp": SSPPass,
+    "pssp": PSSPPass,
+    "pssp-nt": PSSPNTPass,
+    "pssp-lv": PSSPLVPass,
+    "pssp-owf": PSSPOWFPass,
+    "pssp-gb": GlobalBufferPass,
+    "dynaguard": DynaGuardPass,
+    "dcr": DCRPass,
+}
+
+
+def register_pass(name: str, factory: Callable[[], ProtectionPass]) -> None:
+    """Register a custom protection pass (plugin mechanism)."""
+    if name in _REGISTRY:
+        raise ProtectionError(f"pass {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_pass(name_or_pass: "str | ProtectionPass | None") -> ProtectionPass:
+    """Resolve a pass by name, instance, or ``None`` (→ no protection)."""
+    if name_or_pass is None:
+        return NoProtection()
+    if isinstance(name_or_pass, ProtectionPass):
+        return name_or_pass
+    try:
+        return _REGISTRY[name_or_pass]()
+    except KeyError:
+        raise ProtectionError(
+            f"unknown protection {name_or_pass!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_passes() -> "list[str]":
+    """Names of all registered protection passes."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,39 @@
+"""P-SSP-NT: per-call re-randomization, no TLS update (paper §IV-A, Code 7).
+
+Every prologue draws a fresh ``C0`` with ``rdrand`` and stores
+``C1 = C0 ⊕ C`` next to it; the epilogue is identical to P-SSP's.  No
+preload library, no fork wrapper, no TLS layout change — the easiest
+scheme to deploy, at the price of ~340 ``rdrand`` cycles per protected
+call (Table V).
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Mem, Reg
+from ...machine.tls import CANARY_OFFSET
+from .base import FramePlan
+from .pssp import PSSPPass
+
+
+class PSSPNTPass(PSSPPass):
+    """Polymorphic SSP without TLS update: per-frame canaries."""
+
+    name = "pssp-nt"
+
+    def emit_prologue(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        c0_slot, c1_slot = plan.canary_slots[0], plan.canary_slots[1]
+        builder.emit("rdrand", Reg("rax"), note="pssp-nt-prologue")
+        builder.emit("mov", Mem(base="rbp", disp=-c0_slot), Reg("rax"),
+                     note="pssp-nt-prologue")
+        builder.emit("mov", Reg("rcx"), Mem(seg="fs", disp=CANARY_OFFSET),
+                     note="pssp-nt-prologue")
+        builder.emit("xor", Reg("rcx"), Reg("rax"), note="pssp-nt-prologue")
+        builder.emit("mov", Mem(base="rbp", disp=-c1_slot), Reg("rcx"),
+                     note="pssp-nt-prologue")
+        builder.emit("xor", Reg("rax"), Reg("rax"), note="pssp-nt-prologue")
+        builder.emit("xor", Reg("rcx"), Reg("rcx"), note="pssp-nt-prologue")
+
+    def runtime(self):
+        return None  # the whole point: no runtime support needed

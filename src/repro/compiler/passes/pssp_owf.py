@@ -1,0 +1,80 @@
+"""P-SSP-OWF: exposure-resilient canaries via a one-way function
+(paper §IV-C / §V-E3, Algorithm 3, Code 8/9).
+
+The stack canary is ``AES-128(key = r12||r13, plaintext = rdtsc || ret)``:
+a randomized MAC of the return address keyed by a register-resident
+secret.  Leaking one frame's canary reveals nothing about the key, and a
+canary copied into another frame (different return address) or replayed
+later (different nonce) fails verification.
+
+Frame storage: the 64-bit nonce at ``[rbp-8]`` and the 128-bit ciphertext
+at ``[rbp-24 .. rbp-9]`` (24 canary bytes total).  The key registers
+``r12``/``r13`` are reserved as global register variables and initialised
+by the scheme's runtime at program start.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Imm, Label, Mem, Reg, Sym
+from .base import FramePlan, ProtectionPass
+
+
+class PSSPOWFPass(ProtectionPass):
+    """One-way-function canaries with AES-NI (simulated)."""
+
+    name = "pssp-owf"
+
+    def canary_bytes(self, decl) -> int:
+        return 24
+
+    def plan_frame(self, decl) -> FramePlan:
+        plan = super().plan_frame(decl)
+        if plan.protected:
+            plan.owf_nonce_offset = plan.canary_slots[0]      # [rbp-8]
+            plan.owf_cipher_offset = plan.canary_slots[2]     # [rbp-24]
+        return plan
+
+    def _emit_mac(self, builder, plan: FramePlan, note: str,
+                  nonce_reg: str = "rax") -> None:
+        """Shared tail: pack plaintext/key into xmm and encrypt.
+
+        Precondition: ``nonce_reg`` holds the 64-bit nonce.  The epilogue
+        uses ``r11`` so the function's return value in ``rax`` survives.
+        """
+        builder.emit("movq", Reg("xmm15"), Reg(nonce_reg), note=note)
+        builder.emit("movhps", Reg("xmm15"), Mem(base="rbp", disp=8), note=note)
+        builder.emit("movq", Reg("xmm1"), Reg("r13"), note=note)
+        builder.emit("punpckhdq", Reg("xmm1"), Reg("r12"), note=note)
+        builder.emit("call", Sym("AES_ENCRYPT_128"), note=note)
+
+    def emit_prologue(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        note = "pssp-owf-prologue"
+        builder.emit("rdtsc", note=note)
+        builder.emit("shl", Reg("rdx"), Imm(32), note=note)
+        builder.emit("or", Reg("rax"), Reg("rdx"), note=note)
+        builder.emit("mov", Mem(base="rbp", disp=-plan.owf_nonce_offset),
+                     Reg("rax"), note=note)
+        self._emit_mac(builder, plan, note)
+        builder.emit("movdqu", Mem(base="rbp", disp=-plan.owf_cipher_offset),
+                     Reg("xmm15"), note=note)
+
+    def emit_epilogue_check(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        note = "pssp-owf-epilogue"
+        ok = builder.fresh("owf_ok")
+        builder.emit("mov", Reg("r11"),
+                     Mem(base="rbp", disp=-plan.owf_nonce_offset), note=note)
+        self._emit_mac(builder, plan, note, nonce_reg="r11")
+        builder.emit("comiss", Reg("xmm15"),
+                     Mem(base="rbp", disp=-plan.owf_cipher_offset), note=note)
+        builder.emit("je", Label(ok), note=note)
+        builder.emit("call", Sym("__stack_chk_fail"), note=note)
+        builder.label(ok)
+
+    def runtime(self):
+        from ...core.schemes import OWFRuntime
+
+        return OWFRuntime()

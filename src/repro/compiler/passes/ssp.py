@@ -1,0 +1,43 @@
+"""Baseline SSP: the classic ``-fstack-protector`` pass.
+
+Emits exactly the paper's Code 1/2 shape: the prologue copies the TLS
+canary at ``%fs:0x28`` into ``[rbp-8]``; the epilogue xors the stack copy
+against the TLS canary and calls ``__stack_chk_fail`` on mismatch.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Label, Mem, Reg, Sym
+from ...machine.tls import CANARY_OFFSET
+from .base import FramePlan, ProtectionPass
+
+
+class SSPPass(ProtectionPass):
+    """Stack Smashing Protection (the paper's baseline and 'native'
+    default — Debian compiles with ``-fstack-protector-strong``)."""
+
+    name = "ssp"
+
+    def canary_bytes(self, decl) -> int:
+        return 8
+
+    def emit_prologue(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        builder.emit("mov", Reg("rax"), Mem(seg="fs", disp=CANARY_OFFSET),
+                     note="ssp-prologue")
+        builder.emit("mov", Mem(base="rbp", disp=-plan.canary_slots[0]), Reg("rax"),
+                     note="ssp-prologue")
+        builder.emit("xor", Reg("rax"), Reg("rax"), note="ssp-prologue")
+
+    def emit_epilogue_check(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        ok = builder.fresh("ssp_ok")
+        builder.emit("mov", Reg("rdx"), Mem(base="rbp", disp=-plan.canary_slots[0]),
+                     note="ssp-epilogue")
+        builder.emit("xor", Reg("rdx"), Mem(seg="fs", disp=CANARY_OFFSET),
+                     note="ssp-epilogue")
+        builder.emit("je", Label(ok), note="ssp-epilogue")
+        builder.emit("call", Sym("__stack_chk_fail"), note="ssp-epilogue")
+        builder.label(ok)

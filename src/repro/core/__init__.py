@@ -1,0 +1,45 @@
+"""The paper's contribution: P-SSP and its extensions, plus baselines.
+
+* :mod:`repro.core.rerandomize` — Algorithm 1 and its folded-32-bit form.
+* :mod:`repro.core.schemes` — runtime support (preload hooks, key setup).
+* :mod:`repro.core.baselines` — DynaGuard/DCR fork-time runtimes.
+* :mod:`repro.core.deploy` — scheme registry; build + deploy pipelines.
+"""
+
+from .baselines import DCRRuntime, DynaGuardRuntime
+from .deploy import SCHEMES, SchemeSpec, build, deploy, get_scheme, launch
+from .rerandomize import (
+    check_packed32,
+    check_pair,
+    fold32,
+    re_randomize,
+    re_randomize_packed32,
+)
+from .schemes import (
+    GlobalBufferRuntime,
+    OWFRuntime,
+    PSSPRuntime,
+    RAFRuntime,
+    SchemeRuntime,
+)
+
+__all__ = [
+    "DCRRuntime",
+    "DynaGuardRuntime",
+    "GlobalBufferRuntime",
+    "OWFRuntime",
+    "PSSPRuntime",
+    "RAFRuntime",
+    "SCHEMES",
+    "SchemeRuntime",
+    "SchemeSpec",
+    "build",
+    "check_packed32",
+    "check_pair",
+    "deploy",
+    "fold32",
+    "get_scheme",
+    "launch",
+    "re_randomize",
+    "re_randomize_packed32",
+]

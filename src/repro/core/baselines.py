@@ -1,0 +1,98 @@
+"""Fork-time runtimes for the Table I baselines (DynaGuard, DCR).
+
+Both schemes refresh the TLS canary on fork and must therefore repair
+every stale canary in inherited stack frames — the canary-consistency
+bookkeeping whose cost and complexity P-SSP is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from ..crypto.random import terminator_free_word
+from ..kernel.process import Process
+from .schemes import SchemeRuntime
+
+#: Canary-address-buffer capacity (entries) per thread.
+DYNAGUARD_CAB_ENTRIES = 4096
+
+#: Mask of the offset field DCR embeds in each canary's low bits.
+DCR_OFFSET_MASK = 0xFFFF
+
+
+class DynaGuardRuntime(SchemeRuntime):
+    """DynaGuard: canary address buffer + fork-time rewrite.
+
+    The compiler pass appends each protected frame's canary address to
+    the CAB; on fork we draw a new canary, rewrite every live CAB entry
+    that still holds the old value, and update the TLS canary — keeping
+    child frames consistent (Correctness: Yes, Table I).
+    """
+
+    def _allocate(self, context: Process) -> None:
+        base = context.brk
+        context.brk += 8 * DYNAGUARD_CAB_ENTRIES
+        tls = context.tls
+        tls.cab_base = base
+        tls.cab_index = 0
+
+    def on_fork(self, child: Process, parent: Process) -> None:
+        tls = child.tls
+        old = tls.canary
+        new = terminator_free_word(child.entropy)
+        base = tls.cab_base
+        for i in range(tls.cab_index):
+            slot_address = child.memory.read_word(base + 8 * i)
+            if child.memory.read_word(slot_address) == old:
+                child.memory.write_word(slot_address, new)
+        tls.canary = new
+
+    def install(self, process: Process) -> None:
+        self._allocate(process)
+        process.fork_hooks.append(self.on_fork)
+
+        def on_thread(thread: Process, parent: Process) -> None:
+            self._allocate(thread)
+
+        process.thread_hooks.append(on_thread)
+
+
+class DCRRuntime(SchemeRuntime):
+    """DCR: in-stack canary linked list threaded through embedded offsets.
+
+    The list head lives in the TLS; each canary's low 16 bits hold the
+    word-distance to the previous (higher-addressed) canary, terminated
+    by a delta of zero at an anchor word near the stack top.  On fork we
+    walk the list, re-randomizing the canary portion of every node while
+    preserving the embedded offsets, then update the TLS canary.
+    """
+
+    def _plant_anchor(self, context: Process) -> None:
+        stack = context.memory.segment("stack")
+        anchor = stack.end - 8
+        # Anchor node: delta 0 terminates every walk.
+        context.memory.write_word(anchor, context.tls.canary)
+        context.tls.dcr_head = anchor
+
+    def on_fork(self, child: Process, parent: Process) -> None:
+        tls = child.tls
+        old = tls.canary
+        new = terminator_free_word(child.entropy)
+        node = tls.dcr_head
+        seen = 0
+        while seen < DYNAGUARD_CAB_ENTRIES:  # cycle guard
+            word = child.memory.read_word(node)
+            delta = (word ^ old) & DCR_OFFSET_MASK
+            child.memory.write_word(node, new ^ delta)
+            if delta == 0:
+                break
+            node += delta * 8
+            seen += 1
+        tls.canary = new
+
+    def install(self, process: Process) -> None:
+        self._plant_anchor(process)
+        process.fork_hooks.append(self.on_fork)
+
+        def on_thread(thread: Process, parent: Process) -> None:
+            self._plant_anchor(thread)
+
+        process.thread_hooks.append(on_thread)

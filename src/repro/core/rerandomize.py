@@ -1,0 +1,62 @@
+"""Algorithm 1: canary re-randomization — the heart of P-SSP.
+
+    Re-Randomize(C):
+        1. draw a fresh uniform C0 with ||C0|| = ||C||
+        2. C1 = C0 ⊕ C
+        3. return (C0, C1)
+
+Properties (paper §III-B/C, Theorem 1):
+
+* ``C0 ⊕ C1 == C`` always — the epilogue check.
+* ``C0`` is independent of ``C``, so observing either half (or one half
+  from each of many forks) yields zero information about ``C``.
+* Each invocation's output pair is independent of every earlier pair.
+
+The 32-bit folded variant serves the binary-instrumentation path, which
+packs two 32-bit halves into the single canary word SSP already reserves
+(§V-C): the 64-bit TLS canary is folded to 32 bits and split there.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..crypto.random import EntropySource
+
+
+def re_randomize(entropy: EntropySource, canary: int, bits: int = 64) -> Tuple[int, int]:
+    """Split ``canary`` into a fresh random pair (Algorithm 1)."""
+    mask = (1 << bits) - 1
+    c0 = entropy.word(bits)
+    c1 = c0 ^ (canary & mask)
+    return c0, c1
+
+
+def fold32(canary: int) -> int:
+    """Fold a 64-bit canary to the 32-bit challenge the rewriter uses."""
+    return ((canary >> 32) ^ canary) & 0xFFFF_FFFF
+
+
+def re_randomize_packed32(entropy: EntropySource, canary: int) -> int:
+    """32-bit split packed into one 64-bit word: ``C0 | (C1 << 32)``.
+
+    This is the TLS shadow-canary format of instrumentation-based P-SSP:
+    the prologue's single ``mov`` copies the packed word onto the stack,
+    preserving SSP's frame layout, and the modified ``__stack_chk_fail``
+    verifies ``lo32 ⊕ hi32 == fold32(C)``.
+    """
+    c0, c1 = re_randomize(entropy, fold32(canary), bits=32)
+    return (c0 & 0xFFFF_FFFF) | ((c1 & 0xFFFF_FFFF) << 32)
+
+
+def check_pair(c0: int, c1: int, canary: int, bits: int = 64) -> bool:
+    """Epilogue predicate: does the stack pair bind to the TLS canary?"""
+    mask = (1 << bits) - 1
+    return (c0 ^ c1) & mask == canary & mask
+
+
+def check_packed32(packed: int, canary: int) -> bool:
+    """Binary-path predicate over the packed 2×32-bit stack word."""
+    lo = packed & 0xFFFF_FFFF
+    hi = (packed >> 32) & 0xFFFF_FFFF
+    return (lo ^ hi) == fold32(canary)

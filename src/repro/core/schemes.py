@@ -1,0 +1,105 @@
+"""Runtime support objects for the P-SSP family.
+
+A *runtime* is the part of a scheme that is not compiled into function
+prologues/epilogues: preload constructors, fork/thread hooks, register or
+TLS initialisation.  ``install(process)`` is invoked by the deployment
+layer right after ``spawn`` — the moment the real constructors would run.
+"""
+
+from __future__ import annotations
+
+from ..crypto.random import terminator_free_word
+from ..kernel.process import Process
+from ..libc.preload import PSSPPreload
+
+#: Side-buffer capacity (entries) for the global-buffer variant.
+GLOBAL_BUFFER_ENTRIES = 4096
+
+
+class SchemeRuntime:
+    """Base: no runtime support needed (SSP, P-SSP-NT, DCR-less builds)."""
+
+    def install(self, process: Process) -> None:
+        """Install hooks/initialisation on a freshly spawned process."""
+
+    def preload_binaries(self):
+        """Simulated functions to interpose at load time."""
+        return []
+
+
+class PSSPRuntime(SchemeRuntime):
+    """Adapter exposing :class:`PSSPPreload` through the runtime API."""
+
+    def __init__(self, mode: str = "compiler") -> None:
+        self.preload = PSSPPreload(mode)
+
+    def install(self, process: Process) -> None:
+        self.preload.install(process)
+
+    def preload_binaries(self):
+        return self.preload.preload_binaries()
+
+
+class RAFRuntime(SchemeRuntime):
+    """RAF-SSP (Marco-Gisbert & Ripoll): renew the TLS canary after fork.
+
+    Only the TLS copy is updated — inherited stack frames keep the old
+    canary, so a child that returns through them aborts spuriously.  This
+    is the correctness defect Table I records ("Correctness: No") and the
+    caveat in the paper's §II-B motivates.
+    """
+
+    def on_fork(self, child: Process, parent: Process) -> None:
+        child.tls.canary = terminator_free_word(child.entropy)
+
+    def install(self, process: Process) -> None:
+        process.fork_hooks.append(self.on_fork)
+
+
+class OWFRuntime(SchemeRuntime):
+    """P-SSP-OWF: park a random AES key in the reserved r12/r13 registers.
+
+    The key is drawn once per program start; fork clones registers so
+    children share it (their polymorphism comes from the rdtsc nonce),
+    and threads inherit it explicitly.
+    """
+
+    def _set_key(self, context: Process, lo: int, hi: int) -> None:
+        context.registers.write("r12", hi)
+        context.registers.write("r13", lo)
+
+    def install(self, process: Process) -> None:
+        lo = process.entropy.word(64)
+        hi = process.entropy.word(64)
+        self._set_key(process, lo, hi)
+
+        def on_thread(thread: Process, parent: Process) -> None:
+            thread.registers.write("r12", parent.registers.read("r12"))
+            thread.registers.write("r13", parent.registers.read("r13"))
+
+        process.thread_hooks.append(on_thread)
+
+
+class GlobalBufferRuntime(SchemeRuntime):
+    """§VII-C variant: allocate the per-thread side buffer for C1 halves.
+
+    Fork needs no hook — the buffer lives in ordinary process memory, so
+    the kernel's address-space clone duplicates it, exactly the behaviour
+    Figure 6 describes ("child processes clone their parent process'
+    global buffer").
+    """
+
+    def _allocate(self, context: Process) -> None:
+        base = context.brk
+        context.brk += 8 * GLOBAL_BUFFER_ENTRIES
+        tls = context.tls
+        tls.global_buffer_base = base
+        tls.global_buffer_count = 0
+
+    def install(self, process: Process) -> None:
+        self._allocate(process)
+
+        def on_thread(thread: Process, parent: Process) -> None:
+            self._allocate(thread)
+
+        process.thread_hooks.append(on_thread)

@@ -1,0 +1,89 @@
+"""The one-way function ``F`` used by P-SSP-OWF (paper Algorithm 3).
+
+The stack canary under P-SSP-OWF is
+
+    C_stack = F(ret || n, C_tls) = AES-128(key = C_tls, pt = n || ret)
+
+where ``n`` is a per-call nonce (the paper uses the time-stamp counter) and
+``ret`` is the saved return address.  The result is a *randomized message
+authentication code of the return address keyed by the TLS canary*: leaking
+one frame's canary reveals neither the key nor a valid canary for any other
+frame, and the nonce defeats byte-by-byte accumulation.
+
+The paper stores the full 128-bit ciphertext in the frame along with the
+64-bit nonce; our simulated frames do the same.  Helper functions here work
+on integers so the prologue/epilogue microcode and the pure-Python scheme
+objects share one implementation.
+"""
+
+from __future__ import annotations
+
+from .aes import encrypt_block
+
+WORD_MASK = (1 << 64) - 1
+
+
+def _key_bytes(tls_canary_lo: int, tls_canary_hi: int) -> bytes:
+    """Assemble the 128-bit AES key from the r12/r13 register pair.
+
+    The paper reserves ``r12``/``r13`` as *global register variables*
+    holding the key; we keep the same split so the compiler pass and the
+    scheme object agree byte-for-byte.
+    """
+    return (tls_canary_lo & WORD_MASK).to_bytes(8, "little") + (
+        (tls_canary_hi & WORD_MASK).to_bytes(8, "little")
+    )
+
+
+def owf_canary(
+    tls_canary_lo: int,
+    tls_canary_hi: int,
+    nonce: int,
+    return_address: int,
+) -> bytes:
+    """Compute the 16-byte P-SSP-OWF stack canary.
+
+    Parameters
+    ----------
+    tls_canary_lo, tls_canary_hi:
+        The two 64-bit key halves (registers ``r12``/``r13``).
+    nonce:
+        The 64-bit per-call nonce (``rdtsc`` value in the paper).
+    return_address:
+        The frame's saved return address (``0x8(%rbp)``).
+    """
+    plaintext = (nonce & WORD_MASK).to_bytes(8, "little") + (
+        (return_address & WORD_MASK).to_bytes(8, "little")
+    )
+    return encrypt_block(_key_bytes(tls_canary_lo, tls_canary_hi), plaintext)
+
+
+def owf_canary_words(
+    tls_canary_lo: int,
+    tls_canary_hi: int,
+    nonce: int,
+    return_address: int,
+) -> "tuple[int, int]":
+    """Like :func:`owf_canary` but returning (lo64, hi64) integer words.
+
+    The epilogue compares the recomputed pair against the two words saved
+    on the stack; working in words matches the simulated memory layout.
+    """
+    block = owf_canary(tls_canary_lo, tls_canary_hi, nonce, return_address)
+    return (
+        int.from_bytes(block[:8], "little"),
+        int.from_bytes(block[8:], "little"),
+    )
+
+
+def owf_check(
+    tls_canary_lo: int,
+    tls_canary_hi: int,
+    nonce: int,
+    return_address: int,
+    stored_lo: int,
+    stored_hi: int,
+) -> bool:
+    """Epilogue-side verification: recompute F and compare both words."""
+    lo, hi = owf_canary_words(tls_canary_lo, tls_canary_hi, nonce, return_address)
+    return lo == (stored_lo & WORD_MASK) and hi == (stored_hi & WORD_MASK)

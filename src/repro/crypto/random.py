@@ -1,0 +1,101 @@
+"""Deterministic entropy sources.
+
+Every random bit consumed anywhere in the simulator — TLS canary
+initialization, ``rdrand`` executions, attacker guesses, workload request
+mixes — flows through an :class:`EntropySource` so that experiments are
+reproducible given a seed.  The source is a thin wrapper around
+``random.Random`` with byte/word conveniences matching what the hardware
+devices and the protection schemes need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+#: Number of bits in a machine word on the simulated platform.
+WORD_BITS = 64
+WORD_BYTES = WORD_BITS // 8
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class EntropySource:
+    """A seedable stream of random integers and byte strings.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the underlying PRNG.  ``None`` draws a nondeterministic
+        seed from the host, which is only appropriate for interactive use.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+        #: Number of draw operations served (diagnostics/tests).
+        self.draws = 0
+
+    def word(self, bits: int = WORD_BITS) -> int:
+        """Return a uniformly random ``bits``-bit unsigned integer."""
+        self.draws += 1
+        return self._rng.getrandbits(bits)
+
+    def nonzero_word(self, bits: int = WORD_BITS) -> int:
+        """Return a uniformly random nonzero ``bits``-bit integer.
+
+        glibc avoids all-zero canaries (a zero canary survives ``strcpy``
+        termination overflows); schemes that mimic it use this helper.
+        """
+        value = self.word(bits)
+        while value == 0:
+            value = self.word(bits)
+        return value
+
+    def bytes(self, n: int) -> bytes:
+        """Return ``n`` uniformly random bytes."""
+        self.draws += 1
+        return self._rng.getrandbits(8 * n).to_bytes(n, "little") if n else b""
+
+    def byte(self) -> int:
+        """Return one uniformly random byte value (0..255)."""
+        return self.word(8)
+
+    def randrange(self, upper: int) -> int:
+        """Return a uniform integer in ``[0, upper)``."""
+        self.draws += 1
+        return self._rng.randrange(upper)
+
+    def choice(self, items: List):
+        """Return a uniformly chosen element of ``items``."""
+        self.draws += 1
+        return self._rng.choice(items)
+
+    def shuffle(self, items: List) -> None:
+        """Shuffle ``items`` in place."""
+        self.draws += 1
+        self._rng.shuffle(items)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Return a Gaussian sample (used by workload latency jitter)."""
+        self.draws += 1
+        return self._rng.gauss(mu, sigma)
+
+    def fork(self) -> "EntropySource":
+        """Derive an independent child source (used on process fork).
+
+        The child is seeded from this stream so forked processes observe
+        different — but still reproducible — entropy.
+        """
+        return EntropySource(self.word(64))
+
+
+def terminator_free_word(source: EntropySource, bits: int = WORD_BITS) -> int:
+    """Draw a canary whose low byte is the NUL terminator, glibc-style.
+
+    glibc's default canary keeps byte 0 as ``0x00`` so that string
+    functions cannot leak it or write past it silently.  SSP in our
+    simulator follows the same convention; P-SSP draws fully random words
+    because the XOR-split makes termination tricks irrelevant.
+    """
+    word = source.word(bits)
+    return word & ~0xFF

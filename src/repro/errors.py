@@ -1,0 +1,124 @@
+"""Exception hierarchy for the P-SSP reproduction.
+
+Faults raised while simulated code executes (``MachineFault`` subclasses)
+model hardware/OS level failures: the kernel converts them into process
+crashes rather than letting them propagate to the host test harness.
+Everything else (``ReproError`` subclasses that are not faults) signals
+misuse of the library itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Machine-level faults: these correspond to signals a real process would get.
+# ---------------------------------------------------------------------------
+
+
+class MachineFault(ReproError):
+    """A fault raised by the simulated CPU/memory while executing code.
+
+    The kernel catches these and turns them into a crashed process with the
+    corresponding exit reason, mirroring SIGSEGV/SIGABRT delivery.
+    """
+
+    #: Symbolic signal name used in crash reports.
+    signal = "SIGERR"
+
+
+class SegmentationFault(MachineFault):
+    """Access to an unmapped address or a protection violation."""
+
+    signal = "SIGSEGV"
+
+    def __init__(self, address: int, access: str = "read") -> None:
+        super().__init__(f"segmentation fault: {access} at {address:#x}")
+        self.address = address
+        self.access = access
+
+
+class StackSmashDetected(MachineFault):
+    """``__stack_chk_fail`` fired: a canary mismatch was detected.
+
+    This is the *defence succeeding*; the process aborts (SIGABRT) exactly
+    like glibc's ``__fortify_fail`` path.
+    """
+
+    signal = "SIGABRT"
+
+    def __init__(self, function: str = "?", detail: str = "") -> None:
+        message = f"*** stack smashing detected ***: {function} terminated"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.function = function
+        self.detail = detail
+
+
+class IllegalInstruction(MachineFault):
+    """The CPU fetched an opcode it cannot execute."""
+
+    signal = "SIGILL"
+
+
+class ProgramAbort(MachineFault):
+    """``abort()`` was called by simulated code."""
+
+    signal = "SIGABRT"
+
+
+class InvalidJump(MachineFault):
+    """Control transferred to a label/address that does not exist."""
+
+    signal = "SIGSEGV"
+
+
+class CpuLimitExceeded(MachineFault):
+    """The per-run instruction budget was exhausted (runaway program)."""
+
+    signal = "SIGXCPU"
+
+
+class DivisionFault(MachineFault):
+    """Integer division by zero inside simulated code."""
+
+    signal = "SIGFPE"
+
+
+# ---------------------------------------------------------------------------
+# Library-usage errors (not process crashes).
+# ---------------------------------------------------------------------------
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly text or operands."""
+
+
+class CompileError(ReproError):
+    """The mini-C frontend rejected a source program."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class LinkError(ReproError):
+    """Symbol resolution failed while building a binary image."""
+
+
+class RewriteError(ReproError):
+    """The static binary rewriter could not instrument a binary."""
+
+
+class KernelError(ReproError):
+    """Invalid syscall usage (bad pid, double wait, ...)."""
+
+
+class ProtectionError(ReproError):
+    """A protection scheme was configured or deployed inconsistently."""

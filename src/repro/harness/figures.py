@@ -1,0 +1,293 @@
+"""Regenerators for every figure in the paper.
+
+Figures 1/2/6 are structural (stack/buffer layouts): we regenerate them
+by *executing* protected code and snapshotting live frames, then
+rendering the same diagrams as data + ASCII art.  Figures 3/4 are code
+listings of the modified ``__stack_chk_fail``: we disassemble the actual
+rewriter output.  Figure 5 is the per-program overhead chart: we measure
+every SPEC-like program under the compiler and instrumentation builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.deploy import build, deploy
+from ..kernel.kernel import Kernel
+from ..rewriter.rewrite import instrument_binary
+from ..rewriter.stack_chk import build_stack_chk_function
+from ..workloads.spec import SPEC_PROGRAMS, program
+from .metrics import overhead_percent, run_program
+
+# ---------------------------------------------------------------------------
+# Figures 1 & 2 — stack layouts
+# ---------------------------------------------------------------------------
+
+_LAYOUT_SOURCE = """
+int inner() {
+    char data[16];
+    data[0] = 2;
+    return data[0];
+}
+int outer() {
+    char buf[16];
+    buf[0] = 1;
+    return inner() + buf[0];
+}
+int main() { return outer(); }
+"""
+
+
+@dataclass
+class FrameSnapshot:
+    """One live frame captured mid-execution."""
+
+    function: str
+    rbp: int
+    #: (rbp-relative offset, value) for each canary word, top-down.
+    canary_words: List[Tuple[int, int]]
+
+
+@dataclass
+class LayoutFigure:
+    scheme: str
+    frames: List[FrameSnapshot]
+
+    def render(self) -> str:
+        lines = [f"stack layout under {self.scheme}:"]
+        for frame in self.frames:
+            lines.append(f"  {frame.function} frame (rbp={frame.rbp:#x})")
+            lines.append(f"    [rbp+8]  return address")
+            lines.append(f"    [rbp+0]  saved rbp")
+            for offset, value in frame.canary_words:
+                lines.append(f"    [rbp-{offset:<3d}] canary word = {value:#018x}")
+            lines.append(f"    [lower]  local variables / buffers")
+        return "\n".join(lines)
+
+
+def _capture_layout(scheme: str, *, seed: int = 77) -> LayoutFigure:
+    kernel = Kernel(seed)
+    binary = build(_LAYOUT_SOURCE, scheme, name="layout")
+    process, _ = deploy(kernel, binary, scheme)
+    captured: Dict[str, FrameSnapshot] = {}
+
+    def trace(name: str, index: int, instruction) -> None:
+        if name not in ("outer", "inner"):
+            return
+        if instruction.op in ("leave", "ret", "push", "mov", "sub"):
+            # Skip frame setup/teardown instants where rbp belongs to the
+            # caller; sample only once the body is executing.
+            if instruction.note in ("frame", "spill"):
+                return
+        function = process.image.function(name)
+        slots = function.meta.get("canary_slots", [])
+        if not slots:
+            return
+        rbp = process.registers.read("rbp")
+        try:
+            words = [(s, process.memory.read_word(rbp - s)) for s in slots]
+        except Exception:
+            return
+        captured[name] = FrameSnapshot(name, rbp, words)
+
+    process.cpu.trace = trace
+    process.run()
+    process.cpu.trace = None
+    frames = [captured[n] for n in ("outer", "inner") if n in captured]
+    return LayoutFigure(scheme, frames)
+
+
+def figure1(*, seed: int = 77) -> Dict[str, LayoutFigure]:
+    """Figure 1: SSP's single canary word vs P-SSP's (C0, C1) pair."""
+    return {scheme: _capture_layout(scheme, seed=seed) for scheme in ("ssp", "pssp")}
+
+
+def figure2(*, seed: int = 78) -> Dict[str, LayoutFigure]:
+    """Figure 2: P-SSP shares one stack canary across frames; P-SSP-NT
+    gives every frame its own."""
+    return {
+        scheme: _capture_layout(scheme, seed=seed)
+        for scheme in ("pssp", "pssp-nt")
+    }
+
+
+def frames_share_canary(figure: LayoutFigure) -> bool:
+    """True when all captured frames carry identical canary words."""
+    sets = [tuple(v for _, v in frame.canary_words) for frame in figure.frames]
+    return len(set(sets)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 & 4 — the modified __stack_chk_fail and the rewritten epilogue
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StackChkFigure:
+    rewritten_epilogue: str
+    stack_chk_listing: str
+
+    def render(self) -> str:
+        return (
+            "rewritten function epilogue (Code 6):\n"
+            + self.rewritten_epilogue
+            + "\n\nmodified __stack_chk_fail (Figures 3/4):\n"
+            + self.stack_chk_listing
+        )
+
+
+def figure3(*, source: Optional[str] = None) -> StackChkFigure:
+    """Disassemble the rewriter's actual output."""
+    from ..compiler.codegen import compile_source
+
+    victim = source or _LAYOUT_SOURCE
+    native = compile_source(victim, protection="ssp", name="fig3")
+    rewritten = instrument_binary(native)
+    outer = rewritten.function("outer")
+    start = max(0, len(outer.body) - 12)
+    epilogue_lines = [str(i) for i in outer.body[start:]]
+    return StackChkFigure(
+        rewritten_epilogue="\n".join(f"    {line}" for line in epilogue_lines),
+        stack_chk_listing=build_stack_chk_function().disassemble(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — per-program runtime overhead
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure5:
+    #: program → (compiler overhead %, instrumentation overhead %)
+    overheads: Dict[str, Tuple[float, float]]
+    compiler_average: float
+    instrumentation_average: float
+    paper_averages = (0.24, 1.01)
+
+    def render(self) -> str:
+        lines = [f"{'program':12s} {'compiler%':>10s} {'instr%':>8s}"]
+        for name, (compiler, instr) in self.overheads.items():
+            lines.append(f"{name:12s} {compiler:10.3f} {instr:8.3f}")
+        lines.append(
+            f"{'AVERAGE':12s} {self.compiler_average:10.3f} "
+            f"{self.instrumentation_average:8.3f}"
+        )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV series for external plotting (program, compiler%, instr%)."""
+        lines = ["program,compiler_overhead_pct,instrumentation_overhead_pct"]
+        for name, (compiler, instr) in self.overheads.items():
+            lines.append(f"{name},{compiler:.6f},{instr:.6f}")
+        lines.append(
+            f"AVERAGE,{self.compiler_average:.6f},"
+            f"{self.instrumentation_average:.6f}"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def figure5(
+    *,
+    seed: int = 5,
+    spec_names: Optional[Sequence[str]] = None,
+) -> Figure5:
+    """Regenerate Figure 5 over the (sub)suite.
+
+    Baseline is the default build (SSP, as on the paper's Debian testbed);
+    candidates are compiler-based P-SSP and instrumentation-based P-SSP.
+    """
+    programs = (
+        SPEC_PROGRAMS
+        if spec_names is None
+        else [program(name) for name in spec_names]
+    )
+    overheads: Dict[str, Tuple[float, float]] = {}
+    for spec_program in programs:
+        base = run_program(spec_program.source, "ssp", name=spec_program.name,
+                           seed=seed)
+        compiled = run_program(spec_program.source, "pssp",
+                               name=spec_program.name, seed=seed)
+        instrumented = run_program(spec_program.source, "pssp-binary",
+                                   name=spec_program.name, seed=seed)
+        overheads[spec_program.name] = (
+            overhead_percent(base, compiled),
+            overhead_percent(base, instrumented),
+        )
+    return Figure5(
+        overheads=overheads,
+        compiler_average=mean(v[0] for v in overheads.values()),
+        instrumentation_average=mean(v[1] for v in overheads.values()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — the global-buffer variant
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure6:
+    scheme: str
+    #: Buffer entries observed at maximum call depth: (index, C1 value).
+    buffer_entries: List[Tuple[int, int]]
+    #: Stack canaries (C0 values) of the live frames, outermost first.
+    stack_halves: List[int]
+    tls_canary: int
+
+    def consistent(self) -> bool:
+        """Every (C0, C1) pair must XOR to the TLS canary."""
+        if len(self.buffer_entries) < len(self.stack_halves):
+            return False
+        pairs = zip(self.stack_halves, (v for _, v in self.buffer_entries))
+        return all((c0 ^ c1) == self.tls_canary for c0, c1 in pairs)
+
+    def render(self) -> str:
+        lines = [f"global-buffer variant ({self.scheme}):",
+                 f"  TLS canary C = {self.tls_canary:#018x}"]
+        for (index, c1), c0 in zip(self.buffer_entries, self.stack_halves):
+            lines.append(
+                f"  frame {index}: stack C0={c0:#018x}  buffer C1={c1:#018x}"
+                f"  C0^C1==C: {(c0 ^ c1) == self.tls_canary}"
+            )
+        return "\n".join(lines)
+
+
+def figure6(*, seed: int = 79) -> Figure6:
+    """Run nested protected calls under pssp-gb and dump the side buffer."""
+    kernel = Kernel(seed)
+    binary = build(_LAYOUT_SOURCE, "pssp-gb", name="fig6")
+    process, _ = deploy(kernel, binary, "pssp-gb")
+    snapshot: Dict[str, object] = {}
+
+    def trace(name: str, index: int, instruction) -> None:
+        # Snapshot at maximum depth: while `inner` executes, both frames
+        # are live and the buffer holds two entries.
+        if name != "inner":
+            return
+        tls = process.tls
+        count = tls.global_buffer_count
+        if count < 2 or "entries" in snapshot:
+            return
+        base = tls.global_buffer_base
+        snapshot["entries"] = [
+            (i, process.memory.read_word(base + 8 * i)) for i in range(count)
+        ]
+        inner_rbp = process.registers.read("rbp")
+        outer_rbp = process.memory.read_word(inner_rbp)
+        snapshot["stack"] = [
+            process.memory.read_word(outer_rbp - 8),
+            process.memory.read_word(inner_rbp - 8),
+        ]
+
+    process.cpu.trace = trace
+    process.run()
+    process.cpu.trace = None
+    return Figure6(
+        scheme="pssp-gb",
+        buffer_entries=snapshot.get("entries", []),
+        stack_halves=snapshot.get("stack", []),
+        tls_canary=process.tls.canary,
+    )

@@ -1,0 +1,197 @@
+"""The scheme-properties matrix, measured live.
+
+``docs/schemes.md`` ends with a properties table; this module *measures*
+it rather than asserting it: every cell comes from running the
+corresponding experiment against the deployed scheme —
+
+* **BROP prevented** — a byte-by-byte campaign fails;
+* **fork-correct** — the child-returns-through-inherited-frame probe;
+* **leak-replay resists** — the §IV-C disclosure scenario is detected;
+* **unwinding-safe** — a longjmp over protected frames neither breaks
+  later canary checks nor leaks bookkeeping;
+* **per-call cycles** — the Table V micro-delta.
+
+This is the paper's Table I generalised to every scheme in the registry,
+including the extensions the paper evaluates only qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..attacks.byte_by_byte import byte_by_byte_attack
+from ..attacks.correctness import probe_fork_correctness
+from ..attacks.leak import leak_and_replay
+from ..attacks.oracle import ForkingServer
+from ..attacks.payloads import frame_map
+from ..core.deploy import build, deploy
+from ..kernel.kernel import Kernel
+
+_ATTACK_VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+_LEAK_VICTIM = """
+int win() {
+    puts("PWNED");
+    return 1;
+}
+int leaky(int n) {
+    char buf[32];
+    buf[0] = 1;
+    return buf[0];
+}
+int target(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+_UNWIND_VICTIM = """
+int helper(int env) {
+    char pad[16];
+    pad[0] = 1;
+    longjmp(env, 7);
+    return 0;
+}
+int work(int env) {
+    char buf[16];
+    buf[0] = 2;
+    return helper(env);
+}
+int after(int x) {
+    char buf2[16];
+    buf2[0] = x;
+    return buf2[0];
+}
+int main() {
+    int env[8];
+    int r;
+    r = setjmp(env);
+    if (r == 0) {
+        work(env);
+        return 99;
+    }
+    return after(r);
+}
+"""
+
+_MICRO = """
+int victim() {
+    char buf[16];
+    buf[0] = 1;
+    return buf[0];
+}
+int main() { return victim(); }
+"""
+
+
+@dataclass
+class SchemeProperties:
+    """One measured row."""
+
+    scheme: str
+    brop_prevented: bool
+    fork_correct: bool
+    leak_resilient: bool
+    unwinding_safe: bool
+    per_call_cycles: float
+
+
+@dataclass
+class PropertiesMatrix:
+    rows: List[SchemeProperties]
+
+    def row(self, scheme: str) -> SchemeProperties:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(scheme)
+
+    def render(self) -> str:
+        lines = [
+            f"{'scheme':14s} {'BROP':>5s} {'fork-ok':>8s} "
+            f"{'leak-res':>9s} {'unwind-ok':>10s} {'cy/call':>8s}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.scheme:14s} {_tick(row.brop_prevented):>5s} "
+                f"{_tick(row.fork_correct):>8s} "
+                f"{_tick(row.leak_resilient):>9s} "
+                f"{_tick(row.unwinding_safe):>10s} "
+                f"{row.per_call_cycles:8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def _tick(value: bool) -> str:
+    return "yes" if value else "NO"
+
+
+def _brop_prevented(scheme: str, seed: int, max_trials: int) -> bool:
+    kernel = Kernel(seed)
+    binary = build(_ATTACK_VICTIM, scheme, name="victim")
+    parent, _ = deploy(kernel, binary, scheme)
+    server = ForkingServer(kernel, parent)
+    frame = frame_map(binary, "handler")
+    return not byte_by_byte_attack(server, frame, max_trials=max_trials).success
+
+
+def _leak_resilient(scheme: str, seed: int) -> bool:
+    kernel = Kernel(seed)
+    binary = build(_LEAK_VICTIM, scheme, name="victim")
+    process, _ = deploy(kernel, binary, scheme)
+    report = leak_and_replay(kernel, process, binary)
+    return report.detected and not report.hijacked
+
+
+def _unwinding_safe(scheme: str, seed: int) -> bool:
+    kernel = Kernel(seed)
+    binary = build(_UNWIND_VICTIM, scheme, name="victim")
+    process, _ = deploy(kernel, binary, scheme)
+    result = process.run()
+    return result.state == "exited" and result.exit_status == 7
+
+
+def _per_call_cycles(scheme: str, seed: int) -> float:
+    from .metrics import run_program
+
+    protected = run_program(_MICRO, scheme, name="micro", seed=seed)
+    native = run_program(_MICRO, "none", name="micro", seed=seed)
+    return protected.cycles - native.cycles
+
+
+def properties_matrix(
+    schemes: Optional[List[str]] = None,
+    *,
+    seed: int = 2024,
+    attack_trials: int = 3000,
+) -> PropertiesMatrix:
+    """Measure the full matrix (defaults to the paper's schemes + extensions)."""
+    if schemes is None:
+        schemes = [
+            "ssp", "raf-ssp", "dynaguard", "dcr",
+            "pssp", "pssp-binary", "pssp-nt", "pssp-lv",
+            "pssp-owf", "pssp-gb",
+        ]
+    rows = []
+    for scheme in schemes:
+        rows.append(
+            SchemeProperties(
+                scheme=scheme,
+                brop_prevented=_brop_prevented(scheme, seed, attack_trials),
+                fork_correct=probe_fork_correctness(scheme, seed=seed + 1).fork_correct,
+                leak_resilient=_leak_resilient(scheme, seed + 2),
+                unwinding_safe=_unwinding_safe(scheme, seed + 3),
+                per_call_cycles=_per_call_cycles(scheme, seed + 4),
+            )
+        )
+    return PropertiesMatrix(rows)

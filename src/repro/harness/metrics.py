@@ -1,0 +1,70 @@
+"""Measurement primitives shared by the table/figure regenerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..binfmt.elf import Binary
+from ..core.deploy import build, deploy
+from ..kernel.kernel import Kernel
+
+#: Simulated clock for cycle→time conversions (i7-4770K-class, 3.5 GHz).
+CLOCK_HZ = 3.5e9
+
+
+@dataclass
+class RunMetrics:
+    """One program execution under one scheme."""
+
+    program: str
+    scheme: str
+    cycles: float
+    instructions: int
+    exit_status: int
+    crashed: bool
+    text_bytes: int
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / CLOCK_HZ
+
+
+def run_program(
+    source: str,
+    scheme: str,
+    *,
+    name: str = "bench",
+    seed: int = 97,
+    entry: Optional[str] = None,
+    cycle_limit: int = 50_000_000,
+) -> RunMetrics:
+    """Build + run one program, returning its metrics."""
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name=name)
+    process, _ = deploy(kernel, binary, scheme, cycle_limit=cycle_limit)
+    result = process.run(entry)
+    return RunMetrics(
+        program=name,
+        scheme=scheme,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        exit_status=result.exit_status,
+        crashed=result.crashed,
+        text_bytes=binary.text_size(),
+    )
+
+
+def overhead_percent(baseline: RunMetrics, candidate: RunMetrics) -> float:
+    """Relative slowdown of ``candidate`` vs ``baseline`` in percent."""
+    if baseline.cycles == 0:
+        return 0.0
+    return (candidate.cycles - baseline.cycles) / baseline.cycles * 100.0
+
+
+def expansion_percent(native: Binary, protected: Binary) -> float:
+    """Code-size growth in percent (Table II's metric)."""
+    base = native.total_size()
+    if base == 0:
+        return 0.0
+    return (protected.total_size() - base) / base * 100.0

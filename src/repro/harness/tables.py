@@ -1,0 +1,539 @@
+"""Regenerators for every table in the paper's evaluation.
+
+Each ``tableN`` function *measures* its numbers by building, deploying,
+attacking and timing the simulated systems — nothing is hard-coded — and
+returns a structured result with a ``render()`` ASCII view.  Paper
+reference values are attached for side-by-side comparison in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..attacks.byte_by_byte import byte_by_byte_attack
+from ..attacks.correctness import probe_fork_correctness
+from ..attacks.oracle import ForkingServer
+from ..attacks.payloads import frame_map
+from ..binfmt.elf import STATIC, merge_binaries
+from ..compiler.codegen import compile_source
+from ..core.deploy import build, deploy
+from ..kernel.kernel import Kernel
+from ..libc.glibc_sim import build_static_glibc
+from ..rewriter.dyninst import instrument_static_binary
+from ..rewriter.rewrite import instrument_binary
+from ..workloads.database import DATABASES, DatabaseStats
+from ..workloads.spec import SPEC_PROGRAMS, program
+from ..workloads.webserver import WEB_SERVERS, ServerStats
+from .metrics import expansion_percent, overhead_percent, run_program
+
+#: Victim used by attack-driven columns: a classic network echo handler.
+ATTACK_VICTIM_SOURCE = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+#: Default SPEC subset for overhead columns (keeps wall-clock modest);
+#: pass ``spec_names=None`` for the full suite.
+DEFAULT_SPEC_SUBSET = ("perlbench", "gcc", "mcf", "sjeng", "h264ref", "milc")
+
+
+def _spec_sources(spec_names: Optional[Sequence[str]]) -> List[Tuple[str, str]]:
+    if spec_names is None:
+        return [(p.name, p.source) for p in SPEC_PROGRAMS]
+    return [(name, program(name).source) for name in spec_names]
+
+
+def _mean_overhead(
+    scheme: str,
+    baseline: str,
+    spec_names: Optional[Sequence[str]],
+    seed: int,
+) -> float:
+    """Mean cycle overhead of ``scheme`` over ``baseline`` on the suite."""
+    overheads = []
+    for name, source in _spec_sources(spec_names):
+        base = run_program(source, baseline, name=name, seed=seed)
+        cand = run_program(source, scheme, name=name, seed=seed)
+        overheads.append(overhead_percent(base, cand))
+    return mean(overheads)
+
+
+# ---------------------------------------------------------------------------
+# Table I — defence-tool comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Row:
+    scheme: str
+    brop_prevented: Optional[bool]
+    fork_correct: bool
+    compiler_overhead: Optional[float]
+    instrumentation_overhead: Optional[float]
+    attack_trials: int = 0
+
+
+@dataclass
+class Table1:
+    rows: List[Table1Row]
+    #: Paper's reference values for the overhead columns.
+    paper = {
+        "ssp": (False, True, None, None),
+        "raf-ssp": (True, False, 0.0, 0.0),
+        "dynaguard": (True, True, 1.5, 156.0),
+        "dcr": (True, True, None, 24.0),
+        "pssp": (True, True, 0.24, 1.01),
+    }
+
+    def row(self, scheme: str) -> Table1Row:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(scheme)
+
+    def render(self) -> str:
+        lines = [
+            f"{'scheme':12s} {'BROP prev.':>10s} {'correct':>8s} "
+            f"{'compiler%':>10s} {'instr%':>8s} {'trials':>7s}"
+        ]
+        for row in self.rows:
+            compiler = (
+                f"{row.compiler_overhead:.2f}"
+                if row.compiler_overhead is not None
+                else "-"
+            )
+            instr = (
+                f"{row.instrumentation_overhead:.2f}"
+                if row.instrumentation_overhead is not None
+                else "-"
+            )
+            brop = "-" if row.brop_prevented is None else str(row.brop_prevented)
+            lines.append(
+                f"{row.scheme:12s} {brop:>10s} {str(row.fork_correct):>8s} "
+                f"{compiler:>10s} {instr:>8s} {row.attack_trials:>7d}"
+            )
+        return "\n".join(lines)
+
+
+def _brop_prevented(scheme: str, seed: int, max_trials: int) -> Tuple[bool, int]:
+    """Run the byte-by-byte attack; prevention == attack failure."""
+    kernel = Kernel(seed)
+    binary = build(ATTACK_VICTIM_SOURCE, scheme, name="victim")
+    parent, _ = deploy(kernel, binary, scheme)
+    server = ForkingServer(kernel, parent)
+    frame = frame_map(binary, "handler")
+    report = byte_by_byte_attack(server, frame, max_trials=max_trials)
+    return (not report.success), report.trials
+
+
+def table1(
+    *,
+    seed: int = 1806,
+    spec_names: Optional[Sequence[str]] = DEFAULT_SPEC_SUBSET,
+    attack_trials: int = 4000,
+) -> Table1:
+    """Regenerate Table I: security, correctness, and overhead columns."""
+    rows: List[Table1Row] = []
+    # (scheme, compiler-overhead scheme or None, instrumentation scheme or None)
+    layout = [
+        ("ssp", None, None),
+        ("raf-ssp", "raf-ssp", "raf-ssp"),
+        ("dynaguard", "dynaguard", "dynaguard-dbi"),
+        ("dcr", None, "dcr"),
+        ("pssp", "pssp", "pssp-binary"),
+    ]
+    for scheme, compiler_scheme, instr_scheme in layout:
+        prevented, trials = _brop_prevented(scheme, seed, attack_trials)
+        if scheme == "ssp":
+            prevented = False  # the attack *succeeds*: nothing to prevent
+        correct = probe_fork_correctness(scheme, seed=seed + 1).fork_correct
+        compiler_overhead = (
+            _mean_overhead(compiler_scheme, "ssp", spec_names, seed)
+            if compiler_scheme
+            else None
+        )
+        instrumentation_overhead = (
+            _mean_overhead(instr_scheme, "ssp", spec_names, seed)
+            if instr_scheme
+            else None
+        )
+        rows.append(
+            Table1Row(
+                scheme,
+                prevented,
+                correct,
+                compiler_overhead,
+                instrumentation_overhead,
+                trials,
+            )
+        )
+    return Table1(rows)
+
+
+# ---------------------------------------------------------------------------
+# Table II — code expansion
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table2:
+    compiler_expansion: float
+    instrumentation_dynamic_expansion: float
+    instrumentation_static_expansion: float
+    per_program: Dict[str, float]
+    #: Absolute bytes the compiler path adds per protected function and
+    #: the static path adds per binary — the scale-free metric (our MiniC
+    #: functions are ~50–200 bytes vs SPEC's kilobytes, so percentages
+    #: inflate by exactly that size ratio; the absolute deltas match the
+    #: real tool's).
+    compiler_bytes_per_function: float = 0.0
+    static_bytes_added: float = 0.0
+    paper = (0.27, 0.0, 2.78)
+
+    def render(self) -> str:
+        return (
+            f"{'Compilation':>14s} {'Instr (dynamic)':>16s} {'Instr (static)':>15s}\n"
+            f"{self.compiler_expansion:13.2f}% "
+            f"{self.instrumentation_dynamic_expansion:15.2f}% "
+            f"{self.instrumentation_static_expansion:14.2f}%\n"
+            f"(+{self.compiler_bytes_per_function:.0f} B per protected function; "
+            f"+{self.static_bytes_added:.0f} B new section per static binary)"
+        )
+
+
+def table2(*, spec_names: Optional[Sequence[str]] = None) -> Table2:
+    """Regenerate Table II: code expansion per deployment vehicle."""
+    compiler_rates: List[float] = []
+    dynamic_rates: List[float] = []
+    static_rates: List[float] = []
+    per_program: Dict[str, float] = {}
+    bytes_per_function: List[float] = []
+    static_bytes: List[float] = []
+    for name, source in _spec_sources(spec_names):
+        native = compile_source(source, protection="ssp", name=name)
+        pssp = compile_source(source, protection="pssp", name=name)
+        rate = expansion_percent(native, pssp)
+        compiler_rates.append(rate)
+        per_program[name] = rate
+        protected = sum(1 for f in pssp.functions.values() if f.protected)
+        if protected:
+            bytes_per_function.append(
+                (pssp.total_size() - native.total_size()) / protected
+            )
+
+        rewritten = instrument_binary(native)
+        dynamic_rates.append(expansion_percent(native, rewritten))
+
+        static_native = merge_binaries(
+            compile_source(source, protection="ssp", name=name,
+                           link_type=STATIC),
+            build_static_glibc(),
+            name=name,
+        )
+        static_instrumented = instrument_static_binary(static_native)
+        static_rates.append(expansion_percent(static_native, static_instrumented))
+        static_bytes.append(
+            static_instrumented.total_size() - static_native.total_size()
+        )
+    return Table2(
+        compiler_expansion=mean(compiler_rates),
+        instrumentation_dynamic_expansion=mean(dynamic_rates),
+        instrumentation_static_expansion=mean(static_rates),
+        per_program=per_program,
+        compiler_bytes_per_function=mean(bytes_per_function),
+        static_bytes_added=mean(static_bytes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables III & IV — server impact
+# ---------------------------------------------------------------------------
+
+#: Build columns common to Tables III/IV.
+SERVER_SCHEMES = ("ssp", "pssp", "pssp-binary")
+SERVER_COLUMN_NAMES = {
+    "ssp": "Native",
+    "pssp": "Compiler P-SSP",
+    "pssp-binary": "Instrumented P-SSP",
+}
+
+
+@dataclass
+class Table3:
+    results: Dict[str, Dict[str, ServerStats]]
+    paper = {
+        "apache2": (33.006, 33.008, 33.099),
+        "nginx": (3.088, 3.090, 3.088),
+    }
+
+    def render(self) -> str:
+        lines = [
+            f"{'server':10s} " + " ".join(
+                f"{SERVER_COLUMN_NAMES[s]:>20s}" for s in SERVER_SCHEMES
+            )
+        ]
+        for server, by_scheme in self.results.items():
+            cells = " ".join(
+                f"{by_scheme[s].mean_response_ms:20.4f}" for s in SERVER_SCHEMES
+            )
+            lines.append(f"{server:10s} {cells}  (ms/request)")
+        return "\n".join(lines)
+
+
+def table3(*, seed: int = 20180625, requests: int = 40) -> Table3:
+    """Regenerate Table III: web-server mean response times."""
+    results: Dict[str, Dict[str, ServerStats]] = {}
+    for workload in WEB_SERVERS:
+        results[workload.name] = {
+            scheme: workload.measure(scheme, requests=requests, seed=seed)
+            for scheme in SERVER_SCHEMES
+        }
+    return Table3(results)
+
+
+@dataclass
+class Table4:
+    results: Dict[str, Dict[str, DatabaseStats]]
+    paper = {
+        "mysql": (3.33, 22.59),
+        "sqlite": (167.27, 20.58),
+    }
+
+    def render(self) -> str:
+        lines = [
+            f"{'database':10s} " + " ".join(
+                f"{SERVER_COLUMN_NAMES[s]:>26s}" for s in SERVER_SCHEMES
+            )
+        ]
+        for database, by_scheme in self.results.items():
+            cells = " ".join(
+                f"{by_scheme[s].mean_query_ms:12.3f}ms/{by_scheme[s].memory_mb:8.2f}MB"
+                for s in SERVER_SCHEMES
+            )
+            lines.append(f"{database:10s} {cells}")
+        return "\n".join(lines)
+
+
+def table4(*, seed: int = 20180626) -> Table4:
+    """Regenerate Table IV: database query time and memory usage."""
+    results: Dict[str, Dict[str, DatabaseStats]] = {}
+    for workload in DATABASES:
+        results[workload.name] = {
+            scheme: workload.measure(scheme, seed=seed)
+            for scheme in SERVER_SCHEMES
+        }
+    return Table4(results)
+
+
+# ---------------------------------------------------------------------------
+# Table V — prologue/epilogue cycle costs
+# ---------------------------------------------------------------------------
+
+_MICRO_ONE_BUFFER = """
+int victim() {
+    char buf[16];
+    buf[0] = 1;
+    return buf[0];
+}
+int main() { return victim(); }
+"""
+
+_MICRO_TWO_VARS = """
+int victim() {
+    critical char a[8];
+    critical char b[8];
+    a[0] = 1;
+    b[0] = 2;
+    return a[0] + b[0];
+}
+int main() { return victim(); }
+"""
+
+_MICRO_FOUR_VARS = """
+int victim() {
+    critical char a[8];
+    critical char b[8];
+    critical char c[8];
+    critical char d[8];
+    a[0] = 1;
+    b[0] = 2;
+    c[0] = 3;
+    d[0] = 4;
+    return a[0] + b[0] + c[0] + d[0];
+}
+int main() { return victim(); }
+"""
+
+
+@dataclass
+class Table5:
+    cycles: Dict[str, float]
+    paper = {
+        "pssp": 6,
+        "pssp-nt": 343,
+        "pssp-lv (2 vars)": 343,
+        "pssp-lv (4 vars)": 986,
+        "pssp-owf": 278,
+    }
+
+    def render(self) -> str:
+        lines = [f"{'scheme':20s} {'extra cycles':>12s}"]
+        for scheme, value in self.cycles.items():
+            lines.append(f"{scheme:20s} {value:12.1f}")
+        return "\n".join(lines)
+
+
+def table5(*, seed: int = 55, include_ablation: bool = True) -> Table5:
+    """Regenerate Table V: per-call canary cost of every scheme.
+
+    The metric is total run cycles of a one-call micro program under the
+    scheme minus the unprotected build of the same source — i.e. exactly
+    the prologue + epilogue instrumentation cost.
+    """
+    cycles: Dict[str, float] = {}
+
+    def delta(label: str, source: str, scheme: str) -> None:
+        protected = run_program(source, scheme, name=f"micro-{label}", seed=seed)
+        native = run_program(source, "none", name=f"micro-{label}", seed=seed)
+        cycles[label] = protected.cycles - native.cycles
+
+    delta("pssp", _MICRO_ONE_BUFFER, "pssp")
+    delta("pssp-nt", _MICRO_ONE_BUFFER, "pssp-nt")
+    delta("pssp-lv (2 vars)", _MICRO_TWO_VARS, "pssp-lv")
+    delta("pssp-lv (4 vars)", _MICRO_FOUR_VARS, "pssp-lv")
+    delta("pssp-owf", _MICRO_ONE_BUFFER, "pssp-owf")
+    if include_ablation:
+        delta("ssp", _MICRO_ONE_BUFFER, "ssp")
+        delta("dynaguard", _MICRO_ONE_BUFFER, "dynaguard")
+        delta("dcr", _MICRO_ONE_BUFFER, "dcr")
+        delta("pssp-gb", _MICRO_ONE_BUFFER, "pssp-gb")
+        delta("pssp-binary", _MICRO_ONE_BUFFER, "pssp-binary")
+    return Table5(cycles)
+
+
+# ---------------------------------------------------------------------------
+# §VI-C — effectiveness & compatibility
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EffectivenessRow:
+    server: str
+    scheme: str
+    attack_succeeded: bool
+    trials: int
+
+
+@dataclass
+class EffectivenessReport:
+    rows: List[EffectivenessRow]
+    compat_false_positives: int
+    compat_runs: int
+
+    def render(self) -> str:
+        lines = [f"{'server':8s} {'scheme':8s} {'attack ok':>10s} {'trials':>8s}"]
+        for row in self.rows:
+            lines.append(
+                f"{row.server:8s} {row.scheme:8s} "
+                f"{str(row.attack_succeeded):>10s} {row.trials:>8d}"
+            )
+        lines.append(
+            f"compatibility: {self.compat_false_positives} false positives "
+            f"in {self.compat_runs} mixed-build runs"
+        )
+        return "\n".join(lines)
+
+
+#: "Ali" — the second server attacked in §VI-C: a login-style service.
+ALI_SOURCE = """
+int handler(int n) {
+    char user[48];
+    char line[64];
+    int len;
+    len = read(0, user, 4096);
+    user[47] = 0;
+    sprintf(line, "login attempt");
+    return len;
+}
+int main() { return 0; }
+"""
+
+
+def effectiveness(
+    *,
+    seed: int = 625,
+    max_trials: int = 4000,
+    compat_runs: int = 3,
+) -> EffectivenessReport:
+    """Regenerate §VI-C: byte-by-byte vs SSP/P-SSP servers + compat runs."""
+    rows: List[EffectivenessRow] = []
+    victims = {"nginx": ATTACK_VICTIM_SOURCE, "ali": ALI_SOURCE}
+    for server_name, source in victims.items():
+        for scheme in ("ssp", "pssp"):
+            kernel = Kernel(seed)
+            binary = build(source, scheme, name=server_name)
+            parent, _ = deploy(kernel, binary, scheme)
+            server = ForkingServer(kernel, parent)
+            frame = frame_map(binary, "handler")
+            report = byte_by_byte_attack(server, frame, max_trials=max_trials)
+            rows.append(
+                EffectivenessRow(server_name, scheme, report.success, report.trials)
+            )
+
+    # Compatibility: P-SSP-compiled program calling SSP-compiled "library"
+    # code, and vice versa, running under the P-SSP preload.  The paper's
+    # claim: mixtures behave normally, zero false positives.
+    false_positives = 0
+    runs = 0
+    mixed_pairs = (("pssp", "ssp"), ("ssp", "pssp"))
+    for main_scheme, lib_scheme in mixed_pairs:
+        for round_index in range(compat_runs):
+            kernel = Kernel(seed + round_index)
+            main_binary = compile_source(
+                _COMPAT_MAIN, protection=main_scheme, name="app"
+            )
+            lib_binary = compile_source(
+                _COMPAT_LIB, protection=lib_scheme, name="lib"
+            )
+            merged = merge_binaries(main_binary, lib_binary, name="app+lib")
+            merged.protection = main_scheme
+            process, _ = deploy(kernel, merged, "pssp")
+            result = process.run()
+            runs += 1
+            if result.crashed:
+                false_positives += 1
+    return EffectivenessReport(rows, false_positives, runs)
+
+
+_COMPAT_MAIN = """
+int app_work(int n) {
+    char scratch[32];
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        scratch[i % 31] = i;
+        acc = acc + lib_transform(i);
+    }
+    return acc;
+}
+int main() {
+    int pid;
+    pid = fork();
+    return app_work(24) & 255;
+}
+"""
+
+_COMPAT_LIB = """
+int lib_transform(int x) {
+    char tmp[24];
+    sprintf(tmp, "v%d", x);
+    return strlen(tmp) + x * 3;
+}
+"""

@@ -1,0 +1,126 @@
+"""Self-validation: a fast health check over the full scheme matrix.
+
+``python -m repro validate`` (or :func:`validate_all`) runs, for every
+registered scheme: a semantic cross-check (checksums must match the
+unprotected build), a benign-traffic check (no false positives), and a
+detection check (a blind smash must be caught by every protecting
+scheme).  This is the 30-second answer to "did my change break a scheme
+somewhere?" without waiting for the full suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.deploy import SCHEMES, build, deploy
+from ..kernel.kernel import Kernel
+
+_CHECK_PROGRAM = """
+int work(int rounds) {
+    char buf[24];
+    int acc; int i;
+    buf[0] = rounds;
+    acc = 0;
+    for (i = 0; i < rounds; i = i + 1) {
+        acc = acc + i * buf[0];
+    }
+    return acc & 0xff;
+}
+int main() { return work(9); }
+"""
+
+_VICTIM = """
+int handler(int n) {
+    char buf[48];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+@dataclass
+class SchemeValidation:
+    """Per-scheme verdicts."""
+
+    scheme: str
+    semantics_ok: bool
+    benign_ok: bool
+    detection_ok: bool
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.semantics_ok and self.benign_ok and self.detection_ok
+
+
+@dataclass
+class ValidationReport:
+    results: List[SchemeValidation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def render(self) -> str:
+        lines = [
+            f"{'scheme':22s} {'semantics':>9s} {'benign':>7s} {'detects':>8s}"
+        ]
+        for result in self.results:
+            lines.append(
+                f"{result.scheme:22s} {str(result.semantics_ok):>9s} "
+                f"{str(result.benign_ok):>7s} {str(result.detection_ok):>8s}"
+                + (f"  ({result.note})" if result.note else "")
+            )
+        lines.append("ALL OK" if self.ok else "FAILURES PRESENT")
+        return "\n".join(lines)
+
+
+def validate_scheme(scheme: str, *, seed: int = 1234) -> SchemeValidation:
+    """Run the three checks for one scheme."""
+    note = ""
+    try:
+        reference = _run_checksum("none", seed)
+        semantics_ok = _run_checksum(scheme, seed) == reference
+    except Exception as error:  # a build/deploy crash is a failure, not a skip
+        return SchemeValidation(scheme, False, False, False, note=str(error))
+
+    try:
+        kernel = Kernel(seed)
+        binary = build(_VICTIM, scheme, name="victim")
+        process, _ = deploy(kernel, binary, scheme)
+        process.feed_stdin(b"ok")
+        benign_ok = process.call("handler", (2,)).state == "exited"
+
+        process2, _ = deploy(kernel, binary, scheme)
+        process2.feed_stdin(b"A" * 160)
+        result = process2.call("handler", (160,))
+        if scheme == "none":
+            detection_ok = True  # nothing to detect by definition
+            note = "unprotected baseline"
+        else:
+            detection_ok = result.smashed
+    except Exception as error:
+        return SchemeValidation(scheme, semantics_ok, False, False,
+                                note=str(error))
+    return SchemeValidation(scheme, semantics_ok, benign_ok, detection_ok,
+                            note=note)
+
+
+def _run_checksum(scheme: str, seed: int) -> int:
+    kernel = Kernel(seed)
+    binary = build(_CHECK_PROGRAM, scheme, name="check")
+    process, _ = deploy(kernel, binary, scheme)
+    result = process.run()
+    if result.crashed:
+        raise RuntimeError(f"{scheme}: checksum run crashed: {result.crash}")
+    return result.exit_status
+
+
+def validate_all(*, seed: int = 1234) -> ValidationReport:
+    """Validate every registered scheme."""
+    report = ValidationReport()
+    for scheme in sorted(SCHEMES):
+        report.results.append(validate_scheme(scheme, seed=seed))
+    return report

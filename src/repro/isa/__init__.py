@@ -1,0 +1,78 @@
+"""The simulated x86-64-flavoured instruction set architecture.
+
+Exports the operand/instruction model, the register file, the byte-size
+and cycle-cost models, and the text assembler.
+"""
+
+from .assembler import assemble, assemble_one, parse_operand
+from .costs import (
+    AES_HELPER_COST,
+    DBI_MULTIPLIER,
+    MEM_ACCESS_COST,
+    NATIVE_HELPER_COSTS,
+    RDRAND_COST,
+    RDTSC_COST,
+    instruction_cost,
+    sequence_cost,
+)
+from .encoding import encode, encoded_length, function_length, sequence_lengths
+from .instructions import (
+    ALL_OPS,
+    CONDITIONAL_JUMPS,
+    Function,
+    Imm,
+    Instruction,
+    Label,
+    Mem,
+    Operand,
+    Reg,
+    Sym,
+    ins,
+)
+from .registers import (
+    ARG_REGS,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    GPRS,
+    XMMS,
+    RegisterFile,
+    is_gpr,
+    is_xmm,
+)
+
+__all__ = [
+    "AES_HELPER_COST",
+    "ALL_OPS",
+    "ARG_REGS",
+    "CALLEE_SAVED",
+    "CALLER_SAVED",
+    "CONDITIONAL_JUMPS",
+    "DBI_MULTIPLIER",
+    "Function",
+    "GPRS",
+    "Imm",
+    "Instruction",
+    "Label",
+    "MEM_ACCESS_COST",
+    "Mem",
+    "NATIVE_HELPER_COSTS",
+    "Operand",
+    "RDRAND_COST",
+    "RDTSC_COST",
+    "Reg",
+    "RegisterFile",
+    "Sym",
+    "XMMS",
+    "assemble",
+    "assemble_one",
+    "encode",
+    "encoded_length",
+    "function_length",
+    "ins",
+    "instruction_cost",
+    "is_gpr",
+    "is_xmm",
+    "parse_operand",
+    "sequence_cost",
+    "sequence_lengths",
+]

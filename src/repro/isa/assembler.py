@@ -1,0 +1,208 @@
+"""A small two-pass assembler: text → :class:`Function` objects.
+
+The syntax is Intel-flavoured (destination first), which keeps hand-written
+libc stubs and test fixtures readable:
+
+.. code-block:: text
+
+    handler:
+        push rbp
+        mov rbp, rsp
+        sub rsp, 0x20
+        mov rax, fs:[0x28]
+        mov [rbp-8], rax
+    .loop:
+        cmp rax, 0
+        je .out
+        call strcpy
+        jmp .loop
+    .out:
+        leave
+        ret
+
+Rules:
+
+* a line ending in ``:`` at indentation 0 starts a new function;
+* an indented line ending in ``:`` (conventionally ``.name:``) defines a
+  local label;
+* ``;`` and ``#`` start comments;
+* memory operands are ``[base]``, ``[base+disp]``, ``[base+index*scale]``,
+  ``fs:[disp]``; immediates are decimal or ``0x`` hex, optionally negative;
+* a bare identifier operand is a :class:`Label` when it is (or becomes) a
+  local label of the function, otherwise a :class:`Sym`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..errors import AssemblerError
+from .instructions import ALL_OPS, Function, Imm, Instruction, Label, Mem, Operand, Reg, Sym
+from .registers import is_gpr, is_xmm
+
+_MEM_RE = re.compile(
+    r"^(?:(?P<seg>fs):)?\[(?P<inner>[^\]]+)\]$"
+)
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+
+
+def _parse_int(text: str) -> int:
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:]
+    value = int(text, 16) if text.lower().startswith("0x") else int(text)
+    return -value if negative else value
+
+
+def _parse_mem(match: "re.Match", line_no: int) -> Mem:
+    seg = match.group("seg")
+    inner = match.group("inner").replace(" ", "")
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale = 1
+    disp = 0
+    # Split into +/- separated terms.
+    terms = re.findall(r"[+-]?[^+-]+", inner)
+    for term in terms:
+        sign = -1 if term.startswith("-") else 1
+        term = term.lstrip("+-")
+        if "*" in term:
+            reg, _, factor = term.partition("*")
+            if not is_gpr(reg):
+                raise AssemblerError(f"line {line_no}: bad index register {reg!r}")
+            index = reg
+            scale = _parse_int(factor)
+        elif is_gpr(term):
+            if base is None:
+                base = term
+            elif index is None:
+                index = term
+            else:
+                raise AssemblerError(f"line {line_no}: too many registers in {inner!r}")
+        elif _INT_RE.match(term):
+            disp += sign * _parse_int(term)
+        else:
+            raise AssemblerError(f"line {line_no}: bad memory term {term!r}")
+    return Mem(base=base, disp=disp, seg=seg, index=index, scale=scale)
+
+
+def parse_operand(text: str, line_no: int = 0) -> Operand:
+    """Parse a single operand token."""
+    text = text.strip()
+    if not text:
+        raise AssemblerError(f"line {line_no}: empty operand")
+    mem = _MEM_RE.match(text)
+    if mem:
+        return _parse_mem(mem, line_no)
+    if is_gpr(text) or is_xmm(text):
+        return Reg(text)
+    if _INT_RE.match(text):
+        return Imm(_parse_int(text))
+    if text.startswith("."):
+        return Label(text)
+    if re.match(r"^[A-Za-z_][\w.$@-]*$", text):
+        return Sym(text)
+    raise AssemblerError(f"line {line_no}: cannot parse operand {text!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def assemble(source: str) -> Dict[str, Function]:
+    """Assemble ``source`` into named functions.
+
+    Returns a mapping preserving definition order (dicts are ordered).
+    """
+    functions: Dict[str, Function] = {}
+    current: Optional[Function] = None
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.endswith(":"):
+            name = stripped[:-1].strip()
+            # ``.name:`` is always local; a bare ``name:`` is local when it
+            # appears indented inside a function, and starts a new function
+            # otherwise (including the very first label of the source).
+            is_local = name.startswith(".") or (
+                raw[:1].isspace() and current is not None
+            )
+            if is_local:
+                if current is None:
+                    raise AssemblerError(f"line {line_no}: label outside a function")
+                if name in current.labels:
+                    raise AssemblerError(f"line {line_no}: duplicate label {name!r}")
+                current.label_here(name)
+            else:
+                if name in functions:
+                    raise AssemblerError(f"line {line_no}: duplicate function {name!r}")
+                current = Function(name)
+                functions[name] = current
+            continue
+        if current is None:
+            raise AssemblerError(f"line {line_no}: instruction outside a function")
+        tokens = stripped.split(None, 1)
+        mnemonic = tokens[0]
+        if mnemonic not in ALL_OPS:
+            raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        operands: List[Operand] = []
+        if len(tokens) > 1:
+            for part in _split_operands(tokens[1]):
+                operands.append(parse_operand(part, line_no))
+        # Branch targets that look like symbols but refer to local labels
+        # are fixed up after the function is fully parsed (second pass).
+        current.body.append(Instruction(mnemonic, tuple(operands)))
+    for function in functions.values():
+        _fixup_branch_targets(function)
+    return functions
+
+
+def assemble_one(source: str) -> Function:
+    """Assemble a source expected to contain exactly one function."""
+    functions = assemble(source)
+    if len(functions) != 1:
+        raise AssemblerError(f"expected exactly one function, got {sorted(functions)}")
+    return next(iter(functions.values()))
+
+
+def _fixup_branch_targets(function: Function) -> None:
+    """Second pass: rebind Sym operands that name local labels to Labels,
+    and verify every Label target exists."""
+    fixed: List[Instruction] = []
+    for instruction in function.body:
+        operands = list(instruction.operands)
+        changed = False
+        for i, operand in enumerate(operands):
+            if isinstance(operand, Sym) and operand.name in function.labels:
+                operands[i] = Label(operand.name)
+                changed = True
+            if isinstance(operands[i], Label):
+                target = operands[i]
+                if target.name not in function.labels:
+                    raise AssemblerError(
+                        f"{function.name}: undefined label {target.name!r}"
+                    )
+        if changed:
+            fixed.append(Instruction(instruction.op, tuple(operands), instruction.note))
+        else:
+            fixed.append(instruction)
+    function.body = fixed

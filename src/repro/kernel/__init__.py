@@ -1,0 +1,14 @@
+"""Process model: kernel, processes, threads, fork semantics."""
+
+from .kernel import Kernel
+from .process import CRASHED, EXITED, READY, RUNNING, Process, ProcessResult
+
+__all__ = [
+    "CRASHED",
+    "EXITED",
+    "Kernel",
+    "Process",
+    "ProcessResult",
+    "READY",
+    "RUNNING",
+]

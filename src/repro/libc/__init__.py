@@ -1,0 +1,13 @@
+"""Simulated glibc: native builtins, overflow vectors, preload library."""
+
+from .builtins import OVERFLOW_VECTORS, build_natives
+from .preload import SO_NAME, SO_SIZE_BYTES, SO_SOURCE_LINES, PSSPPreload
+
+__all__ = [
+    "OVERFLOW_VECTORS",
+    "PSSPPreload",
+    "SO_NAME",
+    "SO_SIZE_BYTES",
+    "SO_SOURCE_LINES",
+    "build_natives",
+]

@@ -1,0 +1,40 @@
+"""Simulated glibc functions for statically linked binaries.
+
+Dynamic binaries call straight into native libc; *static* binaries embed
+tiny simulated stubs for the functions the P-SSP rewriter must modify —
+``fork`` and ``__stack_chk_fail`` (paper §V-D).  The stubs forward to the
+kernel-service native aliases, giving the Dyninst-style instrumenter real
+in-binary code to hook.
+
+The paper notes static glibc linking is rare (2 binaries out of ~44 000
+on Debian) but still handles it; so do we.
+"""
+
+from __future__ import annotations
+
+from ..binfmt.elf import STATIC, Binary
+from ..isa.instructions import Function, Reg, Sym
+
+
+def build_static_glibc() -> Binary:
+    """Return a binary fragment with the statically linkable glibc stubs."""
+    fragment = Binary("libc_static_stubs", link_type=STATIC)
+
+    fork = Function("fork")
+    fork.emit("push", Reg("rbp"))
+    fork.emit("mov", Reg("rbp"), Reg("rsp"))
+    fork.emit("call", Sym("__libc_fork_syscall"))
+    fork.emit("leave")
+    fork.emit("ret")
+    fragment.add_function(fork)
+
+    chk = Function("__stack_chk_fail")
+    chk.emit("call", Sym("__libc_stack_chk_abort"))
+    chk.emit("ret")
+    fragment.add_function(chk)
+
+    return fragment
+
+
+#: Function names the static rewriter must hook (paper §V-D).
+STATIC_HOOK_TARGETS = ("fork", "__stack_chk_fail")

@@ -1,0 +1,85 @@
+"""The P-SSP preload shared library (paper §V-A).
+
+The paper ships a ~16 KB position-independent shared object
+(``libpoly_canary.so``, ~358 source lines) that is ``LD_PRELOAD``-ed into
+victims.  It exports three overrides:
+
+* ``setup_p-ssp`` — a ``constructor`` that initialises the TLS shadow
+  canary (Algorithm 1) before ``main`` runs;
+* ``fork`` — wraps glibc's fork and refreshes the *child's* shadow canary
+  after the TLS is cloned (the parent's is untouched, and the TLS canary
+  ``C`` itself is never changed — the paper's key compatibility claim);
+* ``pthread_create`` — ditto for new threads.
+
+In the simulator the wrapper behaviour is expressed as install-time setup
+plus fork/thread hooks on the process, which the kernel invokes exactly
+where the wrapped libc calls would run.
+
+``mode`` selects the shadow format: ``"compiler"`` stores the 64-bit pair
+at ``fs:0x2a8``/``fs:0x2b0`` (Code 3), ``"binary"`` stores the packed
+2×32-bit word at ``fs:0x2a8`` so instrumented prologues stay
+layout-identical to SSP (§V-C).
+"""
+
+from __future__ import annotations
+
+from ..core.rerandomize import re_randomize, re_randomize_packed32
+from ..kernel.process import Process
+
+#: Metadata reported by the paper for the real artifact.
+SO_NAME = "libpoly_canary.so"
+SO_SIZE_BYTES = 16 * 1024
+SO_SOURCE_LINES = 358
+
+
+class PSSPPreload:
+    """Runtime support for P-SSP (basic scheme)."""
+
+    def __init__(self, mode: str = "compiler") -> None:
+        if mode not in ("compiler", "binary"):
+            raise ValueError(f"unknown preload mode {mode!r}")
+        self.mode = mode
+
+    # -- the three exported overrides -------------------------------------------
+
+    def setup(self, process: Process) -> None:
+        """``setup_p-ssp``: initialise the shadow canary for one thread."""
+        tls = process.tls
+        if self.mode == "compiler":
+            c0, c1 = re_randomize(process.entropy, tls.canary)
+            tls.shadow_c0 = c0
+            tls.shadow_c1 = c1
+        else:
+            tls.shadow_c0 = re_randomize_packed32(process.entropy, tls.canary)
+            tls.shadow_c1 = 0
+
+    def on_fork(self, child: Process, parent: Process) -> None:
+        """Wrapped ``fork``: refresh only the *child's* shadow canary.
+
+        The TLS canary ``C`` is deliberately left alone, so frames the
+        child inherited from the parent still verify — no consistency
+        walk needed (contrast DynaGuard/DCR).
+        """
+        self.setup(child)
+
+    def on_thread(self, thread: Process, process: Process) -> None:
+        """Wrapped ``pthread_create``: fresh shadow canary per thread."""
+        self.setup(thread)
+
+    # -- deployment ---------------------------------------------------------------
+
+    def install(self, process: Process) -> None:
+        """Equivalent of ``LD_PRELOAD`` + constructor execution."""
+        self.setup(process)
+        process.fork_hooks.append(self.on_fork)
+        process.thread_hooks.append(self.on_thread)
+
+    def preload_binaries(self):
+        """Simulated code this preload interposes (none for compiler mode;
+        the binary mode's ``__stack_chk_fail`` replacement is produced by
+        :func:`repro.rewriter.stack_chk.build_stack_chk_binary`)."""
+        if self.mode == "binary":
+            from ..rewriter.stack_chk import build_stack_chk_binary
+
+            return [build_stack_chk_binary()]
+        return []

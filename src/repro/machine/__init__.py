@@ -1,0 +1,53 @@
+"""Machine substrate: memory, TLS, devices, and the CPU executor."""
+
+from .cpu import CPU, NativeFunction
+from .devices import RdRandDevice, TimeStampCounter
+from .memory import (
+    CODE_BASE,
+    DATA_BASE,
+    EXIT_ADDRESS,
+    HEAP_BASE,
+    STACK_TOP,
+    TLS_BASE,
+    Memory,
+    Segment,
+    standard_memory,
+)
+from .tls import (
+    CANARY_OFFSET,
+    DCR_LIST_HEAD_OFFSET,
+    DYNAGUARD_CAB_BASE_OFFSET,
+    DYNAGUARD_CAB_INDEX_OFFSET,
+    GLOBAL_BUFFER_BASE_OFFSET,
+    GLOBAL_BUFFER_COUNT_OFFSET,
+    SHADOW_C0_OFFSET,
+    SHADOW_C1_OFFSET,
+    TLS_MIN_SIZE,
+    TlsView,
+)
+
+__all__ = [
+    "CANARY_OFFSET",
+    "CODE_BASE",
+    "CPU",
+    "DATA_BASE",
+    "DCR_LIST_HEAD_OFFSET",
+    "DYNAGUARD_CAB_BASE_OFFSET",
+    "DYNAGUARD_CAB_INDEX_OFFSET",
+    "EXIT_ADDRESS",
+    "GLOBAL_BUFFER_BASE_OFFSET",
+    "GLOBAL_BUFFER_COUNT_OFFSET",
+    "HEAP_BASE",
+    "Memory",
+    "NativeFunction",
+    "RdRandDevice",
+    "STACK_TOP",
+    "Segment",
+    "SHADOW_C0_OFFSET",
+    "SHADOW_C1_OFFSET",
+    "TLS_BASE",
+    "TLS_MIN_SIZE",
+    "TimeStampCounter",
+    "TlsView",
+    "standard_memory",
+]

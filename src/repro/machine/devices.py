@@ -1,0 +1,54 @@
+"""Hardware devices the canary schemes rely on.
+
+* :class:`TimeStampCounter` — backs ``rdtsc``; monotonically advances with
+  consumed cycles, so successive reads differ (the nonce property
+  P-SSP-OWF needs).
+* :class:`RdRandDevice` — backs ``rdrand``; draws from the process's
+  :class:`~repro.crypto.random.EntropySource`.
+"""
+
+from __future__ import annotations
+
+from ..crypto.random import EntropySource
+
+
+class TimeStampCounter:
+    """A 64-bit counter advanced by executed cycles.
+
+    ``base`` gives each boot a distinct epoch so two runs of the same
+    program see different TSC values — the property the P-SSP-OWF nonce
+    depends on.
+    """
+
+    def __init__(self, base: int = 0) -> None:
+        self.value = base
+
+    def advance(self, cycles: int) -> None:
+        """Advance by ``cycles`` (called by the CPU after each instruction)."""
+        self.value = (self.value + cycles) & (2**64 - 1)
+
+    def read(self) -> int:
+        """``rdtsc``: return the current counter."""
+        return self.value
+
+
+class RdRandDevice:
+    """Hardware random number generator (``rdrand``).
+
+    On real silicon ``rdrand`` may transiently fail (CF=0); the simulator
+    can model that with ``failure_rate`` to exercise retry loops, but the
+    schemes in the paper assume success so the default is 0.
+    """
+
+    def __init__(self, entropy: EntropySource, failure_rate: float = 0.0) -> None:
+        self.entropy = entropy
+        self.failure_rate = failure_rate
+        #: Count of successful draws (tests assert on re-randomization).
+        self.draws = 0
+
+    def read(self) -> "tuple[int, bool]":
+        """Return ``(value, ok)``; ``ok`` maps to the carry flag."""
+        if self.failure_rate and self.entropy.randrange(10**6) < self.failure_rate * 10**6:
+            return 0, False
+        self.draws += 1
+        return self.entropy.word(64), True

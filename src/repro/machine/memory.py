@@ -1,0 +1,231 @@
+"""Byte-addressable segmented process memory.
+
+A process image maps a handful of segments (code, data, heap, stack, TLS)
+into a flat 64-bit address space.  Reads and writes honour segment
+permissions; touching an unmapped address raises
+:class:`~repro.errors.SegmentationFault`, which the kernel converts into a
+SIGSEGV crash — exactly the "oracle" signal the byte-by-byte attacker
+listens for.
+
+Buffer overflows are *not* prevented here: a write that stays inside a
+writable segment succeeds even if it tramples canaries, saved frame
+pointers, or return addresses.  Detecting that is the protection schemes'
+job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import SegmentationFault
+
+#: Default virtual-address layout (loosely mirrors Linux x86-64).
+CODE_BASE = 0x0000_0000_0040_0000
+DATA_BASE = 0x0000_0000_0060_0000
+HEAP_BASE = 0x0000_0000_0080_0000
+TLS_BASE = 0x0000_7FFF_F000_0000
+STACK_TOP = 0x0000_7FFF_FFFF_0000
+
+#: Sentinel return address pushed below ``main``; ``ret`` to it exits.
+EXIT_ADDRESS = 0x0000_DEAD_0000_0000
+
+WORD_BYTES = 8
+
+
+@dataclass
+class Segment:
+    """One contiguous mapped region."""
+
+    name: str
+    base: int
+    size: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+    data: bytearray = field(default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = bytearray(self.size)
+        elif len(self.data) != self.size:
+            raise ValueError(f"segment {self.name}: data/size mismatch")
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """True if ``[address, address+length)`` lies inside the segment."""
+        return self.base <= address and address + length <= self.end
+
+    def clone(self) -> "Segment":
+        """Deep copy (fork)."""
+        return Segment(
+            self.name,
+            self.base,
+            self.size,
+            self.readable,
+            self.writable,
+            self.executable,
+            bytearray(self.data),
+        )
+
+
+class Memory:
+    """The full address space of one process."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, Segment] = {}
+        #: Sorted list for address lookup; rebuilt on (rare) mapping changes.
+        self._sorted: List[Segment] = []
+        #: Most-recently-hit segment (the stack, almost always) — a fast
+        #: path that roughly halves simulated-memory lookup cost.
+        self._hot: Optional[Segment] = None
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_segment(self, segment: Segment) -> Segment:
+        """Install a segment; overlapping an existing one is an error."""
+        for existing in self._segments.values():
+            if segment.base < existing.end and existing.base < segment.end:
+                raise ValueError(
+                    f"segment {segment.name} overlaps {existing.name}"
+                )
+        self._segments[segment.name] = segment
+        self._sorted = sorted(self._segments.values(), key=lambda s: s.base)
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        """Look a segment up by name."""
+        return self._segments[name]
+
+    def has_segment(self, name: str) -> bool:
+        """True if a segment with ``name`` is mapped."""
+        return name in self._segments
+
+    def segments(self) -> Iterator[Segment]:
+        """Iterate over segments in address order."""
+        return iter(self._sorted)
+
+    def find(self, address: int) -> Optional[Segment]:
+        """Return the segment containing ``address``, or ``None``."""
+        for segment in self._sorted:
+            if segment.base <= address < segment.end:
+                return segment
+        return None
+
+    # -- access ------------------------------------------------------------
+
+    def _locate(self, address: int, length: int, access: str, *, write: bool) -> Segment:
+        hot = self._hot
+        if hot is not None and hot.contains(address, length):
+            segment = hot
+        else:
+            segment = self.find(address)
+            if segment is None or not segment.contains(address, length):
+                raise SegmentationFault(address, access)
+            self._hot = segment
+        if write and not segment.writable:
+            raise SegmentationFault(address, "write to read-only segment")
+        if not write and not segment.readable:
+            raise SegmentationFault(address, "read of unreadable segment")
+        return segment
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` raw bytes."""
+        segment = self._locate(address, length, "read", write=False)
+        offset = address - segment.base
+        return bytes(segment.data[offset : offset + length])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write raw bytes; may freely corrupt stack contents."""
+        segment = self._locate(address, len(data), "write", write=True)
+        offset = address - segment.base
+        segment.data[offset : offset + len(data)] = data
+
+    def read_word(self, address: int) -> int:
+        """Read a 64-bit little-endian word."""
+        return int.from_bytes(self.read(address, WORD_BYTES), "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a 64-bit little-endian word."""
+        self.write(address, (value & (2**64 - 1)).to_bytes(WORD_BYTES, "little"))
+
+    def read_dword(self, address: int) -> int:
+        """Read a 32-bit little-endian word (for 32-bit split canaries)."""
+        return int.from_bytes(self.read(address, 4), "little")
+
+    def write_dword(self, address: int, value: int) -> None:
+        """Write a 32-bit little-endian word."""
+        self.write(address, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
+
+    def read_byte(self, address: int) -> int:
+        """Read one byte."""
+        return self.read(address, 1)[0]
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Write one byte."""
+        self.write(address, bytes([value & 0xFF]))
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated string (not including the NUL)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read_byte(address + i)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        return bytes(out)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def clone(self) -> "Memory":
+        """Deep copy of the whole address space (fork semantics)."""
+        copy = Memory()
+        for segment in self._segments.values():
+            copy.map_segment(segment.clone())
+        return copy
+
+
+#: Maximum ASLR slide per segment: 256 pages — coarse-grained, like the
+#: commodity ASLR the paper's §VII-B calls "easily broken" (deliberately),
+#: and small enough that no slide can push one segment into its
+#: neighbour's 2 MB guard gap.
+ASLR_SLIDE_PAGES = 1 << 8
+PAGE = 0x1000
+
+
+def standard_memory(
+    *,
+    stack_size: int = 0x40000,
+    heap_size: int = 0x40000,
+    data_size: int = 0x20000,
+    tls_size: int = 0x1000,
+    aslr=None,
+) -> Memory:
+    """Build a memory with the conventional segment layout.
+
+    The code segment is not included: the loader maps it from the binary
+    image (read+execute, not writable).
+
+    ``aslr`` may be an :class:`~repro.crypto.random.EntropySource`; each
+    segment base then slides by an independent page-aligned offset, the
+    coarse-grained address-space randomization of §VII-B.  Consumers must
+    locate segments by name, never by the layout constants.
+    """
+
+    def slide() -> int:
+        if aslr is None:
+            return 0
+        return aslr.randrange(ASLR_SLIDE_PAGES) * PAGE
+
+    memory = Memory()
+    memory.map_segment(Segment("data", DATA_BASE + slide(), data_size))
+    memory.map_segment(Segment("heap", HEAP_BASE + slide(), heap_size))
+    memory.map_segment(Segment("tls", TLS_BASE + slide(), tls_size))
+    memory.map_segment(
+        Segment("stack", STACK_TOP - slide() - stack_size, stack_size)
+    )
+    return memory

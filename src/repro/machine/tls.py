@@ -1,0 +1,137 @@
+"""Thread Local Storage layout.
+
+The paper keeps glibc's canary at ``%fs:0x28`` untouched and parks the
+P-SSP *shadow canary* pair at ``%fs:0x2a8 .. %fs:0x2b7`` (§V-A).  We mirror
+those offsets exactly, and reserve further private slots for the baseline
+schemes that need per-thread bookkeeping:
+
+========  =====================================================
+offset    contents
+========  =====================================================
+0x28      TLS canary ``C`` (SSP and every scheme)
+0x2a8     P-SSP shadow canary ``C0``
+0x2b0     P-SSP shadow canary ``C1``
+0x2c0     DynaGuard: canary-address-buffer (CAB) base pointer
+0x2c8     DynaGuard: CAB current index
+0x2d0     DCR: head of the on-stack canary linked list
+0x2d8     global-buffer variant (Fig. 6): side-buffer base
+0x2e0     global-buffer variant: side-buffer count
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from .memory import Memory
+
+CANARY_OFFSET = 0x28
+SHADOW_C0_OFFSET = 0x2A8
+SHADOW_C1_OFFSET = 0x2B0
+DYNAGUARD_CAB_BASE_OFFSET = 0x2C0
+DYNAGUARD_CAB_INDEX_OFFSET = 0x2C8
+DCR_LIST_HEAD_OFFSET = 0x2D0
+GLOBAL_BUFFER_BASE_OFFSET = 0x2D8
+GLOBAL_BUFFER_COUNT_OFFSET = 0x2E0
+
+#: Minimum TLS segment size covering every slot above.
+TLS_MIN_SIZE = 0x300
+
+
+class TlsView:
+    """Typed accessor over one thread's TLS block.
+
+    Wraps ``(memory, fs_base)`` so schemes, the preload library, and tests
+    all manipulate TLS through the same named fields instead of raw
+    offsets.
+    """
+
+    def __init__(self, memory: Memory, fs_base: int) -> None:
+        self.memory = memory
+        self.fs_base = fs_base
+
+    def _get(self, offset: int) -> int:
+        return self.memory.read_word(self.fs_base + offset)
+
+    def _set(self, offset: int, value: int) -> None:
+        self.memory.write_word(self.fs_base + offset, value)
+
+    # -- the classic SSP canary -------------------------------------------
+
+    @property
+    def canary(self) -> int:
+        """The TLS canary ``C`` at ``fs:0x28``."""
+        return self._get(CANARY_OFFSET)
+
+    @canary.setter
+    def canary(self, value: int) -> None:
+        self._set(CANARY_OFFSET, value)
+
+    # -- P-SSP shadow canary pair -------------------------------------------
+
+    @property
+    def shadow_c0(self) -> int:
+        """P-SSP shadow canary ``C0`` at ``fs:0x2a8``."""
+        return self._get(SHADOW_C0_OFFSET)
+
+    @shadow_c0.setter
+    def shadow_c0(self, value: int) -> None:
+        self._set(SHADOW_C0_OFFSET, value)
+
+    @property
+    def shadow_c1(self) -> int:
+        """P-SSP shadow canary ``C1`` at ``fs:0x2b0``."""
+        return self._get(SHADOW_C1_OFFSET)
+
+    @shadow_c1.setter
+    def shadow_c1(self, value: int) -> None:
+        self._set(SHADOW_C1_OFFSET, value)
+
+    # -- DynaGuard bookkeeping ----------------------------------------------
+
+    @property
+    def cab_base(self) -> int:
+        """DynaGuard canary-address-buffer base pointer."""
+        return self._get(DYNAGUARD_CAB_BASE_OFFSET)
+
+    @cab_base.setter
+    def cab_base(self, value: int) -> None:
+        self._set(DYNAGUARD_CAB_BASE_OFFSET, value)
+
+    @property
+    def cab_index(self) -> int:
+        """Number of live entries in the DynaGuard CAB."""
+        return self._get(DYNAGUARD_CAB_INDEX_OFFSET)
+
+    @cab_index.setter
+    def cab_index(self, value: int) -> None:
+        self._set(DYNAGUARD_CAB_INDEX_OFFSET, value)
+
+    # -- DCR bookkeeping ------------------------------------------------------
+
+    @property
+    def dcr_head(self) -> int:
+        """Address of the newest on-stack canary in DCR's linked list."""
+        return self._get(DCR_LIST_HEAD_OFFSET)
+
+    @dcr_head.setter
+    def dcr_head(self, value: int) -> None:
+        self._set(DCR_LIST_HEAD_OFFSET, value)
+
+    # -- global-buffer variant (paper Fig. 6) --------------------------------
+
+    @property
+    def global_buffer_base(self) -> int:
+        """Base of the per-thread side buffer holding the C1 halves."""
+        return self._get(GLOBAL_BUFFER_BASE_OFFSET)
+
+    @global_buffer_base.setter
+    def global_buffer_base(self, value: int) -> None:
+        self._set(GLOBAL_BUFFER_BASE_OFFSET, value)
+
+    @property
+    def global_buffer_count(self) -> int:
+        """Number of live entries in the side buffer."""
+        return self._get(GLOBAL_BUFFER_COUNT_OFFSET)
+
+    @global_buffer_count.setter
+    def global_buffer_count(self, value: int) -> None:
+        self._set(GLOBAL_BUFFER_COUNT_OFFSET, value)

@@ -1,0 +1,32 @@
+"""Static binary instrumentation: SSP → P-SSP rewriting, the modified
+``__stack_chk_fail``, and Dyninst-style hooks for static glibc."""
+
+from .dyninst import (
+    build_pssp_fork,
+    build_pssp_setup,
+    instrument_static_binary,
+)
+from .matcher import (
+    EpilogueMatch,
+    PrologueMatch,
+    find_epilogues,
+    find_prologues,
+    is_ssp_protected,
+)
+from .rewrite import instrument_binary, rewrite_function
+from .stack_chk import build_stack_chk_binary, build_stack_chk_function
+
+__all__ = [
+    "EpilogueMatch",
+    "PrologueMatch",
+    "build_pssp_fork",
+    "build_pssp_setup",
+    "build_stack_chk_binary",
+    "build_stack_chk_function",
+    "find_epilogues",
+    "find_prologues",
+    "instrument_binary",
+    "instrument_static_binary",
+    "is_ssp_protected",
+    "rewrite_function",
+]

@@ -1,0 +1,117 @@
+"""Dyninst-style instrumentation of statically linked glibc (paper §V-D).
+
+Statically linked binaries embed their own ``fork`` and
+``__stack_chk_fail``; LD_PRELOAD cannot interpose them.  The paper uses
+Dyninst to (a) append a new code section holding customized versions and
+(b) plant ``jmp`` hooks at the original entry points.
+
+We reproduce both steps: hooked originals become a single ``jmp`` (padded
+with ``nop`` to their original byte length, preserving the address
+layout), and the new section contributes the +2.78 % static code
+expansion Table II reports.
+"""
+
+from __future__ import annotations
+
+from ..binfmt.elf import STATIC, Binary
+from ..errors import RewriteError
+from ..isa.encoding import function_length
+from ..isa.instructions import Function, Imm, Label, Mem, Reg, Sym
+from ..machine.tls import CANARY_OFFSET, SHADOW_C0_OFFSET
+from .rewrite import instrument_binary
+from .stack_chk import build_stack_chk_function
+
+
+def _emit_shadow_refresh(function: Function) -> None:
+    """Emit the packed 2×32-bit shadow-canary refresh (Algorithm 1, folded).
+
+    Clobbers rcx, rdx, rsi.  Layout of the packed word:
+    ``C0 | (C1 << 32)`` with ``C0 ⊕ C1 == fold32(C)``.
+    """
+    function.emit("mov", Reg("rdx"), Mem(seg="fs", disp=CANARY_OFFSET))
+    function.emit("mov", Reg("rsi"), Reg("rdx"))
+    function.emit("shr", Reg("rsi"), Imm(32))
+    function.emit("xor", Reg("rdx"), Reg("rsi"))
+    function.emit("shl", Reg("rdx"), Imm(32))
+    function.emit("shr", Reg("rdx"), Imm(32))          # rdx = fold32(C)
+    function.emit("rdrand", Reg("rcx"))
+    function.emit("shl", Reg("rcx"), Imm(32))
+    function.emit("shr", Reg("rcx"), Imm(32))          # rcx = C0
+    function.emit("xor", Reg("rdx"), Reg("rcx"))       # rdx = C1
+    function.emit("shl", Reg("rdx"), Imm(32))
+    function.emit("or", Reg("rdx"), Reg("rcx"))        # packed
+    function.emit("mov", Mem(seg="fs", disp=SHADOW_C0_OFFSET), Reg("rdx"))
+
+
+def build_pssp_fork() -> Function:
+    """The customized ``fork``: clone, then refresh the child's shadow."""
+    function = Function("__pssp_fork")
+    function.emit("push", Reg("rbp"))
+    function.emit("mov", Reg("rbp"), Reg("rsp"))
+    function.emit("call", Sym("__libc_fork_syscall"))
+    function.emit("cmp", Reg("rax"), Imm(0))
+    function.emit("jne", Label(".parent"))
+    function.emit("push", Reg("rax"))
+    _emit_shadow_refresh(function)
+    function.emit("pop", Reg("rax"))
+    function.label_here(".parent")
+    function.emit("leave")
+    function.emit("ret")
+    return function
+
+
+def build_pssp_setup() -> Function:
+    """Constructor initialising the shadow canary before ``main``."""
+    function = Function("__pssp_setup")
+    _emit_shadow_refresh(function)
+    function.emit("xor", Reg("rax"), Reg("rax"))
+    function.emit("ret")
+    return function
+
+
+def _hook(original: Function, target: str) -> Function:
+    """Replace ``original``'s body with a jmp to ``target``, nop-padded."""
+    hooked = Function(original.name)
+    hooked.emit("jmp", Sym(target), note="dyninst-hook")
+    original_bytes = function_length(original.body)
+    hooked_bytes = function_length(hooked.body)
+    if hooked_bytes > original_bytes:
+        raise RewriteError(
+            f"{original.name}: too small to hook "
+            f"({original_bytes} bytes < jmp {hooked_bytes})"
+        )
+    while hooked_bytes < original_bytes:
+        hooked.emit("nop", note="dyninst-pad")
+        hooked_bytes += 1
+    hooked.protected = "pssp-binary-hooked"
+    return hooked
+
+
+def instrument_static_binary(binary: Binary, *, suffix: str = ".pssp") -> Binary:
+    """Full static-binary instrumentation path.
+
+    1. Rewrite every SSP prologue/epilogue in place (layout preserved).
+    2. Hook the embedded ``fork`` and ``__stack_chk_fail`` with jmps.
+    3. Append the new code section: ``__pssp_fork``, the Figure-3/4
+       ``__pssp_stack_chk_fail``, and the ``__pssp_setup`` constructor.
+    """
+    if binary.link_type != STATIC:
+        raise RewriteError(f"{binary.name} is not statically linked")
+    result = instrument_binary(binary, suffix=suffix)
+    result.link_type = STATIC
+
+    if not result.has_function("fork") or not result.has_function("__stack_chk_fail"):
+        raise RewriteError(
+            f"{binary.name}: static glibc stubs missing (link build_static_glibc)"
+        )
+    result.functions["fork"] = _hook(result.function("fork"), "__pssp_fork")
+    result.functions["__stack_chk_fail"] = _hook(
+        result.function("__stack_chk_fail"), "__pssp_stack_chk_fail"
+    )
+
+    result.add_function(build_pssp_fork())
+    result.add_function(build_stack_chk_function("__pssp_stack_chk_fail"))
+    setup = build_pssp_setup()
+    result.add_function(setup)
+    result.constructors.append(setup.name)
+    return result

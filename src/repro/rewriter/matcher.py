@@ -1,0 +1,128 @@
+"""Pattern matcher for SSP instrumentation sites in compiled binaries.
+
+A real binary rewriter has no compiler metadata: it recognises SSP by the
+shape of the instructions — the prologue's ``mov rax, %fs:0x28`` /
+``mov -0x8(%rbp), rax`` pair and the epilogue's load/xor/je/call
+quadruple.  We match on exactly those shapes (operand structure, not
+provenance notes), so the matcher works on any binary whose code happens
+to contain SSP idioms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa.instructions import Function, Instruction, Label, Mem, Reg, Sym
+from ..machine.tls import CANARY_OFFSET
+
+
+@dataclass
+class PrologueMatch:
+    """``mov rax, fs:[0x28]`` at ``index`` followed by the frame store."""
+
+    index: int
+    store_index: int
+    canary_slot: int  # rbp-relative offset of the stack canary
+
+
+@dataclass
+class EpilogueMatch:
+    """The canonical SSP check: load, xor-vs-TLS, je, call."""
+
+    load_index: int
+    xor_index: int
+    je_index: int
+    call_index: int
+    canary_slot: int
+    ok_label: str
+
+
+def _is_tls_canary_load(instruction: Instruction) -> bool:
+    if instruction.op != "mov" or len(instruction.operands) != 2:
+        return False
+    dst, src = instruction.operands
+    return (
+        isinstance(dst, Reg)
+        and isinstance(src, Mem)
+        and src.seg == "fs"
+        and src.disp == CANARY_OFFSET
+    )
+
+
+def _is_frame_store(instruction: Instruction, source_reg: str) -> Optional[int]:
+    """Return the canary slot offset if this stores ``source_reg`` to the
+    frame, else ``None``."""
+    if instruction.op != "mov" or len(instruction.operands) != 2:
+        return None
+    dst, src = instruction.operands
+    if (
+        isinstance(dst, Mem)
+        and dst.base == "rbp"
+        and dst.seg is None
+        and isinstance(src, Reg)
+        and src.name == source_reg
+    ):
+        return -dst.disp
+    return None
+
+
+def find_prologues(function: Function) -> List[PrologueMatch]:
+    """Locate every SSP prologue in ``function``."""
+    matches: List[PrologueMatch] = []
+    body = function.body
+    for i, instruction in enumerate(body):
+        if not _is_tls_canary_load(instruction):
+            continue
+        destination = instruction.operands[0]
+        if i + 1 >= len(body):
+            continue
+        slot = _is_frame_store(body[i + 1], destination.name)
+        if slot is not None and slot > 0:
+            matches.append(PrologueMatch(i, i + 1, slot))
+    return matches
+
+
+def find_epilogues(function: Function) -> List[EpilogueMatch]:
+    """Locate every SSP epilogue check in ``function``."""
+    matches: List[EpilogueMatch] = []
+    body = function.body
+    for i in range(len(body) - 3):
+        load, xor, je, call = body[i : i + 4]
+        if load.op != "mov" or len(load.operands) != 2:
+            continue
+        dst, src = load.operands
+        if not (
+            isinstance(dst, Reg)
+            and isinstance(src, Mem)
+            and src.base == "rbp"
+            and src.seg is None
+        ):
+            continue
+        if xor.op != "xor" or len(xor.operands) != 2:
+            continue
+        xdst, xsrc = xor.operands
+        if not (
+            isinstance(xdst, Reg)
+            and xdst.name == dst.name
+            and isinstance(xsrc, Mem)
+            and xsrc.seg == "fs"
+            and xsrc.disp == CANARY_OFFSET
+        ):
+            continue
+        if je.op != "je" or not isinstance(je.operands[0], Label):
+            continue
+        if call.op != "call" or not (
+            isinstance(call.operands[0], Sym)
+            and call.operands[0].name == "__stack_chk_fail"
+        ):
+            continue
+        matches.append(
+            EpilogueMatch(i, i + 1, i + 2, i + 3, -src.disp, je.operands[0].name)
+        )
+    return matches
+
+
+def is_ssp_protected(function: Function) -> bool:
+    """Heuristic the rewriter uses to decide whether to instrument."""
+    return bool(find_prologues(function)) and bool(find_epilogues(function))

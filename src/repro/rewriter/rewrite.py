@@ -1,0 +1,108 @@
+"""Layout-preserving static rewriting: SSP → instrumentation-based P-SSP.
+
+The paper's rewriter (§V-C) faces two constraints and we enforce both:
+
+1. **Stack layout preservation** — the stack canary may not grow, so the
+   64-bit canary is downgraded to a packed pair of 32-bit halves
+   occupying the same word (entropy trade-off acknowledged in the paper's
+   caveat).  The prologue is byte-identical to SSP's except for the TLS
+   offset (``fs:0x28`` → ``fs:0x2a8``).
+2. **Address layout preservation** — no rewritten sequence may be longer
+   (in encoded bytes) than what it replaces.  The replaced epilogue
+   window (``xor``+``je``+``call`` = 16 bytes) is exactly refilled by the
+   ``push``/``pop``/``call`` sequence of Code 6; we assert equality and
+   pad with ``nop`` if the model ever leaves slack.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..binfmt.elf import Binary
+from ..errors import RewriteError
+from ..isa.encoding import function_length
+from ..isa.instructions import Function, Instruction, Label, Mem, Reg, Sym, ins
+from ..machine.tls import SHADOW_C0_OFFSET
+from .matcher import find_epilogues, find_prologues, is_ssp_protected
+
+
+def _shift_labels(function: Function, splice_at: int, delta: int) -> None:
+    """Adjust label indices after inserting ``delta`` instructions."""
+    for name, index in function.labels.items():
+        if index >= splice_at:
+            function.labels[name] = index + delta
+
+
+def rewrite_function(function: Function) -> Function:
+    """Return an instrumented copy of one SSP-protected function."""
+    clone = function.copy()
+    prologues = find_prologues(clone)
+    epilogues = find_epilogues(clone)
+    if not prologues or not epilogues:
+        raise RewriteError(f"{function.name}: no SSP pattern to rewrite")
+    original_bytes = function_length(clone.body)
+
+    # 1. Prologue: retarget the TLS load at the shadow canary (same-length
+    #    substitution: both offsets encode as disp32).
+    for match in prologues:
+        old = clone.body[match.index]
+        destination = old.operands[0]
+        clone.body[match.index] = ins(
+            "mov", destination, Mem(seg="fs", disp=SHADOW_C0_OFFSET),
+            note="pssp-binary-prologue",
+        )
+
+    # 2. Epilogues: replace xor/je/call with the rdi-passing check-call
+    #    (Code 6).  Process right-to-left so indices stay valid.
+    for match in sorted(epilogues, key=lambda m: m.load_index, reverse=True):
+        load = clone.body[match.load_index]
+        canary_reg = load.operands[0]
+        note = "pssp-binary-epilogue"
+        replacement: List[Instruction] = [
+            ins("push", Reg("rdi"), note=note),
+            ins("push", canary_reg, note=note),
+            ins("pop", Reg("rdi"), note=note),
+            ins("call", Sym("__stack_chk_fail"), note=note),
+            ins("pop", Reg("rdi"), note=note),
+            ins("je", Label(match.ok_label), note=note),
+            ins("call", Sym("__stack_chk_fail"), note=note),
+        ]
+        old_window = clone.body[match.xor_index : match.call_index + 1]
+        old_bytes = function_length(old_window)
+        new_bytes = function_length(replacement)
+        if new_bytes > old_bytes:
+            raise RewriteError(
+                f"{function.name}: rewritten epilogue is {new_bytes} bytes, "
+                f"original {old_bytes} — address layout would break"
+            )
+        while new_bytes < old_bytes:
+            replacement.append(ins("nop", note=note))
+            new_bytes += 1
+        clone.body[match.xor_index : match.call_index + 1] = replacement
+        _shift_labels(clone, match.xor_index + 1, len(replacement) - 3)
+
+    rewritten_bytes = function_length(clone.body)
+    if rewritten_bytes != original_bytes:
+        raise RewriteError(
+            f"{function.name}: byte length changed {original_bytes} → "
+            f"{rewritten_bytes}"
+        )
+    clone.protected = "pssp-binary"
+    return clone
+
+
+def instrument_binary(binary: Binary, *, suffix: str = ".pssp") -> Binary:
+    """Instrument every SSP-protected function in ``binary``.
+
+    Unprotected functions are left untouched (the rewriter only upgrades
+    existing SSP sites, as the paper assumes ``-fstack-protector`` input).
+    Dynamic binaries gain zero bytes (Table II); the replacement
+    ``__stack_chk_fail`` arrives via LD_PRELOAD interposition.
+    """
+    result = binary.clone()
+    result.name = binary.name + suffix
+    result.protection = "pssp-binary"
+    for name, function in list(result.functions.items()):
+        if is_ssp_protected(function):
+            result.functions[name] = rewrite_function(function)
+    return result

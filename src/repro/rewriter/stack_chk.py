@@ -1,0 +1,62 @@
+"""The modified ``__stack_chk_fail`` (paper Figures 3 and 4).
+
+Instrumentation-based P-SSP cannot afford to inflate every epilogue with
+the split-xor-compare logic, so the check is folded into the failure stub
+itself: the epilogue passes the (packed 2×32-bit) stack canary in ``rdi``
+and calls ``__stack_chk_fail``; the stub
+
+1. splits ``rdi`` into ``C0`` (low 32) and ``C1`` (high 32),
+2. compares ``C0 ⊕ C1`` against the folded TLS canary,
+3. on a match sets ZF and *returns* (the caller's ``je`` then skips the
+   real failure path), and
+4. on a mismatch falls into ``__GI__fortify_fail``, aborting.
+
+The stub stays compatible with plain SSP callers: they only reach it when
+a mismatch was already detected, with ``rdi`` holding unrelated data, so
+step 2 fails with overwhelming probability and the process aborts as SSP
+intended.
+"""
+
+from __future__ import annotations
+
+from ..binfmt.elf import DYNAMIC, Binary
+from ..isa.instructions import Function, Imm, Label, Mem, Reg, Sym
+from ..machine.tls import CANARY_OFFSET
+
+
+def _emit_fold32_of_tls(function: Function, scratch: str, temp: str) -> None:
+    """Emit: ``scratch = (tls_canary ^ (tls_canary >> 32)) & 0xffffffff``."""
+    function.emit("mov", Reg(scratch), Mem(seg="fs", disp=CANARY_OFFSET))
+    function.emit("mov", Reg(temp), Reg(scratch))
+    function.emit("shr", Reg(temp), Imm(32))
+    function.emit("xor", Reg(scratch), Reg(temp))
+    function.emit("shl", Reg(scratch), Imm(32))
+    function.emit("shr", Reg(scratch), Imm(32))
+
+
+def build_stack_chk_function(name: str = "__stack_chk_fail") -> Function:
+    """Build the replacement stub as simulated code."""
+    function = Function(name)
+    function.protected = "pssp-binary-rt"
+    # Split the packed stack canary in rdi.
+    function.emit("mov", Reg("rdx"), Reg("rdi"))
+    function.emit("shr", Reg("rdx"), Imm(32))          # C1
+    function.emit("mov", Reg("rcx"), Reg("rdi"))
+    function.emit("shl", Reg("rcx"), Imm(32))
+    function.emit("shr", Reg("rcx"), Imm(32))          # C0
+    function.emit("xor", Reg("rcx"), Reg("rdx"))       # C0 ^ C1
+    _emit_fold32_of_tls(function, "rdx", "rsi")
+    function.emit("cmp", Reg("rcx"), Reg("rdx"))
+    function.emit("je", Label(".match"))
+    function.emit("call", Sym("__GI__fortify_fail"))   # never returns
+    function.label_here(".match")
+    function.emit("ret")                               # ZF=1 rides back
+    return function
+
+
+def build_stack_chk_binary() -> Binary:
+    """Package the stub for LD_PRELOAD interposition (dynamic binaries)."""
+    binary = Binary("libpssp_chk.so", link_type=DYNAMIC)
+    binary.protection = "pssp-binary-rt"
+    binary.add_function(build_stack_chk_function())
+    return binary

@@ -1,0 +1,31 @@
+"""Workloads: the SPEC-like suite, web servers, and database engines."""
+
+from .database import DATABASES, MYSQL, SQLITE, DatabaseStats, DatabaseWorkload
+from .spec import SPEC_PROGRAMS, SPECFP, SPECINT, SpecProgram, program
+from .webserver import (
+    APACHE2,
+    CYCLES_PER_MS,
+    NGINX,
+    WEB_SERVERS,
+    ServerStats,
+    WebServerWorkload,
+)
+
+__all__ = [
+    "APACHE2",
+    "CYCLES_PER_MS",
+    "DATABASES",
+    "DatabaseStats",
+    "DatabaseWorkload",
+    "MYSQL",
+    "NGINX",
+    "SPECFP",
+    "SPECINT",
+    "SPEC_PROGRAMS",
+    "SQLITE",
+    "ServerStats",
+    "SpecProgram",
+    "WEB_SERVERS",
+    "WebServerWorkload",
+    "program",
+]

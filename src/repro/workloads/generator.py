@@ -1,0 +1,103 @@
+"""Synthetic workload generator.
+
+Produces valid, terminating MiniC programs with *controlled structure* —
+how many functions, how buffer-dense, how call-dense — so experiments can
+sweep exactly the variable that drives canary overhead:
+
+    overhead ≈ (protected calls × per-call canary cycles) / total cycles
+
+The SPEC-like suite gives realistic fixed points; the generator fills the
+space between them (`benchmarks/bench_sweep_call_density.py`).
+
+Programs are deterministic given the entropy seed, and every generated
+program returns a checksum so builds can be differentially validated
+across schemes, exactly like the curated suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..crypto.random import EntropySource
+
+#: Inner-loop body templates; `{i}` is the loop index, `{arg}` a parameter.
+_WORK_SNIPPETS = (
+    "acc = acc + ({i} * 7 + {arg}) % 23;",
+    "acc = acc ^ ({i} << 2);",
+    "acc = acc + buf[{i} % {bufmod}];",
+    "buf[{i} % {bufmod}] = acc % 120;",
+    "acc = acc * 3 + 1;",
+    "if (acc % 5 == 0) {{ acc = acc + {arg}; }}",
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape parameters for one synthetic program."""
+
+    #: Number of leaf worker functions.
+    functions: int = 4
+    #: Local buffer bytes per worker (0 = unprotected workers).
+    buffer_bytes: int = 32
+    #: Iterations of the main dispatch loop.
+    outer_iterations: int = 40
+    #: Iterations of each worker's inner loop — lower = more call-dense.
+    inner_iterations: int = 8
+
+
+def generate_program(config: GeneratorConfig, entropy: EntropySource) -> str:
+    """Emit a MiniC source with the requested structure."""
+    parts: List[str] = []
+    bufmod = max(1, config.buffer_bytes - 1)
+    for index in range(config.functions):
+        lines = [f"int worker{index}(int arg) {{"]
+        if config.buffer_bytes:
+            lines.append(f"    char buf[{config.buffer_bytes}];")
+        lines.append("    int acc;")
+        lines.append("    int i;")
+        lines.append("    acc = arg;")
+        if config.buffer_bytes:
+            lines.append("    buf[0] = arg;")
+        lines.append(f"    for (i = 0; i < {config.inner_iterations}; i = i + 1) {{")
+        for _ in range(3):
+            snippet = entropy.choice(list(_WORK_SNIPPETS))
+            if "buf" in snippet and not config.buffer_bytes:
+                snippet = "acc = acc + {i};"
+            lines.append(
+                "        "
+                + snippet.format(i="i", arg="arg", bufmod=bufmod)
+            )
+        lines.append("    }")
+        lines.append("    return acc & 0xffff;")
+        lines.append("}")
+        parts.append("\n".join(lines))
+
+    dispatch = [f"int main() {{", "    int total;", "    int round;",
+                "    total = 0;",
+                f"    for (round = 0; round < {config.outer_iterations}; "
+                f"round = round + 1) {{"]
+    for index in range(config.functions):
+        dispatch.append(
+            f"        total = total + worker{index}(round + {index});"
+        )
+    dispatch.append("    }")
+    dispatch.append("    return total & 255;")
+    dispatch.append("}")
+    parts.append("\n".join(dispatch))
+    return "\n\n".join(parts)
+
+
+def call_density_sweep_configs() -> List[GeneratorConfig]:
+    """Configurations from loop-heavy to call-heavy.
+
+    Outer×functions = protected calls; inner iterations set the work each
+    call amortises its canary cost over.
+    """
+    return [
+        GeneratorConfig(functions=2, inner_iterations=64, outer_iterations=20),
+        GeneratorConfig(functions=4, inner_iterations=16, outer_iterations=30),
+        GeneratorConfig(functions=4, inner_iterations=8, outer_iterations=40),
+        GeneratorConfig(functions=6, inner_iterations=4, outer_iterations=50),
+        GeneratorConfig(functions=8, inner_iterations=2, outer_iterations=60),
+    ]

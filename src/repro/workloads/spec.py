@@ -1,0 +1,725 @@
+"""SPEC CPU2006-like benchmark suite in MiniC.
+
+The paper evaluates runtime overhead on the 28 SPEC CPU2006 programs
+(Figure 5) — unavailable offline, so this module provides a suite of
+kernel programs named after their SPEC counterparts, each echoing the
+original's computational character (string hashing for perlbench, RLE
+coding for bzip2, shortest paths for mcf, ...).  What matters for the
+overhead experiment is the *call density*: canary schemes tax protected
+calls, so programs span the same range from call-heavy (perlbench, gcc)
+to loop-heavy (lbm, libquantum) as the real suite — that spread is what
+gives Figure 5 its per-program variation.
+
+Every program returns a deterministic checksum in ``main`` so builds can
+be cross-validated: all protection schemes must produce identical
+checksums (protection must never change program semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class SpecProgram:
+    """One benchmark program."""
+
+    name: str
+    kind: str  # "int" or "fp" (fp = fixed-point arithmetic character)
+    source: str
+
+
+def _p(name: str, kind: str, source: str) -> SpecProgram:
+    return SpecProgram(name, kind, source)
+
+
+SPEC_PROGRAMS: List[SpecProgram] = [
+    # ----------------------------------------------------------- SPECint —
+    _p("perlbench", "int", """
+int hash_string(char *s, int len) {
+    char buf[32];
+    int h; int i;
+    strncpy(buf, s, 31);
+    h = 5381;
+    for (i = 0; i < len && i < 31; i = i + 1) {
+        h = h * 33 + buf[i];
+    }
+    return h & 0xffffff;
+}
+int main() {
+    char word[64];
+    int total; int i;
+    total = 0;
+    for (i = 0; i < 90; i = i + 1) {
+        sprintf(word, "token%d", i * 7);
+        total = total + hash_string(word, strlen(word));
+    }
+    return total & 255;
+}
+"""),
+    _p("bzip2", "int", """
+int rle_encode(char *src, int n, char *dst) {
+    char window[48];
+    int i; int out; int run;
+    out = 0;
+    i = 0;
+    strncpy(window, src, 47);
+    while (i < n && i < 47) {
+        run = 1;
+        while (i + run < n && window[i + run] == window[i] && run < 9) {
+            run = run + 1;
+        }
+        dst[out] = window[i];
+        dst[out + 1] = '0' + run;
+        out = out + 2;
+        i = i + run;
+    }
+    return out;
+}
+int main() {
+    char data[64];
+    char coded[128];
+    int i; int total;
+    total = 0;
+    for (i = 0; i < 60; i = i + 1) {
+        sprintf(data, "aaabbbccc%daabb", i);
+        total = total + rle_encode(data, strlen(data), coded);
+    }
+    return total & 255;
+}
+"""),
+    _p("gcc", "int", """
+int eval_expr(char *expr, int n) {
+    char ops[40];
+    int acc; int i; int val;
+    strncpy(ops, expr, 39);
+    acc = 0;
+    val = 0;
+    i = 0;
+    while (i < n && i < 39) {
+        if (ops[i] >= '0' && ops[i] <= '9') {
+            val = val * 10 + ops[i] - '0';
+        } else {
+            if (ops[i] == '+') { acc = acc + val; val = 0; }
+            if (ops[i] == '-') { acc = acc - val; val = 0; }
+        }
+        i = i + 1;
+    }
+    return acc + val;
+}
+int main() {
+    char expr[64];
+    int total; int i;
+    total = 0;
+    for (i = 0; i < 70; i = i + 1) {
+        sprintf(expr, "%d+%d-%d+4", i, i * 3, i / 2);
+        total = total + eval_expr(expr, strlen(expr));
+    }
+    return total & 255;
+}
+"""),
+    _p("mcf", "int", """
+int relax_node(int *dist, int u, int v, int w) {
+    int cand;
+    cand = dist[u] + w;
+    if (cand < dist[v]) {
+        dist[v] = cand;
+        return 1;
+    }
+    return 0;
+}
+int main() {
+    int dist[32];
+    int i; int round; int changed;
+    for (i = 0; i < 32; i = i + 1) { dist[i] = 99999; }
+    dist[0] = 0;
+    changed = 1;
+    round = 0;
+    while (changed && round < 31) {
+        changed = 0;
+        for (i = 0; i + 1 < 32; i = i + 1) {
+            changed = changed + relax_node(dist, i, i + 1, (i * 17) % 23 + 1);
+            changed = changed + relax_node(dist, i, (i * 5 + 3) % 32, (i * 11) % 19 + 1);
+        }
+        round = round + 1;
+    }
+    return dist[31] & 255;
+}
+"""),
+    _p("gobmk", "int", """
+int eval_point(char *board, int x, int y) {
+    int score; int dx;
+    score = 0;
+    for (dx = 0 - 1; dx <= 1; dx = dx + 1) {
+        if (x + dx >= 0 && x + dx < 9) {
+            score = score + board[(x + dx) * 9 + y];
+        }
+    }
+    return score;
+}
+int main() {
+    char board[96];
+    int x; int y; int total;
+    for (x = 0; x < 81; x = x + 1) { board[x] = (x * 7) % 3; }
+    total = 0;
+    for (x = 0; x < 9; x = x + 1) {
+        for (y = 0; y < 9; y = y + 1) {
+            total = total + eval_point(board, x, y);
+        }
+    }
+    return total & 255;
+}
+"""),
+    _p("hmmer", "int", """
+int align_cell(int *row, int i, int match, int gap) {
+    int best;
+    best = row[i - 1] + match;
+    if (row[i] + gap > best) { best = row[i] + gap; }
+    return best;
+}
+int main() {
+    int row[40];
+    char seq[48];
+    int i; int j; int total;
+    sprintf(seq, "ACGTACGTACGTACGTACGTACGTACGT");
+    for (i = 0; i < 40; i = i + 1) { row[i] = 0 - i; }
+    total = 0;
+    for (j = 0; j < 24; j = j + 1) {
+        for (i = 1; i < 29; i = i + 1) {
+            row[i] = align_cell(row, i, seq[i - 1] == seq[j], 0 - 2);
+        }
+        total = total + row[28];
+    }
+    return (total + 4096) & 255;
+}
+"""),
+    _p("sjeng", "int", """
+int score_move(char *pos, int depth, int alpha) {
+    char line[24];
+    int s; int i;
+    strncpy(line, pos, 23);
+    s = 0;
+    for (i = 0; i < depth && i < 23; i = i + 1) {
+        s = s * 3 + line[i] - alpha;
+    }
+    return s & 0xffff;
+}
+int main() {
+    char pos[32];
+    int d; int m; int best;
+    best = 0;
+    for (m = 0; m < 40; m = m + 1) {
+        sprintf(pos, "e%dd%dc%db%d", m % 8, (m * 3) % 8, (m * 5) % 8, m % 4);
+        for (d = 1; d < 5; d = d + 1) {
+            best = best + score_move(pos, d * 4, 60);
+        }
+    }
+    return best & 255;
+}
+"""),
+    _p("libquantum", "int", """
+int toffoli(int state, int c1, int c2, int t) {
+    if ((state >> c1) & 1) {
+        if ((state >> c2) & 1) {
+            return state ^ (1 << t);
+        }
+    }
+    return state;
+}
+int main() {
+    int reg[16];
+    int i; int g; int total;
+    for (i = 0; i < 16; i = i + 1) { reg[i] = i * 2654435761; }
+    total = 0;
+    for (g = 0; g < 400; g = g + 1) {
+        i = g % 16;
+        reg[i] = toffoli(reg[i], g % 30, (g * 7) % 30, (g * 13) % 30);
+        total = total ^ reg[i];
+    }
+    return total & 255;
+}
+"""),
+    _p("h264ref", "int", """
+int block_sad(char *a, char *b, int n) {
+    int sad; int i; int d;
+    sad = 0;
+    for (i = 0; i < n; i = i + 1) {
+        d = a[i] - b[i];
+        if (d < 0) { d = 0 - d; }
+        sad = sad + d;
+    }
+    return sad;
+}
+int main() {
+    char ref[64];
+    char cur[64];
+    int i; int f; int total;
+    total = 0;
+    for (f = 0; f < 50; f = f + 1) {
+        for (i = 0; i < 16; i = i + 1) {
+            ref[i] = (i * f) % 120;
+            cur[i] = (i * f + 3) % 120;
+        }
+        total = total + block_sad(ref, cur, 16);
+    }
+    return total & 255;
+}
+"""),
+    _p("omnetpp", "int", """
+int schedule(int *queue, int count, int event) {
+    int i;
+    i = count;
+    while (i > 0 && queue[i - 1] > event) {
+        queue[i] = queue[i - 1];
+        i = i - 1;
+    }
+    queue[i] = event;
+    return count + 1;
+}
+int main() {
+    int queue[48];
+    int n; int e; int total;
+    n = 0;
+    total = 0;
+    for (e = 0; e < 120; e = e + 1) {
+        if (n >= 40) {
+            total = total + queue[0];
+            n = 0;
+        }
+        n = schedule(queue, n, (e * 193) % 1000);
+    }
+    return total & 255;
+}
+"""),
+    _p("astar", "int", """
+int heuristic(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) { dx = 0 - dx; }
+    dy = y1 - y2;
+    if (dy < 0) { dy = 0 - dy; }
+    return dx + dy;
+}
+int expand(char *grid, int *cost, int x, int y) {
+    int c;
+    if (grid[x * 12 + y]) { return 9999; }
+    c = cost[x * 12 + y] + 1 + heuristic(x, y, 11, 11);
+    return c;
+}
+int main() {
+    char grid[144];
+    int cost[144];
+    int x; int y; int total;
+    for (x = 0; x < 144; x = x + 1) {
+        grid[x] = ((x * 31) % 7) == 0;
+        cost[x] = x % 13;
+    }
+    total = 0;
+    for (x = 0; x < 11; x = x + 1) {
+        for (y = 0; y < 11; y = y + 1) {
+            total = total + expand(grid, cost, x, y);
+        }
+    }
+    return total & 255;
+}
+"""),
+    _p("xalancbmk", "int", """
+int parse_tag(char *doc, int start, char *out) {
+    int i; int j;
+    i = start;
+    j = 0;
+    while (doc[i] && doc[i] != '<') { i = i + 1; }
+    if (!doc[i]) { return 0 - 1; }
+    i = i + 1;
+    while (doc[i] && doc[i] != '>' && j < 15) {
+        out[j] = doc[i];
+        i = i + 1;
+        j = j + 1;
+    }
+    out[j] = 0;
+    return i + 1;
+}
+int main() {
+    char doc[96];
+    char tag[16];
+    int pos; int total; int r;
+    sprintf(doc, "<a><bb><ccc><dddd><eeeee><ff><g>");
+    total = 0;
+    for (r = 0; r < 30; r = r + 1) {
+        pos = 0;
+        while (pos >= 0 && pos < 32) {
+            pos = parse_tag(doc, pos, tag);
+            total = total + strlen(tag);
+        }
+    }
+    return total & 255;
+}
+"""),
+    # ------------------------------------------------------------ SPECfp —
+    # (fixed-point arithmetic with the originals' loop character)
+    _p("milc", "fp", """
+int su3_mult_row(int *a, int *b, int scale) {
+    int acc; int i;
+    acc = 0;
+    for (i = 0; i < 9; i = i + 1) {
+        acc = acc + (a[i] * b[i]) / scale;
+    }
+    return acc;
+}
+int main() {
+    int a[16];
+    int b[16];
+    int i; int r; int total;
+    for (i = 0; i < 9; i = i + 1) { a[i] = i * 100 + 7; b[i] = 900 - i * 50; }
+    total = 0;
+    for (r = 0; r < 120; r = r + 1) {
+        total = total + su3_mult_row(a, b, r + 1);
+    }
+    return (total + 65536) & 255;
+}
+"""),
+    _p("namd", "fp", """
+int pair_force(int dx, int dy, int dz, int cutoff) {
+    int r2;
+    r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 > cutoff) { return 0; }
+    return (1000000 / (r2 + 1)) - (1000 / (r2 + 1));
+}
+int main() {
+    int px[24];
+    int i; int j; int total;
+    for (i = 0; i < 24; i = i + 1) { px[i] = (i * 37) % 50; }
+    total = 0;
+    for (i = 0; i < 24; i = i + 1) {
+        for (j = i + 1; j < 24; j = j + 1) {
+            total = total + pair_force(px[i] - px[j], i - j, j % 5, 900);
+        }
+    }
+    return (total + 1048576) & 255;
+}
+"""),
+    _p("dealII", "fp", """
+int assemble_cell(int *stiff, int i, int j, int n) {
+    return stiff[i * n + j] + (i + 1) * 31 / (j + 1);
+}
+int main() {
+    int stiff[64];
+    int i; int j; int total;
+    for (i = 0; i < 64; i = i + 1) { stiff[i] = i * 3; }
+    total = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 8; j = j + 1) {
+            stiff[i * 8 + j] = assemble_cell(stiff, i, j, 8);
+            total = total + stiff[i * 8 + j];
+        }
+    }
+    return total & 255;
+}
+"""),
+    _p("soplex", "fp", """
+int pivot_column(int *tableau, int rows, int col, int cols) {
+    int best; int i; int v;
+    best = 0;
+    for (i = 0; i < rows; i = i + 1) {
+        v = tableau[i * cols + col];
+        if (v < best) { best = v; }
+    }
+    return best;
+}
+int main() {
+    int tab[80];
+    int c; int r; int total;
+    for (c = 0; c < 80; c = c + 1) { tab[c] = ((c * 29) % 41) - 20; }
+    total = 0;
+    for (r = 0; r < 30; r = r + 1) {
+        for (c = 0; c < 8; c = c + 1) {
+            total = total + pivot_column(tab, 10, c, 8);
+        }
+    }
+    return (total + 65536) & 255;
+}
+"""),
+    _p("povray", "fp", """
+int ray_sphere(int ox, int oy, int dz, int radius) {
+    int b; int disc; int denom;
+    b = ox * 2 + oy * 2;
+    disc = b * b - 4 * (ox * ox + oy * oy - radius * radius);
+    if (disc < 0) { return 0; }
+    denom = b + dz;
+    if (denom < 1) { denom = 1; }
+    return (b + disc / denom) / 2;
+}
+int main() {
+    char pixel[32];
+    int x; int y; int total;
+    total = 0;
+    for (y = 0; y < 16; y = y + 1) {
+        for (x = 0; x < 16; x = x + 1) {
+            pixel[x] = ray_sphere(x - 8, y - 8, 5, 6) & 127;
+            total = total + pixel[x];
+        }
+    }
+    return total & 255;
+}
+"""),
+    _p("lbm", "fp", """
+int stream_cell(int *lattice, int i, int n) {
+    int left; int right;
+    left = lattice[(i + n - 1) % n];
+    right = lattice[(i + 1) % n];
+    return (left + right + lattice[i] * 2) / 4;
+}
+int main() {
+    int lattice[48];
+    int next[48];
+    int i; int step; int total;
+    for (i = 0; i < 48; i = i + 1) { lattice[i] = (i * 97) % 256; }
+    total = 0;
+    for (step = 0; step < 25; step = step + 1) {
+        for (i = 0; i < 48; i = i + 1) {
+            next[i] = stream_cell(lattice, i, 48);
+        }
+        for (i = 0; i < 48; i = i + 1) { lattice[i] = next[i]; }
+        total = total + lattice[step % 48];
+    }
+    return total & 255;
+}
+"""),
+    _p("sphinx3", "fp", """
+int gauss_score(int *mean, int *obs, int n) {
+    int score; int i; int d;
+    score = 0;
+    for (i = 0; i < n; i = i + 1) {
+        d = obs[i] - mean[i];
+        score = score + d * d / 16;
+    }
+    return score;
+}
+int main() {
+    int mean[24];
+    int obs[24];
+    int f; int i; int total;
+    for (i = 0; i < 24; i = i + 1) { mean[i] = (i * 13) % 40; }
+    total = 0;
+    for (f = 0; f < 60; f = f + 1) {
+        for (i = 0; i < 24; i = i + 1) { obs[i] = (i * f) % 43; }
+        total = total + gauss_score(mean, obs, 24);
+    }
+    return total & 255;
+}
+"""),
+    _p("gromacs", "fp", """
+int bond_energy(int *coords, int a, int b, int k) {
+    int d;
+    d = coords[a] - coords[b];
+    return k * d * d / 100;
+}
+int main() {
+    int coords[40];
+    int i; int step; int total;
+    for (i = 0; i < 40; i = i + 1) { coords[i] = (i * 23) % 70; }
+    total = 0;
+    for (step = 0; step < 80; step = step + 1) {
+        for (i = 0; i + 1 < 40; i = i + 2) {
+            total = total + bond_energy(coords, i, i + 1, step % 7 + 1);
+        }
+    }
+    return total & 255;
+}
+"""),
+    _p("bwaves", "fp", """
+int wave_step(int *field, int i, int n, int dt) {
+    int laplacian;
+    laplacian = field[(i + 1) % n] + field[(i + n - 1) % n] - 2 * field[i];
+    return field[i] + laplacian * dt / 8;
+}
+int main() {
+    int field[56];
+    int next[56];
+    int i; int t; int total;
+    for (i = 0; i < 56; i = i + 1) { field[i] = (i * 41) % 128; }
+    total = 0;
+    for (t = 0; t < 20; t = t + 1) {
+        for (i = 0; i < 56; i = i + 1) {
+            next[i] = wave_step(field, i, 56, t % 5 + 1);
+        }
+        for (i = 0; i < 56; i = i + 1) { field[i] = next[i]; }
+        total = total ^ field[t % 56];
+    }
+    return (total + 4096) & 255;
+}
+"""),
+    _p("gamess", "fp", """
+int two_electron(int *basis, int i, int j, int k, int l) {
+    return (basis[i] * basis[j] - basis[k] * basis[l]) / 16;
+}
+int main() {
+    int basis[16];
+    int i; int j; int total;
+    for (i = 0; i < 16; i = i + 1) { basis[i] = (i * 19) % 60 + 1; }
+    total = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        for (j = 0; j < 16; j = j + 1) {
+            total = total + two_electron(basis, i, j, (i + j) % 16, (i * j) % 16);
+        }
+    }
+    return (total + 1048576) & 255;
+}
+"""),
+    _p("zeusmp", "fp", """
+int advect(int *density, int *velocity, int i, int n) {
+    int flux;
+    flux = density[i] * velocity[i] / 32;
+    return density[i] - flux + density[(i + n - 1) % n] * velocity[(i + n - 1) % n] / 32;
+}
+int main() {
+    int density[48];
+    int velocity[48];
+    int next[48];
+    int i; int t; int total;
+    for (i = 0; i < 48; i = i + 1) {
+        density[i] = (i * 53) % 200 + 10;
+        velocity[i] = (i * 7) % 15;
+    }
+    total = 0;
+    for (t = 0; t < 18; t = t + 1) {
+        for (i = 0; i < 48; i = i + 1) {
+            next[i] = advect(density, velocity, i, 48);
+        }
+        for (i = 0; i < 48; i = i + 1) { density[i] = next[i]; }
+        total = total + density[t % 48];
+    }
+    return (total + 65536) & 255;
+}
+"""),
+    _p("cactusADM", "fp", """
+int evolve_metric(int *metric, int i, int n, int lapse) {
+    int ricci;
+    ricci = metric[(i + 1) % n] - 2 * metric[i] + metric[(i + n - 1) % n];
+    return metric[i] + lapse * ricci / 16;
+}
+int main() {
+    int metric[40];
+    int next[40];
+    int i; int step; int total;
+    for (i = 0; i < 40; i = i + 1) { metric[i] = 1000 + (i * 77) % 300; }
+    total = 0;
+    for (step = 0; step < 25; step = step + 1) {
+        for (i = 0; i < 40; i = i + 1) {
+            next[i] = evolve_metric(metric, i, 40, step % 4 + 1);
+        }
+        for (i = 0; i < 40; i = i + 1) { metric[i] = next[i]; }
+        total = total ^ metric[(step * 3) % 40];
+    }
+    return (total + 65536) & 255;
+}
+"""),
+    _p("leslie3d", "fp", """
+int flux_split(int pressure, int velocity, int gamma) {
+    int mach;
+    mach = velocity * 8 / (pressure / 16 + 1);
+    if (mach > 8) { return pressure; }
+    if (mach < 0 - 8) { return 0; }
+    return pressure * (mach + 8) / 16;
+}
+int main() {
+    int pressure[44];
+    int i; int t; int total;
+    for (i = 0; i < 44; i = i + 1) { pressure[i] = 500 + (i * 31) % 400; }
+    total = 0;
+    for (t = 0; t < 40; t = t + 1) {
+        for (i = 0; i < 44; i = i + 1) {
+            total = total + flux_split(pressure[i], (i - 22) * (t % 3), 14);
+        }
+    }
+    return (total + 1048576) & 255;
+}
+"""),
+    _p("calculix", "fp", """
+int elem_stiffness(int *node, int a, int b, int youngs) {
+    int length;
+    length = node[b] - node[a];
+    if (length < 1) { length = 1; }
+    return youngs / length;
+}
+int assemble_row(int *node, int *row, int i, int n) {
+    int k;
+    k = elem_stiffness(node, i, (i + 1) % n, 21000);
+    row[i] = row[i] + k;
+    row[(i + 1) % n] = row[(i + 1) % n] - k;
+    return k;
+}
+int main() {
+    int node[32];
+    int row[32];
+    int i; int pass; int total;
+    for (i = 0; i < 32; i = i + 1) { node[i] = i * 13 + (i * i) % 7; row[i] = 0; }
+    total = 0;
+    for (pass = 0; pass < 30; pass = pass + 1) {
+        for (i = 0; i < 32; i = i + 1) {
+            total = total + assemble_row(node, row, i, 32);
+        }
+    }
+    return (total + 1048576) & 255;
+}
+"""),
+    _p("GemsFDTD", "fp", """
+int update_e(int *e_field, int *h_field, int i, int n) {
+    return e_field[i] + (h_field[i] - h_field[(i + n - 1) % n]) / 4;
+}
+int update_h(int *e_field, int *h_field, int i, int n) {
+    return h_field[i] + (e_field[(i + 1) % n] - e_field[i]) / 4;
+}
+int main() {
+    int e_field[36];
+    int h_field[36];
+    int i; int t; int total;
+    for (i = 0; i < 36; i = i + 1) {
+        e_field[i] = (i * 29) % 100;
+        h_field[i] = (i * 43) % 100;
+    }
+    total = 0;
+    for (t = 0; t < 22; t = t + 1) {
+        for (i = 0; i < 36; i = i + 1) {
+            e_field[i] = update_e(e_field, h_field, i, 36);
+        }
+        for (i = 0; i < 36; i = i + 1) {
+            h_field[i] = update_h(e_field, h_field, i, 36);
+        }
+        total = total ^ e_field[t % 36];
+    }
+    return (total + 4096) & 255;
+}
+"""),
+    _p("tonto", "fp", """
+int overlap_integral(int *orbital, int i, int j, int scale) {
+    int s;
+    s = orbital[i] * orbital[j];
+    return s / (scale + (i - j) * (i - j));
+}
+int main() {
+    int orbital[20];
+    int i; int j; int total;
+    for (i = 0; i < 20; i = i + 1) { orbital[i] = (i * 37) % 90 + 5; }
+    total = 0;
+    for (i = 0; i < 20; i = i + 1) {
+        for (j = 0; j < 20; j = j + 1) {
+            total = total + overlap_integral(orbital, i, j, 4);
+        }
+    }
+    return (total + 1048576) & 255;
+}
+"""),
+]
+
+SPECINT = [p for p in SPEC_PROGRAMS if p.kind == "int"]
+SPECFP = [p for p in SPEC_PROGRAMS if p.kind == "fp"]
+
+
+def program(name: str) -> SpecProgram:
+    """Look a benchmark up by name."""
+    for candidate in SPEC_PROGRAMS:
+        if candidate.name == name:
+            return candidate
+    raise KeyError(name)

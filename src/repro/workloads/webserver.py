@@ -1,0 +1,197 @@
+"""Web-server workloads (paper Table III: Apache2 and Nginx).
+
+Each server is a MiniC request handler run in the forking-worker model
+(the same structure the attacks target).  Per-request response time is
+
+    response_ms = base_latency + handler_cycles / clock + jitter
+
+where ``base_latency`` models the network/queueing/IO share of the
+paper's measured times (33 ms for Apache Benchmark against Apache2 at
+concurrency 500, 3.1 ms for Nginx) — the component canary schemes cannot
+touch, and the reason Table III's deltas are in the third decimal.  The
+CPU share is *measured*, not assumed: it is the simulated cycles the
+handler actually executes under each scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List, Optional
+
+from ..core.deploy import build, deploy
+from ..crypto.random import EntropySource
+from ..kernel.kernel import Kernel
+
+#: Simulated CPU clock (i7-4770K-class), cycles per millisecond.
+CYCLES_PER_MS = 3_500_000.0
+
+APACHE_SOURCE = """
+int check_access(char *path, int n) {
+    char rule[64];
+    int i; int allow;
+    allow = 1;
+    for (i = 0; i < 4; i = i + 1) {
+        sprintf(rule, "/private%d", i);
+        if (strcmp(path, rule) == 0) { allow = 0; }
+    }
+    return allow;
+}
+
+int log_request(char *method, char *path, int status) {
+    char line[192];
+    sprintf(line, "%s %s -> %d", method, path, status);
+    return strlen(line);
+}
+
+int handler(int n) {
+    char request[256];
+    char method[16];
+    char path[128];
+    char response[224];
+    int len; int i; int j; int status;
+    len = read(0, request, 255);
+    request[len] = 0;
+    i = 0;
+    j = 0;
+    while (request[i] && request[i] != ' ' && j < 15) {
+        method[j] = request[i];
+        i = i + 1;
+        j = j + 1;
+    }
+    method[j] = 0;
+    while (request[i] == ' ') { i = i + 1; }
+    j = 0;
+    while (request[i] && request[i] != ' ' && j < 127) {
+        path[j] = request[i];
+        i = i + 1;
+        j = j + 1;
+    }
+    path[j] = 0;
+    status = 200;
+    if (!check_access(path, j)) { status = 403; }
+    if (strcmp(method, "GET") != 0 && strcmp(method, "POST") != 0) {
+        status = 405;
+    }
+    sprintf(response, "HTTP/1.1 %d OK content=%s", status, path);
+    write(1, response, strlen(response));
+    log_request(method, path, status);
+    return status == 200;
+}
+
+int main() { return 0; }
+"""
+
+NGINX_SOURCE = """
+int handler(int n) {
+    char request[256];
+    char path[96];
+    char response[128];
+    int len; int i; int j;
+    len = read(0, request, 255);
+    request[len] = 0;
+    i = 0;
+    while (request[i] && request[i] != ' ') { i = i + 1; }
+    while (request[i] == ' ') { i = i + 1; }
+    j = 0;
+    while (request[i] && request[i] != ' ' && j < 95) {
+        path[j] = request[i];
+        i = i + 1;
+        j = j + 1;
+    }
+    path[j] = 0;
+    sprintf(response, "HTTP/1.1 200 %s", path);
+    write(1, response, strlen(response));
+    return 1;
+}
+
+int main() { return 0; }
+"""
+
+
+@dataclass
+class ServerStats:
+    """Measured service statistics for one build."""
+
+    server: str
+    scheme: str
+    requests: int
+    mean_response_ms: float
+    cpu_cycles_per_request: float
+    failures: int
+
+
+@dataclass
+class WebServerWorkload:
+    """One server program plus its latency profile."""
+
+    name: str
+    source: str
+    base_latency_ms: float
+    jitter_ms: float = 0.0005
+
+    def request(self, entropy: EntropySource, index: int) -> bytes:
+        """Generate an ab-style request."""
+        paths = ("/index.html", "/api/v1/items", "/static/app.js",
+                 "/private1", "/images/logo.png")
+        path = paths[index % len(paths)]
+        return f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+
+    def measure(
+        self,
+        scheme: str,
+        *,
+        requests: int = 60,
+        seed: int = 20180625,
+        kernel: Optional[Kernel] = None,
+        mode: str = "fork",
+    ) -> ServerStats:
+        """Serve ``requests`` via forked workers and aggregate timing.
+
+        The paper stresses with 100 000 requests at concurrency 500; the
+        simulator serves a sample — per-request cost is deterministic
+        given the seed, so the sample mean converges immediately.
+        ``mode`` selects the worker model: ``"fork"`` (prefork, default)
+        or ``"thread"`` (the paper's "multithread mode").
+        """
+        if mode not in ("fork", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        kernel = kernel or Kernel(seed)
+        binary = build(self.source, scheme, name=self.name)
+        parent, _ = deploy(kernel, binary, scheme)
+        entropy = EntropySource(seed ^ 0xABCD)
+        times: List[float] = []
+        cycles: List[float] = []
+        failures = 0
+        for index in range(requests):
+            if mode == "fork":
+                worker = kernel.fork(parent)
+            else:
+                worker = kernel.create_thread(parent)
+            worker.stdin.clear()
+            worker.feed_stdin(self.request(entropy, index))
+            result = worker.call("handler", (0,))
+            if result.crashed:
+                failures += 1
+            cpu_ms = result.cycles / CYCLES_PER_MS
+            jitter = abs(entropy.gauss(0.0, self.jitter_ms))
+            times.append(self.base_latency_ms + cpu_ms + jitter)
+            cycles.append(result.cycles)
+            if mode == "fork":
+                kernel.reap(worker)
+        return ServerStats(
+            server=self.name,
+            scheme=scheme,
+            requests=requests,
+            mean_response_ms=mean(times),
+            cpu_cycles_per_request=mean(cycles),
+            failures=failures,
+        )
+
+
+#: Table III's two servers.  Base latencies anchor to the paper's native
+#: measurements (33.006 ms and 3.088 ms) minus the measured CPU share.
+APACHE2 = WebServerWorkload("apache2", APACHE_SOURCE, base_latency_ms=33.0)
+NGINX = WebServerWorkload("nginx", NGINX_SOURCE, base_latency_ms=3.085)
+
+WEB_SERVERS = (APACHE2, NGINX)

@@ -1,0 +1,78 @@
+"""Defender-side crash-rate telemetry."""
+
+from repro.attacks.byte_by_byte import byte_by_byte_attack
+from repro.attacks.detection import CrashRateMonitor
+from repro.attacks.oracle import ForkingServer
+from repro.attacks.payloads import frame_map
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+def monitored_server(scheme, seed=951, **monitor_kw):
+    kernel = Kernel(seed)
+    binary = build(VICTIM, scheme, name="srv")
+    parent, _ = deploy(kernel, binary, scheme)
+    server = ForkingServer(kernel, parent)
+    return CrashRateMonitor(server, **monitor_kw), binary
+
+
+class TestBenignTraffic:
+    def test_no_alarm_on_clean_traffic(self):
+        monitor, _ = monitored_server("pssp")
+        for index in range(60):
+            monitor.handle_request(f"GET /p{index}".encode())
+        assert not monitor.alarm
+        assert monitor.alarmed_at is None
+        assert monitor.crashes == 0
+
+    def test_sporadic_crashes_stay_quiet(self):
+        # A buggy 5% of requests crash: below any sane threshold.
+        monitor, _ = monitored_server("pssp", threshold=0.5)
+        for index in range(60):
+            payload = b"A" * (200 if index % 20 == 0 else 8)
+            monitor.handle_request(payload)
+        assert not monitor.alarm
+
+    def test_warmup_cannot_false_alarm(self):
+        monitor, _ = monitored_server("pssp", window=50)
+        monitor.handle_request(b"A" * 200)  # one crash, no data yet
+        assert not monitor.alarm
+
+
+class TestCampaignDetection:
+    def test_byte_by_byte_trips_the_alarm_fast(self):
+        monitor, binary = monitored_server("pssp", window=50, threshold=0.5)
+        frame = frame_map(binary, "handler")
+        byte_by_byte_attack(monitor, frame, max_trials=600)
+        assert monitor.alarm
+        # The alarm fires within the first window-and-a-bit of probes.
+        assert monitor.alarmed_at is not None
+        assert monitor.alarmed_at <= 80
+
+    def test_campaign_against_ssp_also_visible(self):
+        # Even the *successful* attack on SSP is loud: ~127 crashes per
+        # recovered byte.
+        monitor, binary = monitored_server("ssp", window=50, threshold=0.5)
+        frame = frame_map(binary, "handler")
+        report = byte_by_byte_attack(monitor, frame, max_trials=6000)
+        assert report.success      # the defence fell...
+        assert monitor.alarm       # ...but nobody can say it was silent
+        assert monitor.window_crash_rate > 0.9
+
+    def test_stats_snapshot(self):
+        monitor, binary = monitored_server("pssp")
+        frame = frame_map(binary, "handler")
+        byte_by_byte_attack(monitor, frame, max_trials=120)
+        stats = monitor.stats()
+        assert stats.requests == 120
+        assert stats.crashes > 100
+        assert stats.alarmed

@@ -1,0 +1,85 @@
+"""Exhaustive search models and the fork-correctness probe."""
+
+import pytest
+
+from repro.attacks.correctness import probe_fork_correctness
+from repro.attacks.exhaustive import (
+    exhaustive_attack,
+    survival_probability_montecarlo,
+)
+from repro.attacks.oracle import ForkingServer
+from repro.attacks.payloads import frame_map
+from repro.core.deploy import build, deploy
+from repro.crypto.random import EntropySource
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+class TestExhaustiveEmpirical:
+    @pytest.mark.parametrize("scheme", ["ssp", "pssp"])
+    def test_small_budget_never_wins(self, scheme):
+        kernel = Kernel(61)
+        binary = build(VICTIM, scheme, name="srv")
+        parent, _ = deploy(kernel, binary, scheme)
+        server = ForkingServer(kernel, parent)
+        frame = frame_map(binary, "handler")
+        report = exhaustive_attack(
+            server, frame, EntropySource(1), max_trials=120,
+            scheme_pair_split=(scheme == "pssp"),
+        )
+        assert not report.success  # 2^-64 per trial: 120 trials is nothing
+        assert report.trials == 120
+
+
+class TestMonteCarloEquivalence:
+    def test_ssp_rate_matches_width(self):
+        rate = survival_probability_montecarlo("ssp", bits=12, samples=40_000)
+        assert abs(rate - 2**-12) < 5e-4
+
+    def test_pssp_rate_equals_ssp_rate(self):
+        """§III-C1: P-SSP and SSP have identical exhaustive-search
+        strength for equal TLS-canary width."""
+        ssp = survival_probability_montecarlo("ssp", bits=12, samples=60_000)
+        pssp = survival_probability_montecarlo("pssp", bits=12, samples=60_000)
+        assert abs(ssp - pssp) < 1.5e-3
+
+    def test_binary_path_halves_the_exponent(self):
+        """§V-C caveat: folded 32-bit canaries are weaker — here at width
+        12, the packed path behaves like width 6."""
+        folded = survival_probability_montecarlo(
+            "pssp-binary", bits=12, samples=40_000
+        )
+        assert abs(folded - 2**-6) < 5e-3
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            survival_probability_montecarlo("rot13")
+
+
+class TestForkCorrectness:
+    def test_raf_ssp_breaks_children(self):
+        report = probe_fork_correctness("raf-ssp")
+        assert report.parent_ok
+        assert not report.child_ok
+        assert report.child_signal == "SIGABRT"
+        assert not report.fork_correct
+
+    @pytest.mark.parametrize(
+        "scheme",
+        ["ssp", "pssp", "pssp-nt", "pssp-owf", "pssp-gb", "dynaguard", "dcr",
+         "pssp-binary", "pssp-binary-static"],
+    )
+    def test_everyone_else_is_correct(self, scheme):
+        report = probe_fork_correctness(scheme)
+        assert report.fork_correct, (
+            f"{scheme} child died returning into an inherited frame "
+            f"({report.child_signal})"
+        )

@@ -1,0 +1,73 @@
+"""Leak-and-replay: the exposure-resilience matrix (paper §IV-C).
+
+Expected outcomes:
+
+===========  ========  =========
+scheme       hijacked  detected
+===========  ========  =========
+ssp          yes       no
+pssp         yes       no        (single point of failure, paper admits)
+pssp-nt      yes       no        (any XOR-consistent pair verifies)
+pssp-owf     no        yes       (canary bound to ret+nonce)
+pssp-gb      no        yes       (C1 half never exposed on the stack)
+===========  ========  =========
+"""
+
+import pytest
+
+from repro.attacks.leak import leak_and_replay
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+LEAKY_VICTIM = """
+int win() {
+    puts("PWNED");
+    return 1;
+}
+
+int leaky(int n) {
+    char buf[32];
+    buf[0] = 1;
+    return buf[0];
+}
+
+int target(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+
+int main() { return 0; }
+"""
+
+
+def run_leak(scheme, seed=51):
+    kernel = Kernel(seed)
+    binary = build(LEAKY_VICTIM, scheme, name="victim")
+    process, _ = deploy(kernel, binary, scheme)
+    return leak_and_replay(kernel, process, binary)
+
+
+class TestVulnerableSchemes:
+    @pytest.mark.parametrize("scheme", ["ssp", "pssp", "pssp-nt"])
+    def test_replay_hijacks(self, scheme):
+        report = run_leak(scheme)
+        assert report.hijacked, f"{scheme} should fall to leak-replay"
+        assert not report.detected
+
+    def test_leak_captures_canary_words(self):
+        report = run_leak("ssp")
+        assert 8 in report.leaked
+        assert report.leaked[8] != 0
+
+
+class TestResilientSchemes:
+    def test_owf_detects_replay(self):
+        report = run_leak("pssp-owf")
+        assert not report.hijacked
+        assert report.detected
+
+    def test_gb_detects_replay(self):
+        report = run_leak("pssp-gb")
+        assert not report.hijacked
+        assert report.detected

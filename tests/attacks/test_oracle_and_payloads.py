@@ -1,0 +1,138 @@
+"""Oracle servers and payload construction."""
+
+import pytest
+
+from repro.attacks.oracle import ForkingServer, ThreadedServer
+from repro.attacks.payloads import PayloadBuilder, frame_map
+from repro.core.deploy import build, deploy
+from repro.errors import ProtectionError
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+def make_server(scheme="ssp", seed=41, threaded=False):
+    kernel = Kernel(seed)
+    binary = build(VICTIM, scheme, name="srv")
+    parent, _ = deploy(kernel, binary, scheme)
+    cls = ThreadedServer if threaded else ForkingServer
+    return cls(kernel, parent), binary
+
+
+class TestForkingServer:
+    def test_benign_request_survives(self):
+        server, _ = make_server()
+        response = server.handle_request(b"hello")
+        assert not response.crashed
+
+    def test_smash_crashes_worker_not_parent(self):
+        server, _ = make_server()
+        response = server.handle_request(b"A" * 200)
+        assert response.crashed
+        assert server.parent.alive or server.parent.state == "ready"
+
+    def test_parent_survives_many_crashes(self):
+        server, _ = make_server()
+        for _ in range(10):
+            assert server.handle_request(b"A" * 200).crashed
+        assert server.handle_request(b"ok").crashed is False
+        assert server.requests_served == 11
+
+    def test_each_request_fresh_stdin(self):
+        server, _ = make_server()
+        server.handle_request(b"A" * 200)
+        assert not server.handle_request(b"short").crashed
+
+
+class TestThreadedServer:
+    def test_benign_and_smash(self):
+        server, _ = make_server(threaded=True)
+        assert not server.handle_request(b"tiny").crashed
+        assert server.handle_request(b"A" * 200).crashed
+
+
+class TestFrameMap:
+    def test_layout_for_ssp(self):
+        _, binary = make_server("ssp")
+        frame = frame_map(binary, "handler")
+        assert frame.buffer_size == 64
+        assert frame.canary_slots == [8]
+        assert frame.canary_region_size == 8
+        assert frame.canary_region_start == frame.buffer_offset - 8
+        assert frame.return_address_position == frame.buffer_offset + 8
+
+    def test_layout_for_pssp(self):
+        _, binary = make_server("pssp")
+        frame = frame_map(binary, "handler")
+        assert frame.canary_slots == [8, 16]
+        assert frame.canary_region_size == 16
+
+    def test_bufferless_function_rejected(self):
+        binary = build("int f(int n) { return n; }\nint main() { return 0; }",
+                       "ssp", name="x")
+        with pytest.raises(ProtectionError):
+            frame_map(binary, "f")
+
+
+class TestPayloadBuilder:
+    def _builder(self, scheme="ssp"):
+        _, binary = make_server(scheme)
+        return PayloadBuilder(frame_map(binary, "handler"))
+
+    def test_benign_stays_inside_buffer(self):
+        builder = self._builder()
+        assert len(builder.benign()) < builder.frame.buffer_size
+
+    def test_benign_too_long_rejected(self):
+        builder = self._builder()
+        with pytest.raises(ValueError):
+            builder.benign(length=64)
+
+    def test_smash_reaches_return_address(self):
+        builder = self._builder()
+        payload = builder.smash()
+        assert len(payload) == builder.frame.return_address_position + 8
+
+    def test_probe_length_tracks_known_bytes(self):
+        builder = self._builder()
+        start = builder.frame.canary_region_start
+        assert len(builder.probe(b"", 0)) == start + 1
+        assert len(builder.probe(b"ab", 0)) == start + 3
+
+    def test_with_canaries_places_values(self):
+        builder = self._builder()
+        payload = builder.with_canaries({8: 0x1122334455667788},
+                                        new_return=0xAABB, new_rbp=0xCCDD)
+        position = builder.frame.slot_position(8)
+        assert payload[position:position + 8] == bytes.fromhex("8877665544332211")
+        ret = builder.frame.return_address_position
+        assert payload[ret:ret + 8] == (0xAABB).to_bytes(8, "little")
+
+    def test_with_canaries_stops_before_rbp_without_return(self):
+        builder = self._builder()
+        payload = builder.with_canaries({8: 1})
+        assert len(payload) == builder.frame.saved_rbp_position
+
+    def test_correct_canary_payload_survives_ssp(self):
+        # The full loop: read the worker's real canary (host-side, as a
+        # perfect disclosure), replay it, and the epilogue accepts.
+        server, binary = make_server("ssp")
+        worker = server.worker()
+        canary = worker.tls.canary
+        server.kernel.reap(worker)
+        builder = PayloadBuilder(frame_map(binary, "handler"))
+        payload = builder.with_canaries({8: canary})
+        assert not server.handle_request(payload).crashed
+
+    def test_wrong_canary_payload_crashes_ssp(self):
+        server, binary = make_server("ssp")
+        builder = PayloadBuilder(frame_map(binary, "handler"))
+        payload = builder.with_canaries({8: 0x4141414141414141})
+        assert server.handle_request(payload).crashed

@@ -1,0 +1,67 @@
+"""Binary diffing over real rewriter output."""
+
+from repro.binfmt.diffing import diff_binaries
+from repro.binfmt.elf import STATIC, merge_binaries
+from repro.compiler.codegen import compile_source
+from repro.libc.glibc_sim import build_static_glibc
+from repro.rewriter.dyninst import instrument_static_binary
+from repro.rewriter.rewrite import instrument_binary
+
+VICTIM = """
+int handler(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+int helper(int x) {
+    return x + 1;
+}
+int main() { return 0; }
+"""
+
+
+class TestDynamicRewriteDiff:
+    def setup_method(self):
+        self.native = compile_source(VICTIM, protection="ssp", name="v")
+        self.rewritten = instrument_binary(self.native)
+        self.diff = diff_binaries(self.native, self.rewritten)
+
+    def test_only_protected_function_changed(self):
+        changed = {d.name for d in self.diff.changed_functions()}
+        assert changed == {"handler"}
+
+    def test_no_functions_added_or_removed(self):
+        assert self.diff.added_functions == []
+        assert self.diff.removed_functions == []
+
+    def test_zero_size_delta(self):
+        assert self.diff.size_delta == 0
+
+    def test_layout_preserved_per_function(self):
+        for diff in self.diff.changed_functions():
+            assert diff.layout_preserved
+
+    def test_changes_show_the_mechanism(self):
+        text = self.diff.render()
+        assert "%fs:0x2a8" in text  # the prologue retarget
+        assert "__stack_chk_fail" in text
+
+    def test_identical_binaries_diff_empty(self):
+        diff = diff_binaries(self.native, self.native)
+        assert not diff.changed_functions()
+        assert diff.size_delta == 0
+
+
+class TestStaticRewriteDiff:
+    def test_new_section_reported_as_additions(self):
+        native = merge_binaries(
+            compile_source(VICTIM, protection="ssp", name="v",
+                           link_type=STATIC),
+            build_static_glibc(),
+            name="v",
+        )
+        instrumented = instrument_static_binary(native)
+        diff = diff_binaries(native, instrumented)
+        assert "__pssp_fork" in diff.added_functions
+        assert "__pssp_stack_chk_fail" in diff.added_functions
+        assert diff.size_delta > 0

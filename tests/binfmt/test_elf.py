@@ -1,0 +1,96 @@
+"""Binary model: sizes, cloning, static linking."""
+
+import pytest
+
+from repro.binfmt.elf import DYNAMIC, STATIC, Binary, merge_binaries
+from repro.errors import LinkError
+from repro.isa.instructions import Function, Reg
+
+
+def make_binary(name="a", functions=("f",)):
+    binary = Binary(name)
+    for fname in functions:
+        function = Function(fname)
+        function.emit("push", Reg("rbp"))
+        function.emit("ret")
+        binary.add_function(function)
+    return binary
+
+
+class TestBinary:
+    def test_function_lookup(self):
+        binary = make_binary()
+        assert binary.function("f").name == "f"
+        assert binary.has_function("f")
+        with pytest.raises(LinkError):
+            binary.function("missing")
+
+    def test_text_size_counts_bytes(self):
+        binary = make_binary()
+        assert binary.text_size() == 2  # push rbp (1) + ret (1)
+
+    def test_total_size_includes_rodata(self):
+        binary = make_binary()
+        binary.rodata["s"] = b"hello\x00"
+        assert binary.total_size() == binary.text_size() + 6
+
+    def test_bss_occupies_no_file_bytes(self):
+        binary = make_binary()
+        binary.bss["buf"] = 4096
+        assert binary.total_size() == binary.text_size()
+
+    def test_clone_is_deep_for_functions(self):
+        binary = make_binary()
+        clone = binary.clone()
+        clone.function("f").emit("nop")
+        assert len(binary.function("f")) == 2
+
+    def test_clone_preserves_metadata(self):
+        binary = make_binary()
+        binary.protection = "pssp"
+        binary.constructors.append("ctor")
+        clone = binary.clone()
+        assert clone.protection == "pssp"
+        assert clone.constructors == ["ctor"]
+
+    def test_disassemble_mentions_every_function(self):
+        binary = make_binary(functions=("f", "g"))
+        listing = binary.disassemble()
+        assert "f:" in listing and "g:" in listing
+
+
+class TestMerge:
+    def test_merge_combines_functions(self):
+        merged = merge_binaries(make_binary("a", ("f",)), make_binary("b", ("g",)))
+        assert merged.has_function("f") and merged.has_function("g")
+
+    def test_merge_marks_static(self):
+        merged = merge_binaries(make_binary(), make_binary("b", ("g",)))
+        assert merged.link_type == STATIC
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(LinkError):
+            merge_binaries(make_binary("a", ("f",)), make_binary("b", ("f",)))
+
+    def test_duplicate_data_symbol_rejected(self):
+        a = make_binary("a", ("f",))
+        a.rodata["s"] = b"x"
+        b = make_binary("b", ("g",))
+        b.rodata["s"] = b"y"
+        with pytest.raises(LinkError):
+            merge_binaries(a, b)
+
+    def test_merge_concatenates_constructors(self):
+        a = make_binary("a", ("f",))
+        a.constructors.append("init_a")
+        b = make_binary("b", ("g",))
+        b.constructors.append("init_b")
+        merged = merge_binaries(a, b)
+        assert merged.constructors == ["init_a", "init_b"]
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = make_binary("a", ("f",))
+        b = make_binary("b", ("g",))
+        merge_binaries(a, b)
+        assert not a.has_function("g")
+        assert a.link_type == DYNAMIC

@@ -1,0 +1,278 @@
+"""Code-generation correctness: compiled programs must compute right."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deploy import build, deploy
+from repro.errors import CompileError
+from repro.kernel.kernel import Kernel
+
+
+def run_main(source, scheme="none", stdin=b"", seed=2):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme)
+    if stdin:
+        process.feed_stdin(stdin)
+    result = process.run()
+    assert result.state == "exited", f"crashed: {result.crash}"
+    return result.exit_status
+
+
+class TestArithmetic:
+    def test_constants_and_operators(self):
+        assert run_main("int main() { return 2 + 3 * 4; }") == 14
+
+    def test_division_and_modulo(self):
+        assert run_main("int main() { return 17 / 5 * 10 + 17 % 5; }") == 32
+
+    def test_bitwise(self):
+        assert run_main("int main() { return (12 & 10) | (1 ^ 3); }") == 10
+
+    def test_shifts(self):
+        assert run_main("int main() { return (1 << 6) >> 2; }") == 16
+
+    def test_unary_minus_and_not(self):
+        assert run_main("int main() { return -(0 - 9); }") == 9
+        assert run_main("int main() { return !0 + !5; }") == 1
+
+    def test_bitwise_not(self):
+        assert run_main("int main() { return (~0) & 0xff; }") == 255
+
+    def test_comparisons(self):
+        assert run_main(
+            "int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3)"
+            " + (1 == 1) + (1 != 1); }"
+        ) == 4
+
+    def test_short_circuit_and(self):
+        # Division by zero on the right must never execute.
+        assert run_main("int main() { int z; z = 0; return z && (1 / z); }") == 0
+
+    def test_short_circuit_or(self):
+        assert run_main("int main() { int z; z = 0; return 1 || (1 / z); }") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = """
+int pick(int x) {
+    if (x > 10) { return 1; }
+    else { return 2; }
+}
+int main() { return pick(20) * 10 + pick(3); }
+"""
+        assert run_main(source) == 12
+
+    def test_while_loop(self):
+        assert run_main("""
+int main() {
+    int i; int acc;
+    i = 0;
+    acc = 0;
+    while (i < 10) { acc = acc + i; i = i + 1; }
+    return acc;
+}
+""") == 45
+
+    def test_for_loop_with_break_continue(self):
+        assert run_main("""
+int main() {
+    int acc;
+    acc = 0;
+    for (int i = 0; i < 100; i = i + 1) {
+        if (i % 2) { continue; }
+        if (i >= 10) { break; }
+        acc = acc + i;
+    }
+    return acc;
+}
+""") == 0 + 2 + 4 + 6 + 8
+
+    def test_nested_loops(self):
+        assert run_main("""
+int main() {
+    int total;
+    total = 0;
+    for (int i = 0; i < 4; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) {
+            total = total + i * j;
+        }
+    }
+    return total;
+}
+""") == 36
+
+    def test_early_return_passes_canary_check(self):
+        # Multiple exits must all route through the epilogue check.
+        source = """
+int f(int x) {
+    char buf[16];
+    buf[0] = 1;
+    if (x) { return 11; }
+    return 22;
+}
+int main() { return f(1) + f(0); }
+"""
+        assert run_main(source, scheme="pssp") == 33
+
+
+class TestFunctions:
+    def test_six_arguments(self):
+        source = """
+int add6(int a, int b, int c, int d, int e, int f) {
+    return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+}
+int main() { return add6(1, 1, 1, 1, 1, 1); }
+"""
+        assert run_main(source) == 21
+
+    def test_recursion(self):
+        source = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }
+"""
+        assert run_main(source) == 55
+
+    def test_mutual_recursion(self):
+        source = """
+int is_even(int n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+int is_odd(int n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+int main() { return is_even(10) * 2 + is_odd(7); }
+"""
+        assert run_main(source) == 3
+
+    def test_implicit_return_zero(self):
+        assert run_main("int main() { int x; x = 5; }") == 0
+
+    def test_too_many_arguments_rejected(self):
+        with pytest.raises(CompileError):
+            build("int main() { return f(1,2,3,4,5,6,7); }", "none")
+
+
+class TestArraysAndPointers:
+    def test_int_array_indexing(self):
+        assert run_main("""
+int main() {
+    int a[8];
+    for (int i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+    return a[5] + a[2];
+}
+""") == 29
+
+    def test_char_array_bytes(self):
+        assert run_main("""
+int main() {
+    char b[8];
+    b[0] = 300;      // truncates to one byte
+    b[1] = 'A';
+    return b[0] + b[1];
+}
+""") == (300 & 0xFF) + 65
+
+    def test_pointer_deref_and_address_of(self):
+        assert run_main("""
+int main() {
+    int x; int *p;
+    x = 5;
+    p = &x;
+    *p = 9;
+    return x;
+}
+""") == 9
+
+    def test_pointer_arithmetic_scales(self):
+        assert run_main("""
+int main() {
+    int a[4];
+    int *p;
+    a[2] = 77;
+    p = a;
+    return *(p + 2);
+}
+""") == 77
+
+    def test_char_pointer_arithmetic_unit_stride(self):
+        assert run_main("""
+int main() {
+    char *s;
+    s = "abc";
+    return *(s + 1);
+}
+""") == ord("b")
+
+    def test_array_argument_decays(self):
+        assert run_main("""
+int sum(int *a, int n) {
+    int acc;
+    acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + a[i]; }
+    return acc;
+}
+int main() {
+    int data[4];
+    data[0] = 1; data[1] = 2; data[2] = 3; data[3] = 4;
+    return sum(data, 4);
+}
+""".replace("; data", ";\n    data")) == 10
+
+    def test_string_literal_interning(self):
+        binary = build(
+            'int main() { return strlen("dup") + strlen("dup"); }', "none"
+        )
+        blobs = list(binary.rodata.values())
+        assert blobs.count(b"dup\x00") == 1
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(CompileError):
+            build("int main() { return nope_var + 1; }", "none")
+        # (unknown bare names in call/lea position resolve at link time)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=1000),
+    b=st.integers(min_value=1, max_value=1000),
+    c=st.integers(min_value=0, max_value=100),
+)
+def test_arithmetic_matches_python(a, b, c):
+    """Property: compiled arithmetic equals the host's arithmetic."""
+    expected = ((a + c) * 3 - b) % 256
+    expected = expected if expected >= 0 else expected + 256
+    source = f"""
+int main() {{
+    int a; int b; int c;
+    a = {a}; b = {b}; c = {c};
+    return (((a + c) * 3 - b) % 256 + 256) % 256;
+}}
+"""
+    assert run_main(source) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8))
+def test_array_sum_matches_python(values):
+    assignments = "\n    ".join(
+        f"data[{i}] = {v};" for i, v in enumerate(values)
+    )
+    source = f"""
+int main() {{
+    int data[8];
+    int acc;
+    {assignments}
+    acc = 0;
+    for (int i = 0; i < {len(values)}; i = i + 1) {{ acc = acc + data[i]; }}
+    return acc & 255;
+}}
+"""
+    assert run_main(source) == sum(values) & 255

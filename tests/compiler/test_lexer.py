@@ -1,0 +1,109 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.compiler.lexer import Token, TokenStream, tokenize
+from repro.errors import CompileError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int foo critical char")
+        assert [t.kind for t in tokens[:-1]] == ["kw", "ident", "kw", "kw"]
+
+    def test_decimal_and_hex_integers(self):
+        tokens = tokenize("42 0x2A 0")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 0]
+
+    def test_string_literal_with_escapes(self):
+        token = tokenize(r'"a\nb\\c"')[0]
+        assert token.kind == "string"
+        assert token.text == "a\nb\\c"
+
+    def test_char_literal(self):
+        token = tokenize("'Z'")[0]
+        assert token.kind == "char"
+        assert token.value == ord("Z")
+
+    def test_escaped_char_literal(self):
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\0'")[0].value == 0
+
+    def test_multichar_operators_maximal_munch(self):
+        assert kinds("a <= b << c == d") == [
+            ("ident", "a"), ("op", "<="), ("ident", "b"), ("op", "<<"),
+            ("ident", "c"), ("op", "=="), ("ident", "d"),
+        ]
+
+    def test_compound_assignment_tokens(self):
+        assert [t.text for t in tokenize("x += 1")[:-1]] == ["x", "+=", "1"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"ab\ncd"')
+
+    def test_multichar_char_literal(self):
+        with pytest.raises(CompileError):
+            tokenize("'ab'")
+
+    def test_unknown_escape(self):
+        with pytest.raises(CompileError):
+            tokenize(r'"\q"')
+
+
+class TestTokenStream:
+    def test_accept_and_expect(self):
+        stream = TokenStream(tokenize("int x"))
+        assert stream.accept("kw", "int")
+        assert stream.expect("ident").text == "x"
+
+    def test_expect_failure_raises_with_line(self):
+        stream = TokenStream(tokenize("int"))
+        stream.next()
+        with pytest.raises(CompileError):
+            stream.expect("ident")
+
+    def test_peek_does_not_consume(self):
+        stream = TokenStream(tokenize("a b"))
+        assert stream.peek().text == "a"
+        assert stream.peek(1).text == "b"
+        assert stream.next().text == "a"
+
+    def test_next_sticks_at_eof(self):
+        stream = TokenStream(tokenize("a"))
+        stream.next()
+        assert stream.next().kind == "eof"
+        assert stream.next().kind == "eof"

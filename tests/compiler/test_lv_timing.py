@@ -1,0 +1,66 @@
+"""P-SSP-LV detection *timing*: at-write vs at-return (paper §V-E2).
+
+The paper worries that "it could be too late to detect their overflow at
+function return" — the corrupted variable gets *used* before the
+epilogue runs.  The pass's ``check_on_write`` option is exactly that
+design decision; this module demonstrates both sides.
+"""
+
+from repro.compiler.passes.pssp_lv import PSSPLVPass
+from repro.core.deploy import deploy
+from repro.compiler.codegen import compile_source
+from repro.kernel.kernel import Kernel
+
+#: The flag is both corrupted AND used before the function returns.
+USE_BEFORE_RETURN = """
+int check_login(int n) {
+    critical char secret[8];
+    critical char buf[16];
+    secret[0] = 0;
+    read(0, buf, 4096);
+    if (secret[0]) {
+        puts("GRANTED");
+    }
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+def deploy_with(pass_obj, seed=31):
+    kernel = Kernel(seed)
+    binary = compile_source(USE_BEFORE_RETURN, protection=pass_obj, name="v")
+    binary.protection = "pssp-lv"
+    process, _ = deploy(kernel, binary, "pssp-lv")
+    return process
+
+
+# 16 bytes fill buf; 8 more cross buf's canary; 8 more flip secret.
+PAYLOAD = b"A" * 16 + b"B" * 8 + b"\x01" * 8
+
+
+class TestCheckOnWrite:
+    def test_at_write_check_fires_before_the_flag_is_used(self):
+        process = deploy_with(PSSPLVPass(check_on_write=True))
+        process.feed_stdin(PAYLOAD)
+        result = process.call("check_login", (len(PAYLOAD),))
+        assert result.smashed
+        # The corrupted flag never got used: no GRANTED output.
+        assert b"GRANTED" not in process.stdout
+
+    def test_at_return_check_is_too_late(self):
+        """Without post-write checks the overflow IS detected — but only
+        at the epilogue, after the attacker already enjoyed the flag."""
+        process = deploy_with(PSSPLVPass(check_on_write=False))
+        process.feed_stdin(PAYLOAD)
+        result = process.call("check_login", (len(PAYLOAD),))
+        assert result.smashed            # still caught eventually...
+        assert b"GRANTED" in process.stdout  # ...but the damage was done
+
+    def test_benign_identical_either_way(self):
+        for check_on_write in (True, False):
+            process = deploy_with(PSSPLVPass(check_on_write=check_on_write))
+            process.feed_stdin(b"pw")
+            result = process.call("check_login", (2,))
+            assert result.state == "exited"
+            assert b"GRANTED" not in process.stdout

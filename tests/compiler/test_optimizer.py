@@ -1,0 +1,173 @@
+"""Optimizer: folding, peephole, and the §V-E2 reordering hazard."""
+
+import pytest
+
+from repro.compiler.codegen import compile_program, compile_source
+from repro.compiler.optimizer import fold_program, peephole, reorder_declarations
+from repro.compiler.parser import parse
+from repro.core.deploy import deploy
+from repro.crypto.random import EntropySource
+from repro.kernel.kernel import Kernel
+from repro.libc.builtins import build_natives
+
+
+def run_binary(binary, scheme="none", stdin=b"", seed=2):
+    kernel = Kernel(seed)
+    process, _ = deploy(kernel, binary, scheme)
+    if stdin:
+        process.feed_stdin(stdin)
+    return process.run()
+
+
+PROGRAMS = [
+    ("int main() { return 2 + 3 * 4; }", 14),
+    ("int main() { return (1 << 4) | 3; }", 19),
+    ("int main() { if (1 + 1 == 2) { return 7; } return 8; }", 7),
+    ("int main() { int x; x = 5; return x * (10 / 2); }", 25),
+    ("int main() { return !0 && (4 > 2); }", 1),
+]
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize("source,expected", PROGRAMS)
+    def test_semantics_preserved(self, source, expected):
+        plain = compile_source(source, protection="none")
+        folded = compile_source(source, protection="none", optimize=True)
+        assert run_binary(plain).exit_status == expected
+        assert run_binary(folded).exit_status == expected
+
+    def test_folding_shrinks_code(self):
+        source = "int main() { return 1 + 2 + 3 + 4 + 5 + 6; }"
+        plain = compile_source(source, protection="none")
+        folded = compile_source(source, protection="none", optimize=True)
+        assert folded.text_size() < plain.text_size()
+
+    def test_constant_branch_pruned(self):
+        source = "int main() { if (0) { return 1; } return 2; }"
+        folded = compile_source(source, protection="none", optimize=True)
+        plain = compile_source(source, protection="none")
+        assert folded.text_size() < plain.text_size()
+        assert run_binary(folded).exit_status == 2
+
+    def test_dead_branch_with_declaration_kept(self):
+        # Pruning must not orphan frame slots.
+        source = """
+int main() {
+    int x;
+    x = 3;
+    if (0) { int dead; dead = 1; x = dead; }
+    return x;
+}
+"""
+        folded = compile_source(source, protection="none", optimize=True)
+        assert run_binary(folded).exit_status == 3
+
+    def test_division_by_constant_zero_not_folded(self):
+        # 1/0 must fault at runtime, not crash the compiler.
+        source = "int main() { int z; z = 0; return 1 / (z + 0); }"
+        folded = compile_source(source, protection="none", optimize=True)
+        assert run_binary(folded).crashed
+
+
+class TestPeephole:
+    def test_push_pop_fused(self):
+        source = "int main() { return strlen(\"abc\"); }"
+        plain = compile_source(source, protection="none")
+        tight = compile_source(source, protection="none", optimize=True)
+        # push+pop (2 instructions, 4 cycles) becomes one mov (1 cycle);
+        # encoded size may grow by a byte — the win is cycles, not bytes.
+        assert len(tight.function("main")) < len(plain.function("main"))
+        assert run_binary(tight).cycles < run_binary(plain).cycles
+        assert run_binary(tight).exit_status == 3
+
+    def test_labels_survive_fusion(self):
+        source = """
+int main() {
+    int acc;
+    acc = 0;
+    for (int i = 0; i < 5; i = i + 1) { acc = acc + strlen("xy"); }
+    return acc;
+}
+"""
+        tight = compile_source(source, protection="none", optimize=True)
+        assert run_binary(tight).exit_status == 10
+
+    def test_push_pop_across_label_not_fused(self):
+        from repro.isa.instructions import Function, Reg
+
+        function = Function("f")
+        function.emit("push", Reg("rax"))
+        function.label_here(".target")
+        function.emit("pop", Reg("rcx"))
+        function.emit("ret")
+        optimized = peephole(function)
+        ops = [i.op for i in optimized.body]
+        assert ops == ["push", "pop", "ret"]  # fusion refused
+
+    def test_protected_builds_survive_optimization(self):
+        source = """
+int handler(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+        binary = compile_source(source, protection="pssp", optimize=True)
+        kernel = Kernel(4)
+        process, _ = deploy(kernel, binary, "pssp")
+        process.feed_stdin(b"A" * 100)
+        assert process.call("handler", (100,)).smashed
+
+    def test_optimized_code_costs_less(self):
+        source = """
+int main() {
+    int acc;
+    acc = 0;
+    for (int i = 0; i < 20; i = i + 1) { acc = acc + i * 2; }
+    return acc & 255;
+}
+"""
+        plain = run_binary(compile_source(source, protection="none"))
+        tight = run_binary(
+            compile_source(source, protection="none", optimize=True)
+        )
+        assert tight.exit_status == plain.exit_status
+        assert tight.cycles <= plain.cycles
+
+
+class TestDeclarationReordering:
+    SOURCE = """
+int handler(int n) {
+    critical char secret[8];
+    critical char buf[16];
+    secret[0] = 1;
+    read(0, buf, 4096);
+    return secret[0];
+}
+int main() { return 0; }
+"""
+
+    def _build(self, shuffle_seed):
+        program = parse(self.SOURCE)
+        reorder_declarations(program, EntropySource(shuffle_seed))
+        return compile_program(program, protection="pssp-lv", name="t")
+
+    @pytest.mark.parametrize("shuffle_seed", [0, 1, 2, 3])
+    def test_lv_survives_any_declaration_order(self, shuffle_seed):
+        """§V-E2: slot reordering breaks naive variable canaries; our LV
+        pass derives layout from the declarations it actually sees, so
+        every order still interleaves correctly and detects overflow."""
+        binary = self._build(shuffle_seed)
+        kernel = Kernel(90 + shuffle_seed)
+        process, _ = deploy(kernel, binary, "pssp-lv")
+        process.feed_stdin(b"A" * 64)
+        assert process.call("handler", (64,)).smashed
+
+    @pytest.mark.parametrize("shuffle_seed", [0, 1, 2, 3])
+    def test_lv_benign_ok_after_reorder(self, shuffle_seed):
+        binary = self._build(shuffle_seed)
+        kernel = Kernel(95 + shuffle_seed)
+        process, _ = deploy(kernel, binary, "pssp-lv")
+        process.feed_stdin(b"hi")
+        assert process.call("handler", (2,)).state == "exited"

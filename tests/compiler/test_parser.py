@@ -1,0 +1,169 @@
+"""MiniC parser: AST shapes and rejection of malformed programs."""
+
+import pytest
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.parser import parse
+from repro.errors import CompileError
+
+
+def first_function(source):
+    return parse(source).functions[0]
+
+
+class TestDeclarations:
+    def test_function_with_params(self):
+        function = first_function("int f(int a, char *b) { return 0; }")
+        assert function.name == "f"
+        assert [p.name for p in function.params] == ["a", "b"]
+        assert function.params[1].ctype.is_pointer
+
+    def test_void_paramless(self):
+        function = first_function("int f(void) { return 0; }")
+        assert function.params == []
+
+    def test_array_declaration(self):
+        function = first_function("int f() { char buf[64]; return 0; }")
+        declaration = function.body[0]
+        assert isinstance(declaration, ast.Declaration)
+        assert declaration.ctype.is_array
+        assert declaration.ctype.array_length == 64
+
+    def test_critical_qualifier(self):
+        function = first_function("int f() { critical char buf[8]; return 0; }")
+        assert function.body[0].critical is True
+
+    def test_declaration_with_initializer(self):
+        function = first_function("int f() { int x = 1 + 2; return x; }")
+        assert isinstance(function.body[0].init, ast.Binary)
+
+    def test_has_buffer(self):
+        with_buffer = first_function("int f() { int a[4]; return 0; }")
+        without = first_function("int f() { int a; return 0; }")
+        assert with_buffer.has_buffer()
+        assert not without.has_buffer()
+
+    def test_local_declarations_sees_nested(self):
+        function = first_function("""
+int f() {
+    if (1) { int inner; inner = 2; }
+    while (0) { char nested[4]; }
+    for (int i = 0; i < 2; i = i + 1) { }
+    return 0;
+}
+""")
+        names = [d.name for d in function.local_declarations()]
+        assert names == ["inner", "nested", "i"]
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        function = first_function("int f() { return 1 + 2 * 3; }")
+        expr = function.body[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        function = first_function("int f() { return (1 + 2) * 3; }")
+        assert function.body[0].value.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        expr = first_function("int f() { return 1 + 2 < 4; }").body[0].value
+        assert expr.op == "<"
+
+    def test_logical_operators(self):
+        expr = first_function("int f() { return 1 && 0 || 1; }").body[0].value
+        assert expr.op == "||"
+
+    def test_assignment_right_associative(self):
+        function = first_function("int f() { int a; int b; a = b = 1; return a; }")
+        assign = function.body[2].expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_compound_assignment_desugars(self):
+        function = first_function("int f() { int a; a += 3; return a; }")
+        assign = function.body[1].expr
+        assert isinstance(assign, ast.Assign)
+        assert assign.value.op == "+"
+
+    def test_increment_desugars(self):
+        function = first_function("int f() { int a; a++; return a; }")
+        assign = function.body[1].expr
+        assert isinstance(assign, ast.Assign)
+        assert assign.value.op == "+"
+
+    def test_index_and_call(self):
+        function = first_function("int f() { int a[4]; return g(a[1], 2); }")
+        call = function.body[1].value
+        assert isinstance(call, ast.Call)
+        assert isinstance(call.args[0], ast.Index)
+
+    def test_unary_chain(self):
+        expr = first_function("int f(int *p) { return -*p; }").body[0].value
+        assert expr.op == "-"
+        assert expr.operand.op == "*"
+
+    def test_address_of(self):
+        expr = first_function("int f() { int a; return g(&a); }").body[1].value
+        assert expr.args[0].op == "&"
+
+
+class TestStatements:
+    def test_if_else(self):
+        function = first_function(
+            "int f(int x) { if (x) { return 1; } else { return 2; } }"
+        )
+        statement = function.body[0]
+        assert isinstance(statement, ast.If)
+        assert statement.otherwise
+
+    def test_if_without_braces(self):
+        function = first_function("int f(int x) { if (x) return 1; return 2; }")
+        assert isinstance(function.body[0], ast.If)
+
+    def test_while(self):
+        function = first_function("int f() { while (1) { break; } return 0; }")
+        loop = function.body[0]
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.body[0], ast.Break)
+
+    def test_for_full(self):
+        function = first_function(
+            "int f() { for (int i = 0; i < 3; i = i + 1) { continue; } return 0; }"
+        )
+        loop = function.body[0]
+        assert isinstance(loop, ast.For)
+        assert loop.init and loop.cond and loop.step
+
+    def test_for_empty_clauses(self):
+        loop = first_function("int f() { for (;;) { break; } return 0; }").body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_bare_block(self):
+        function = first_function("int f() { { int x; x = 1; } return 0; }")
+        assert isinstance(function.body[0], ast.If)  # flattened wrapper
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "int f() { return 0 }",          # missing semicolon
+        "int f( { return 0; }",          # bad params
+        "int f() { if 1 return 0; }",    # missing parens
+        "f() { return 0; }",             # missing return type
+        "int f() { int x[]; return 0; }",  # missing array length
+        "int f() { break; }",            # handled at codegen, parses fine?
+    ])
+    def test_malformed_rejected(self, source):
+        if source == "int f() { break; }":
+            parse(source)  # parses; codegen rejects
+            return
+        with pytest.raises(CompileError):
+            parse(source)
+
+    def test_program_collects_functions(self):
+        program = parse("int a() { return 1; } int b() { return 2; }")
+        assert [f.name for f in program.functions] == ["a", "b"]
+        assert program.function("b").name == "b"
+        with pytest.raises(KeyError):
+            program.function("c")

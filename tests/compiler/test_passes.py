@@ -1,0 +1,236 @@
+"""Protection passes: frame plans and emitted instrumentation."""
+
+import pytest
+
+from repro.compiler.parser import parse
+from repro.compiler.passes import (
+    DCRPass,
+    DynaGuardPass,
+    GlobalBufferPass,
+    NoProtection,
+    PSSPLVPass,
+    PSSPNTPass,
+    PSSPOWFPass,
+    PSSPPass,
+    SSPPass,
+    available_passes,
+    get_pass,
+)
+from repro.compiler.codegen import compile_source
+from repro.errors import ProtectionError
+
+BUFFERED = parse("int f(int n) { char buf[64]; buf[0] = n; return buf[0]; }").functions[0]
+PLAIN = parse("int g(int n) { int x; x = n; return x; }").functions[0]
+TWO_CRITICAL = parse("""
+int f() {
+    critical char a[8];
+    critical char b[8];
+    a[0] = 1;
+    b[0] = 2;
+    return a[0];
+}
+""").functions[0]
+
+
+class TestSelection:
+    @pytest.mark.parametrize("pass_cls", [SSPPass, PSSPPass, PSSPNTPass,
+                                          PSSPOWFPass, DynaGuardPass, DCRPass,
+                                          GlobalBufferPass])
+    def test_buffered_function_protected(self, pass_cls):
+        assert pass_cls().should_protect(BUFFERED)
+
+    @pytest.mark.parametrize("pass_cls", [SSPPass, PSSPPass, PSSPNTPass,
+                                          PSSPOWFPass])
+    def test_plain_function_skipped(self, pass_cls):
+        assert not pass_cls().should_protect(PLAIN)
+
+    def test_no_protection_never_protects(self):
+        assert not NoProtection().should_protect(BUFFERED)
+
+
+class TestFramePlans:
+    def test_ssp_single_slot_at_top(self):
+        plan = SSPPass().plan_frame(BUFFERED)
+        assert plan.canary_slots == [8]
+
+    def test_pssp_two_slots(self):
+        plan = PSSPPass().plan_frame(BUFFERED)
+        assert plan.canary_slots == [8, 16]
+
+    def test_owf_three_slots_nonce_plus_cipher(self):
+        plan = PSSPOWFPass().plan_frame(BUFFERED)
+        assert plan.canary_slots == [8, 16, 24]
+        assert plan.owf_nonce_offset == 8
+        assert plan.owf_cipher_offset == 24
+
+    def test_buffer_sits_directly_below_canaries(self):
+        plan = PSSPPass().plan_frame(BUFFERED)
+        buf = plan.var("buf")
+        # Buffer occupies [rbp-80, rbp-16): flush against the canary pair.
+        assert buf.offset == 16 + 64
+
+    def test_scalars_below_arrays(self):
+        decl = parse(
+            "int f() { int x; char buf[16]; x = 1; buf[0] = 2; return x; }"
+        ).functions[0]
+        plan = SSPPass().plan_frame(decl)
+        assert plan.var("buf").offset < plan.var("x").offset
+
+    def test_frame_size_aligned(self):
+        for pass_obj in (SSPPass(), PSSPPass(), PSSPOWFPass()):
+            plan = pass_obj.plan_frame(BUFFERED)
+            assert plan.frame_size % 16 == 0
+
+    def test_lv_interleaves_canary_above_each_critical_var(self):
+        plan = PSSPLVPass().plan_frame(TWO_CRITICAL)
+        assert len(plan.canary_slots) == 2
+        slot1, slot2 = plan.canary_slots
+        a, b = plan.var("a"), plan.var("b")
+        # canary1 at rbp-8, a below it, canary2 below a, b below canary2.
+        assert slot1 == 8
+        assert a.offset == slot1 + 8
+        assert slot2 == a.offset + 8
+        assert b.offset == slot2 + 8
+
+    def test_lv_auto_criticalizes_arrays_when_none_marked(self):
+        plan = PSSPLVPass().plan_frame(BUFFERED)
+        assert plan.protected
+        # One critical variable still gets TWO canaries: with a single
+        # slot the frame canary would equal the TLS canary verbatim
+        # (zero random draws), reopening byte-by-byte.
+        assert len(plan.canary_slots) == 2
+
+    def test_lv_single_var_prologue_still_draws_randomness(self):
+        from repro.compiler.codegen import compile_source
+
+        binary = compile_source(
+            "int f() { critical char a[8]; a[0] = 1; return 0; }",
+            protection="pssp-lv",
+        )
+        rdrands = [i for i in binary.function("f").body if i.op == "rdrand"]
+        assert len(rdrands) == 1
+
+
+class TestEmittedCode:
+    def _ops(self, scheme, source=None, function="f"):
+        binary = compile_source(
+            source or "int f() { char buf[16]; buf[0] = 1; return 0; }",
+            protection=scheme,
+        )
+        return [i.op for i in binary.function(function).body], binary
+
+    def test_ssp_reads_fs28(self):
+        binary = compile_source(
+            "int f() { char buf[16]; buf[0] = 1; return 0; }", protection="ssp"
+        )
+        notes = [i.note for i in binary.function("f").body]
+        assert "ssp-prologue" in notes and "ssp-epilogue" in notes
+
+    def test_pssp_nt_uses_rdrand(self):
+        ops, _ = self._ops("pssp-nt")
+        assert "rdrand" in ops
+
+    def test_pssp_avoids_rdrand(self):
+        ops, _ = self._ops("pssp")
+        assert "rdrand" not in ops
+
+    def test_owf_uses_rdtsc_and_aes(self):
+        ops, binary = self._ops("pssp-owf")
+        assert "rdtsc" in ops
+        calls = [
+            i.operands[0].name
+            for i in binary.function("f").body
+            if i.op == "call"
+        ]
+        assert calls.count("AES_ENCRYPT_128") == 2  # prologue + epilogue
+
+    def test_lv_two_vars_single_rdrand(self):
+        source = """
+int f() {
+    critical char a[8];
+    critical char b[8];
+    a[0] = 1;
+    return 0;
+}
+"""
+        binary = compile_source(source, protection="pssp-lv")
+        rdrands = [i for i in binary.function("f").body if i.op == "rdrand"]
+        assert len(rdrands) == 1  # m-1 draws for m=2 canaries (Table V)
+
+    def test_lv_four_vars_three_rdrands(self):
+        source = """
+int f() {
+    critical char a[8];
+    critical char b[8];
+    critical char c[8];
+    critical char d[8];
+    a[0] = 1;
+    return 0;
+}
+"""
+        binary = compile_source(source, protection="pssp-lv")
+        rdrands = [i for i in binary.function("f").body if i.op == "rdrand"]
+        assert len(rdrands) == 3
+
+    def test_lv_post_write_check_after_overflow_vector(self):
+        source = """
+int f(int n) {
+    critical char buf[16];
+    read(0, buf, n);
+    return 0;
+}
+"""
+        binary = compile_source(source, protection="pssp-lv")
+        notes = [i.note for i in binary.function("f").body]
+        assert "pssp-lv-postwrite" in notes
+
+    def test_lv_no_post_write_check_after_benign_call(self):
+        source = """
+int f(int n) {
+    critical char buf[16];
+    buf[0] = 1;
+    return strlen(buf);
+}
+"""
+        binary = compile_source(source, protection="pssp-lv")
+        notes = [i.note for i in binary.function("f").body]
+        assert "pssp-lv-postwrite" not in notes
+
+    def test_unprotected_function_has_no_instrumentation(self):
+        binary = compile_source(
+            "int g(int n) { return n; }", protection="pssp"
+        )
+        assert binary.function("g").protected == ""
+        assert all("pssp" not in i.note for i in binary.function("g").body)
+
+    def test_protected_flag_recorded(self):
+        _, binary = self._ops("pssp")
+        assert binary.function("f").protected == "pssp"
+        assert binary.protection == "pssp"
+
+    def test_dynaguard_maintains_cab(self):
+        ops, binary = self._ops("dynaguard")
+        assert "inc" in ops and "dec" in ops
+
+    def test_dcr_embeds_offsets(self):
+        ops, _ = self._ops("dcr")
+        assert "shr" in ops and "shl" in ops
+
+
+class TestRegistry:
+    def test_all_schemes_registered(self):
+        names = available_passes()
+        for name in ("ssp", "pssp", "pssp-nt", "pssp-lv", "pssp-owf",
+                     "pssp-gb", "dynaguard", "dcr", "none"):
+            assert name in names
+
+    def test_get_pass_by_instance(self):
+        pssp = PSSPPass()
+        assert get_pass(pssp) is pssp
+
+    def test_get_pass_none(self):
+        assert isinstance(get_pass(None), NoProtection)
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ProtectionError):
+            get_pass("quantum-canary")

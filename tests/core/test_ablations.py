@@ -1,0 +1,151 @@
+"""Ablation variants (light versions of the ablation benches)."""
+
+import pytest
+
+from repro.compiler.codegen import compile_source
+from repro.core.ablations import (
+    NoNonceOWFPass,
+    instrument_binary_inline,
+    register_ablation_schemes,
+)
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+class TestNoNonceOWF:
+    def test_registration_idempotent(self):
+        register_ablation_schemes()
+        register_ablation_schemes()
+
+    def test_canary_constant_across_forks(self):
+        """The weakness: without the nonce, forks share the stack canary."""
+        register_ablation_schemes()
+        kernel = Kernel(81)
+        binary = build(VICTIM, "pssp-owf-nononce", name="v")
+        parent, _ = deploy(kernel, binary, "pssp-owf-nononce")
+
+        def frame_cipher(process):
+            captured = {}
+
+            def trace(name, index, instruction):
+                if name != "handler" or instruction.note in ("frame", "spill"):
+                    return
+                rbp = process.registers.read("rbp")
+                try:
+                    captured["cipher"] = process.memory.read(rbp - 24, 16)
+                except Exception:
+                    pass
+
+            process.cpu.trace = trace
+            process.feed_stdin(b"x")
+            process.call("handler", (1,))
+            process.cpu.trace = None
+            return captured.get("cipher")
+
+        ciphers = set()
+        for _ in range(3):
+            child = kernel.fork(parent)
+            ciphers.add(frame_cipher(child))
+            kernel.reap(child)
+        assert len(ciphers) == 1  # deterministic canary = attackable
+
+    def test_with_nonce_canary_varies(self):
+        kernel = Kernel(82)
+        binary = build(VICTIM, "pssp-owf", name="v")
+        parent, _ = deploy(kernel, binary, "pssp-owf")
+        nonces = set()
+        for _ in range(3):
+            child = kernel.fork(parent)
+
+            def trace(name, index, instruction, child=child, sink=nonces):
+                if name != "handler" or instruction.note in ("frame", "spill"):
+                    return
+                rbp = child.registers.read("rbp")
+                try:
+                    sink.add(child.memory.read_word(rbp - 8))
+                except Exception:
+                    pass
+
+            child.cpu.trace = trace
+            child.feed_stdin(b"x")
+            child.call("handler", (1,))
+            kernel.reap(child)
+        assert len(nonces) >= 3  # tsc nonce differs per call
+
+    def test_still_detects_blind_overflow(self):
+        register_ablation_schemes()
+        kernel = Kernel(83)
+        binary = build(VICTIM, "pssp-owf-nononce", name="v")
+        process, _ = deploy(kernel, binary, "pssp-owf-nononce")
+        process.feed_stdin(b"A" * 200)
+        assert process.call("handler", (200,)).smashed
+
+
+class TestTlsHalfVariant:
+    """The §VII-C rejected design, reproduced to confirm the rejection."""
+
+    def _deploy(self, seed):
+        register_ablation_schemes()
+        kernel = Kernel(seed)
+        binary = build(VICTIM, "pssp-tls-half", name="v")
+        process, _ = deploy(kernel, binary, "pssp-tls-half")
+        return kernel, process
+
+    def test_detects_overflow_within_one_process(self):
+        # Inside a single process the scheme is sound...
+        _, process = self._deploy(86)
+        process.feed_stdin(b"A" * 200)
+        assert process.call("handler", (200,)).smashed
+
+    def test_benign_within_one_process(self):
+        _, process = self._deploy(87)
+        process.feed_stdin(b"hi")
+        assert process.call("handler", (2,)).state == "exited"
+
+    def test_dooms_children_returning_through_parent_frames(self):
+        # ...but the paper's predicted crash materialises on fork: the
+        # child's refreshed C0 no longer matches inherited C1 values.
+        from repro.attacks.correctness import probe_fork_correctness
+
+        register_ablation_schemes()
+        report = probe_fork_correctness("pssp-tls-half")
+        assert report.parent_ok
+        assert not report.child_ok          # "doomed to crash"
+        assert report.child_signal == "SIGABRT"
+
+    def test_real_pssp_has_no_such_problem(self):
+        from repro.attacks.correctness import probe_fork_correctness
+
+        assert probe_fork_correctness("pssp").fork_correct
+
+
+class TestInlineRewrite:
+    def test_grows_the_binary(self):
+        native = compile_source(VICTIM, protection="ssp", name="v")
+        inline = instrument_binary_inline(native)
+        assert inline.total_size() > native.total_size()
+
+    def test_semantics_preserved(self):
+        register_ablation_schemes()
+        kernel = Kernel(84)
+        binary = build(VICTIM, "pssp-binary-inline", name="v")
+        process, _ = deploy(kernel, binary, "pssp-binary-inline")
+        process.feed_stdin(b"ok")
+        assert process.call("handler", (2,)).state == "exited"
+
+    def test_detection_preserved(self):
+        register_ablation_schemes()
+        kernel = Kernel(85)
+        binary = build(VICTIM, "pssp-binary-inline", name="v")
+        process, _ = deploy(kernel, binary, "pssp-binary-inline")
+        process.feed_stdin(b"A" * 200)
+        assert process.call("handler", (200,)).smashed

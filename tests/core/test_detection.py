@@ -1,0 +1,108 @@
+"""Every scheme must detect a smash and pass benign traffic (parametrized
+over the full registry) — the library's most important contract."""
+
+import pytest
+
+from repro.core.deploy import SCHEMES, build, deploy
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+LOCAL_VAR_VICTIM = """
+int handler(int n) {
+    critical char secret[8];
+    critical char buf[16];
+    secret[0] = 42;
+    read(0, buf, 4096);
+    return secret[0];
+}
+int main() { return 0; }
+"""
+
+PROTECTING_SCHEMES = [name for name in sorted(SCHEMES) if name != "none"]
+
+
+def deploy_victim(scheme, source=VICTIM, seed=17):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="victim")
+    process, _ = deploy(kernel, binary, scheme)
+    return process
+
+
+class TestDetection:
+    @pytest.mark.parametrize("scheme", PROTECTING_SCHEMES)
+    def test_overflow_detected(self, scheme):
+        process = deploy_victim(scheme)
+        process.feed_stdin(b"A" * 200)
+        result = process.call("handler", (200,))
+        assert result.smashed, f"{scheme} missed the overflow"
+
+    @pytest.mark.parametrize("scheme", PROTECTING_SCHEMES)
+    def test_benign_input_passes(self, scheme):
+        process = deploy_victim(scheme)
+        process.feed_stdin(b"B" * 32)
+        result = process.call("handler", (32,))
+        assert result.state == "exited", f"{scheme} false positive: {result.crash}"
+
+    @pytest.mark.parametrize("scheme", PROTECTING_SCHEMES)
+    def test_boundary_fill_passes(self, scheme):
+        # Exactly filling the buffer must not trip any scheme.
+        process = deploy_victim(scheme)
+        process.feed_stdin(b"C" * 64)
+        result = process.call("handler", (64,))
+        assert result.state == "exited", f"{scheme} false positive: {result.crash}"
+
+    def test_unprotected_build_misses_small_overflow(self):
+        # Clobbering only the canary region under 'none' goes undetected —
+        # the contrast that motivates canaries at all.
+        process = deploy_victim("none")
+        process.feed_stdin(b"D" * 72)  # 8 bytes past the buffer
+        result = process.call("handler", (72,))
+        assert result.state == "exited"
+
+
+class TestLocalVariableProtection:
+    def test_lv_detects_intra_frame_overflow_before_return(self):
+        """A 17-byte write into buf[16] corrupts the canary guarding the
+        *next* variable; P-SSP-LV's post-write check fires immediately."""
+        process = deploy_victim("pssp-lv", source=LOCAL_VAR_VICTIM)
+        process.feed_stdin(b"E" * 40)
+        result = process.call("handler", (40,))
+        assert result.smashed
+
+    def test_ssp_lv_comparison_benign(self):
+        process = deploy_victim("pssp-lv", source=LOCAL_VAR_VICTIM)
+        process.feed_stdin(b"F" * 8)
+        result = process.call("handler", (8,))
+        assert result.state == "exited"
+
+
+class TestDeployment:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_every_scheme_builds_and_runs_main(self, scheme):
+        process = deploy_victim(scheme)
+        assert process.run().state == "exited"
+
+    def test_unknown_scheme_rejected(self):
+        from repro.core.deploy import get_scheme
+        from repro.errors import ProtectionError
+
+        with pytest.raises(ProtectionError):
+            get_scheme("magic")
+
+    def test_binary_protection_recorded(self):
+        binary = build(VICTIM, "pssp-binary", name="v")
+        assert binary.protection == "pssp-binary"
+        assert binary.name.endswith(".pssp")
+
+    def test_static_scheme_links_glibc_stubs(self):
+        binary = build(VICTIM, "pssp-binary-static", name="v")
+        assert binary.has_function("__pssp_fork")
+        assert "__pssp_setup" in binary.constructors

@@ -1,0 +1,88 @@
+"""Exact detection boundaries: where precisely does each scheme fire?
+
+The frame layout puts the buffer flush against the canary region, so a
+write of exactly ``buffer_size`` bytes is benign and ``buffer_size + 1``
+bytes clobbers the first canary byte.  One documented exception: SSP's
+glibc-style terminator canary has 0x00 as its lowest byte, so a one-byte
+overflow *of value zero* is invisible to it — P-SSP's fully random halves
+close that gap.
+"""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[64];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+BUFFER = 64
+
+
+def outcome(scheme, payload, seed=19):
+    kernel = Kernel(seed)
+    binary = build(VICTIM, scheme, name="v")
+    process, _ = deploy(kernel, binary, scheme)
+    process.feed_stdin(payload)
+    return process.call("handler", (len(payload),))
+
+
+class TestBoundaries:
+    @pytest.mark.parametrize("scheme", ["ssp", "pssp", "pssp-nt", "pssp-owf"])
+    @pytest.mark.parametrize("length", [0, 1, 32, 63, 64])
+    def test_within_buffer_never_fires(self, scheme, length):
+        result = outcome(scheme, b"A" * length)
+        assert result.state == "exited", f"{scheme}/{length}: {result.crash}"
+
+    @pytest.mark.parametrize("scheme", ["ssp", "pssp", "pssp-nt", "pssp-owf"])
+    def test_one_byte_past_fires(self, scheme):
+        result = outcome(scheme, b"A" * (BUFFER + 1))
+        assert result.smashed, f"{scheme} missed a 1-byte overflow"
+
+    @pytest.mark.parametrize("scheme", ["ssp", "pssp", "pssp-nt"])
+    @pytest.mark.parametrize("extra", [2, 4, 8, 12, 16])
+    def test_partial_canary_overwrites_fire(self, scheme, extra):
+        result = outcome(scheme, b"B" * (BUFFER + extra))
+        assert result.smashed
+
+    def test_ssp_terminator_blind_spot(self):
+        """A single NUL byte past the buffer matches SSP's terminator
+        canary byte — the classic str-function blind spot."""
+        result = outcome("ssp", b"A" * BUFFER + b"\x00")
+        assert result.state == "exited"  # undetected by design
+
+    def test_pssp_closes_the_terminator_blind_spot(self):
+        """P-SSP halves are fully random (the XOR split makes terminator
+        tricks irrelevant), so the same NUL overflow is caught with
+        overwhelming probability."""
+        caught = 0
+        for seed in range(6):
+            result = outcome("pssp", b"A" * BUFFER + b"\x00", seed=100 + seed)
+            caught += int(result.smashed)
+        assert caught == 6  # each seed's C1 low byte is nonzero whp
+
+    @pytest.mark.parametrize("scheme", ["ssp", "pssp"])
+    def test_rewriting_value_equal_to_canary_is_invisible(self, scheme):
+        """Writing the *exact current canary bytes* back is undetectable —
+        canaries detect modification, not access (the paper's premise:
+        the defence is only as strong as the canary's secrecy)."""
+        kernel = Kernel(77)
+        binary = build(VICTIM, scheme, name="v")
+        process, _ = deploy(kernel, binary, scheme)
+        from repro.attacks.payloads import PayloadBuilder, frame_map
+
+        frame = frame_map(binary, "handler")
+        builder = PayloadBuilder(frame)
+        if scheme == "ssp":
+            words = {8: process.tls.canary}
+        else:
+            words = {8: process.tls.shadow_c0, 16: process.tls.shadow_c1}
+        payload = builder.with_canaries(words)
+        process.feed_stdin(payload)
+        assert process.call("handler", (len(payload),)).state == "exited"

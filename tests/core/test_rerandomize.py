@@ -1,0 +1,78 @@
+"""Algorithm 1 invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rerandomize import (
+    check_packed32,
+    check_pair,
+    fold32,
+    re_randomize,
+    re_randomize_packed32,
+)
+from repro.crypto.random import EntropySource
+
+
+class TestReRandomize:
+    def test_pair_xors_to_canary(self):
+        entropy = EntropySource(1)
+        canary = 0xDEADBEEFCAFEF00D
+        c0, c1 = re_randomize(entropy, canary)
+        assert c0 ^ c1 == canary
+
+    def test_pairs_differ_between_invocations(self):
+        entropy = EntropySource(1)
+        canary = 0x1234
+        pairs = {re_randomize(entropy, canary) for _ in range(16)}
+        assert len(pairs) == 16
+
+    def test_width_parameter(self):
+        entropy = EntropySource(1)
+        c0, c1 = re_randomize(entropy, 0xFFFF, bits=16)
+        assert c0 < (1 << 16) and c1 < (1 << 16)
+        assert (c0 ^ c1) == 0xFFFF
+
+    def test_check_pair(self):
+        entropy = EntropySource(2)
+        canary = entropy.word()
+        c0, c1 = re_randomize(entropy, canary)
+        assert check_pair(c0, c1, canary)
+        assert not check_pair(c0 ^ 1, c1, canary)
+
+
+class TestFold32:
+    def test_folds_both_halves(self):
+        assert fold32(0x00000001_00000000) == 1
+        assert fold32(0x00000000_00000001) == 1
+        assert fold32(0x00000001_00000001) == 0
+
+    def test_packed_format(self):
+        entropy = EntropySource(3)
+        canary = entropy.word()
+        packed = re_randomize_packed32(entropy, canary)
+        assert check_packed32(packed, canary)
+
+    def test_packed_rejects_tampering(self):
+        entropy = EntropySource(3)
+        canary = entropy.word()
+        packed = re_randomize_packed32(entropy, canary)
+        assert not check_packed32(packed ^ 0xFF, canary)
+
+
+@settings(max_examples=100, deadline=None)
+@given(canary=st.integers(min_value=0, max_value=2**64 - 1),
+       seed=st.integers(min_value=0, max_value=2**32))
+def test_rerandomize_property(canary, seed):
+    entropy = EntropySource(seed)
+    c0, c1 = re_randomize(entropy, canary)
+    assert c0 ^ c1 == canary
+    assert check_pair(c0, c1, canary)
+
+
+@settings(max_examples=100, deadline=None)
+@given(canary=st.integers(min_value=0, max_value=2**64 - 1),
+       seed=st.integers(min_value=0, max_value=2**32))
+def test_packed_property(canary, seed):
+    entropy = EntropySource(seed)
+    packed = re_randomize_packed32(entropy, canary)
+    assert check_packed32(packed, canary)

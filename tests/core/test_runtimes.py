@@ -1,0 +1,156 @@
+"""Direct unit tests for the scheme runtimes (preload-level behaviour)."""
+
+from repro.core.baselines import DYNAGUARD_CAB_ENTRIES, DCRRuntime, DynaGuardRuntime
+from repro.core.deploy import build, deploy
+from repro.core.schemes import (
+    GLOBAL_BUFFER_ENTRIES,
+    GlobalBufferRuntime,
+    OWFRuntime,
+    RAFRuntime,
+    SchemeRuntime,
+)
+from repro.kernel.kernel import Kernel
+from repro.libc.builtins import build_natives
+
+SIMPLE = "int main() { return 0; }"
+
+
+def bare_process(seed=7):
+    kernel = Kernel(seed)
+    binary = build(SIMPLE, "none", name="t")
+    process, _ = deploy(kernel, binary, "none")
+    return kernel, process
+
+
+class TestBaseRuntime:
+    def test_noop_install(self):
+        _, process = bare_process()
+        SchemeRuntime().install(process)
+        assert process.fork_hooks == []
+
+    def test_no_preloads(self):
+        assert SchemeRuntime().preload_binaries() == []
+
+
+class TestRAFRuntime:
+    def test_fork_hook_renews_child_canary_only(self):
+        kernel, process = bare_process()
+        RAFRuntime().install(process)
+        before = process.tls.canary
+        child = kernel.fork(process)
+        assert process.tls.canary == before
+        assert child.tls.canary != before
+
+    def test_new_canary_keeps_terminator(self):
+        kernel, process = bare_process()
+        RAFRuntime().install(process)
+        child = kernel.fork(process)
+        assert child.tls.canary & 0xFF == 0
+
+
+class TestOWFRuntime:
+    def test_key_parked_in_r12_r13(self):
+        _, process = bare_process()
+        OWFRuntime().install(process)
+        assert process.registers.read("r12") != 0
+        assert process.registers.read("r13") != 0
+
+    def test_key_differs_per_process(self):
+        _, a = bare_process(seed=1)
+        _, b = bare_process(seed=2)
+        OWFRuntime().install(a)
+        OWFRuntime().install(b)
+        assert a.registers.read("r12") != b.registers.read("r12")
+
+    def test_threads_share_the_key(self):
+        kernel, process = bare_process()
+        OWFRuntime().install(process)
+        thread = kernel.create_thread(process)
+        assert thread.registers.read("r12") == process.registers.read("r12")
+        assert thread.registers.read("r13") == process.registers.read("r13")
+
+    def test_fork_inherits_the_key(self):
+        kernel, process = bare_process()
+        OWFRuntime().install(process)
+        child = kernel.fork(process)
+        assert child.registers.read("r12") == process.registers.read("r12")
+
+
+class TestGlobalBufferRuntime:
+    def test_buffer_allocated_from_heap(self):
+        _, process = bare_process()
+        heap = process.memory.segment("heap")
+        brk_before = process.brk
+        GlobalBufferRuntime().install(process)
+        assert process.tls.global_buffer_base == brk_before
+        assert process.brk == brk_before + 8 * GLOBAL_BUFFER_ENTRIES
+        assert heap.base <= process.tls.global_buffer_base < heap.end
+
+    def test_count_starts_at_zero(self):
+        _, process = bare_process()
+        GlobalBufferRuntime().install(process)
+        assert process.tls.global_buffer_count == 0
+
+    def test_thread_gets_its_own_buffer(self):
+        kernel, process = bare_process()
+        GlobalBufferRuntime().install(process)
+        thread = kernel.create_thread(process)
+        assert thread.tls.global_buffer_base != process.tls.global_buffer_base
+
+
+class TestDynaGuardRuntime:
+    def test_cab_allocated(self):
+        _, process = bare_process()
+        DynaGuardRuntime().install(process)
+        assert process.tls.cab_base != 0
+        assert process.tls.cab_index == 0
+
+    def test_fork_rewrites_recorded_canaries(self):
+        kernel, process = bare_process()
+        runtime = DynaGuardRuntime()
+        runtime.install(process)
+        # Simulate a protected frame: record a canary address in the CAB.
+        old = process.tls.canary
+        slot = process.memory.segment("stack").end - 0x200
+        process.memory.write_word(slot, old)
+        process.memory.write_word(process.tls.cab_base, slot)
+        process.tls.cab_index = 1
+        child = kernel.fork(process)
+        assert child.tls.canary != old
+        assert child.memory.read_word(slot) == child.tls.canary
+        # The parent is untouched.
+        assert process.memory.read_word(slot) == old
+
+    def test_fork_skips_slots_that_no_longer_hold_the_canary(self):
+        kernel, process = bare_process()
+        DynaGuardRuntime().install(process)
+        slot = process.memory.segment("stack").end - 0x200
+        process.memory.write_word(slot, 0x1234)  # reused for other data
+        process.memory.write_word(process.tls.cab_base, slot)
+        process.tls.cab_index = 1
+        child = kernel.fork(process)
+        assert child.memory.read_word(slot) == 0x1234  # left alone
+
+
+class TestDCRRuntime:
+    def test_anchor_planted_at_stack_top(self):
+        _, process = bare_process()
+        DCRRuntime().install(process)
+        stack = process.memory.segment("stack")
+        assert process.tls.dcr_head == stack.end - 8
+        assert process.memory.read_word(stack.end - 8) == process.tls.canary
+
+    def test_fork_rerandomizes_the_chain(self):
+        kernel, process = bare_process()
+        DCRRuntime().install(process)
+        old = process.tls.canary
+        anchor = process.tls.dcr_head
+        # Build one chained node 64 words below the anchor.
+        node = anchor - 64 * 8
+        process.memory.write_word(node, old ^ 64)
+        process.tls.dcr_head = node
+        child = kernel.fork(process)
+        new = child.tls.canary
+        assert new != old
+        assert child.memory.read_word(node) == new ^ 64  # offset preserved
+        assert child.memory.read_word(anchor) == new     # terminator node

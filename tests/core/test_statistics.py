@@ -1,0 +1,98 @@
+"""Statistical quality of the canary material (scipy-backed).
+
+Theorem 1 is about information leakage; these tests check the underlying
+distributions rigorously: chi-square uniformity of Algorithm 1's outputs
+at byte granularity, independence across forks, and bit balance of the
+OWF ciphertext.
+"""
+
+from collections import Counter
+
+import pytest
+from scipy import stats
+
+from repro.core.rerandomize import re_randomize, re_randomize_packed32
+from repro.crypto.owf import owf_canary
+from repro.crypto.random import EntropySource
+
+ALPHA = 1e-6  # reject only on overwhelming evidence (tests must be stable)
+
+
+def chi_square_uniform(counts, categories):
+    observed = [counts.get(value, 0) for value in range(categories)]
+    return stats.chisquare(observed).pvalue
+
+
+class TestAlgorithm1Distributions:
+    def test_c0_bytes_uniform(self):
+        entropy = EntropySource(41)
+        canary = entropy.word(64)
+        counts = Counter()
+        for _ in range(20_000):
+            c0, _ = re_randomize(entropy, canary)
+            counts[c0 & 0xFF] += 1
+        assert chi_square_uniform(counts, 256) > ALPHA
+
+    def test_c1_bytes_uniform_for_fixed_canary(self):
+        # The attacker-visible half: must be uniform whatever C is.
+        entropy = EntropySource(42)
+        canary = 0xDEADBEEF_CAFEF00D
+        counts = Counter()
+        for _ in range(20_000):
+            _, c1 = re_randomize(entropy, canary)
+            counts[(c1 >> 8) & 0xFF] += 1
+        assert chi_square_uniform(counts, 256) > ALPHA
+
+    def test_successive_pairs_uncorrelated(self):
+        # Pearson correlation of successive C0 low bytes ≈ 0.
+        entropy = EntropySource(43)
+        canary = entropy.word(64)
+        draws = [re_randomize(entropy, canary)[0] & 0xFF for _ in range(8_000)]
+        r, p = stats.pearsonr(draws[:-1], draws[1:])
+        assert abs(r) < 0.05
+
+    def test_packed32_halves_uniform(self):
+        entropy = EntropySource(44)
+        canary = entropy.word(64)
+        counts = Counter()
+        for _ in range(20_000):
+            packed = re_randomize_packed32(entropy, canary)
+            counts[packed & 0xFF] += 1
+        assert chi_square_uniform(counts, 256) > ALPHA
+
+
+class TestOwfDistributions:
+    def test_ciphertext_bit_balance_over_nonces(self):
+        # For a fixed key and return address, varying only the nonce must
+        # give ~50% ones in every ciphertext byte (AES as a PRF).
+        key_lo, key_hi = 0x1111222233334444, 0x5555666677778888
+        ret = 0x401234
+        ones = 0
+        total_bits = 0
+        for nonce in range(2_000):
+            block = owf_canary(key_lo, key_hi, nonce, ret)
+            ones += sum(bin(b).count("1") for b in block)
+            total_bits += 128
+        ratio = ones / total_bits
+        assert 0.48 < ratio < 0.52
+
+    def test_ciphertext_low_byte_uniform_over_nonces(self):
+        key_lo, key_hi = 0x0102030405060708, 0x090A0B0C0D0E0F10
+        ret = 0x401234
+        counts = Counter()
+        for nonce in range(20_000):
+            counts[owf_canary(key_lo, key_hi, nonce, ret)[0]] += 1
+        assert chi_square_uniform(counts, 256) > ALPHA
+
+    def test_avalanche_between_adjacent_return_addresses(self):
+        # One-bit change in the return address flips ~half the bits.
+        key_lo, key_hi = 0xAAAA, 0xBBBB
+        flips = []
+        for nonce in range(200):
+            a = owf_canary(key_lo, key_hi, nonce, 0x401000)
+            b = owf_canary(key_lo, key_hi, nonce, 0x401001)
+            flips.append(
+                sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+            )
+        mean_flips = sum(flips) / len(flips)
+        assert 54 < mean_flips < 74  # 64 ± 10 of 128 bits

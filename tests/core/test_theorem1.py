@@ -1,0 +1,80 @@
+"""Theorem 1: observing C1 halves across forks leaks nothing about C.
+
+The paper proves Pr(C) = Pr(C | C1^1 ... C1^n).  We verify the statement
+empirically at a reduced canary width where exact statistics are
+tractable: over many trials with *fixed observed values*, the conditional
+distribution of C given the observed C1 sequence must stay uniform.
+"""
+
+from collections import Counter
+
+from repro.core.rerandomize import re_randomize
+from repro.crypto.random import EntropySource
+
+BITS = 4  # 16 possible canaries: exact chi-square style checks feasible
+DOMAIN = 1 << BITS
+
+
+class TestTheorem1:
+    def test_c1_uniform_regardless_of_canary(self):
+        """For any fixed C, the C1 output is uniform over the domain."""
+        entropy = EntropySource(11)
+        for canary in (0, 3, 9, DOMAIN - 1):
+            counts = Counter(
+                re_randomize(entropy, canary, bits=BITS)[1]
+                for _ in range(20_000)
+            )
+            expected = 20_000 / DOMAIN
+            for value in range(DOMAIN):
+                assert abs(counts[value] - expected) < expected * 0.25
+
+    def test_conditional_distribution_of_canary_is_uniform(self):
+        """Pr(C | C1 sequence) stays uniform: Bayes on simulated forks."""
+        entropy = EntropySource(12)
+        observed_target = (5, 11, 2)  # an arbitrary fixed observation
+        posterior = Counter()
+        for _ in range(120_000):
+            canary = entropy.word(BITS)
+            observation = tuple(
+                re_randomize(entropy, canary, bits=BITS)[1]
+                for _ in range(len(observed_target))
+            )
+            if observation == observed_target:
+                posterior[canary] += 1
+        total = sum(posterior.values())
+        assert total > 0
+        expected = total / DOMAIN
+        for canary in range(DOMAIN):
+            # Uniform posterior despite the adversary's observations.
+            assert abs(posterior[canary] - expected) < max(6.0, expected * 0.7)
+
+    def test_accumulation_fails_across_forks(self):
+        """A byte 'confirmed' against one fork's pair holds for the next
+        fork only at chance rate — the no-accumulation property."""
+        entropy = EntropySource(13)
+        canary = entropy.word(64)
+        hits = 0
+        trials = 3_000
+        for _ in range(trials):
+            c0_a, c1_a = re_randomize(entropy, canary)
+            c0_b, c1_b = re_randomize(entropy, canary)
+            # Attacker learned the low byte of fork A's C1 half; test it
+            # against fork B's.
+            hits += int((c1_a & 0xFF) == (c1_b & 0xFF))
+        chance = trials / 256
+        assert hits < chance * 3  # nowhere near reliable carry-over
+
+    def test_exhaustive_strength_preserved(self):
+        """P-SSP's split guess succeeds exactly when the guessed canary is
+        right — same exhaustive-search strength as SSP (§III-C1)."""
+        entropy = EntropySource(14)
+        canary = entropy.word(BITS)
+        successes = 0
+        trials = 40_000
+        for _ in range(trials):
+            guess = entropy.word(BITS)
+            c0 = entropy.word(BITS)
+            c1 = c0 ^ guess
+            successes += int((c0 ^ c1) == canary)
+        rate = successes / trials
+        assert abs(rate - 1 / DOMAIN) < 0.02

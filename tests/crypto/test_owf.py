@@ -1,0 +1,67 @@
+"""The one-way function F backing P-SSP-OWF."""
+
+from repro.crypto.owf import owf_canary, owf_canary_words, owf_check
+
+
+KEY_LO = 0x1122334455667788
+KEY_HI = 0x99AABBCCDDEEFF00
+NONCE = 0xDEADBEEF12345678
+RET = 0x0000000000401234
+
+
+class TestOwfCanary:
+    def test_is_sixteen_bytes(self):
+        assert len(owf_canary(KEY_LO, KEY_HI, NONCE, RET)) == 16
+
+    def test_deterministic(self):
+        a = owf_canary(KEY_LO, KEY_HI, NONCE, RET)
+        b = owf_canary(KEY_LO, KEY_HI, NONCE, RET)
+        assert a == b
+
+    def test_nonce_sensitivity(self):
+        a = owf_canary(KEY_LO, KEY_HI, NONCE, RET)
+        b = owf_canary(KEY_LO, KEY_HI, NONCE + 1, RET)
+        assert a != b
+
+    def test_return_address_sensitivity(self):
+        a = owf_canary(KEY_LO, KEY_HI, NONCE, RET)
+        b = owf_canary(KEY_LO, KEY_HI, NONCE, RET + 8)
+        assert a != b
+
+    def test_key_sensitivity(self):
+        a = owf_canary(KEY_LO, KEY_HI, NONCE, RET)
+        b = owf_canary(KEY_LO ^ 1, KEY_HI, NONCE, RET)
+        c = owf_canary(KEY_LO, KEY_HI ^ 1, NONCE, RET)
+        assert a != b and a != c
+
+    def test_words_match_bytes(self):
+        block = owf_canary(KEY_LO, KEY_HI, NONCE, RET)
+        lo, hi = owf_canary_words(KEY_LO, KEY_HI, NONCE, RET)
+        assert lo == int.from_bytes(block[:8], "little")
+        assert hi == int.from_bytes(block[8:], "little")
+
+
+class TestOwfCheck:
+    def test_accepts_genuine_canary(self):
+        lo, hi = owf_canary_words(KEY_LO, KEY_HI, NONCE, RET)
+        assert owf_check(KEY_LO, KEY_HI, NONCE, RET, lo, hi)
+
+    def test_rejects_tampered_return_address(self):
+        lo, hi = owf_canary_words(KEY_LO, KEY_HI, NONCE, RET)
+        assert not owf_check(KEY_LO, KEY_HI, NONCE, RET + 16, lo, hi)
+
+    def test_rejects_tampered_nonce(self):
+        lo, hi = owf_canary_words(KEY_LO, KEY_HI, NONCE, RET)
+        assert not owf_check(KEY_LO, KEY_HI, NONCE ^ 4, RET, lo, hi)
+
+    def test_rejects_tampered_canary(self):
+        lo, hi = owf_canary_words(KEY_LO, KEY_HI, NONCE, RET)
+        assert not owf_check(KEY_LO, KEY_HI, NONCE, RET, lo ^ 1, hi)
+        assert not owf_check(KEY_LO, KEY_HI, NONCE, RET, lo, hi ^ (1 << 63))
+
+    def test_replay_into_other_frame_fails(self):
+        # The exposure-resilience property: a canary valid for one return
+        # address never validates for another.
+        lo, hi = owf_canary_words(KEY_LO, KEY_HI, NONCE, RET)
+        other_ret = 0x401FF0
+        assert not owf_check(KEY_LO, KEY_HI, NONCE, other_ret, lo, hi)

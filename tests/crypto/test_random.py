@@ -1,0 +1,81 @@
+"""EntropySource determinism and canary-drawing helpers."""
+
+from repro.crypto.random import EntropySource, terminator_free_word
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = EntropySource(1)
+        b = EntropySource(1)
+        assert [a.word() for _ in range(10)] == [b.word() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = EntropySource(1)
+        b = EntropySource(2)
+        assert [a.word() for _ in range(5)] != [b.word() for _ in range(5)]
+
+    def test_fork_derives_independent_stream(self):
+        parent = EntropySource(1)
+        child = parent.fork()
+        parent_words = [parent.word() for _ in range(5)]
+        child_words = [child.word() for _ in range(5)]
+        assert parent_words != child_words
+
+    def test_fork_is_deterministic(self):
+        a = EntropySource(9).fork()
+        b = EntropySource(9).fork()
+        assert a.word() == b.word()
+
+
+class TestDraws:
+    def test_word_width(self):
+        source = EntropySource(3)
+        for _ in range(50):
+            assert 0 <= source.word(16) < (1 << 16)
+
+    def test_nonzero_word(self):
+        source = EntropySource(3)
+        for _ in range(200):
+            assert source.nonzero_word(4) != 0
+
+    def test_bytes_length(self):
+        source = EntropySource(3)
+        assert len(source.bytes(13)) == 13
+        assert source.bytes(0) == b""
+
+    def test_byte_range(self):
+        source = EntropySource(3)
+        for _ in range(100):
+            assert 0 <= source.byte() <= 255
+
+    def test_randrange(self):
+        source = EntropySource(3)
+        for _ in range(100):
+            assert 0 <= source.randrange(7) < 7
+
+    def test_choice_and_shuffle(self):
+        source = EntropySource(3)
+        items = list(range(10))
+        assert source.choice(items) in items
+        shuffled = list(items)
+        source.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_draw_counter_increments(self):
+        source = EntropySource(3)
+        before = source.draws
+        source.word()
+        source.bytes(4)
+        assert source.draws == before + 2
+
+
+class TestTerminatorFreeWord:
+    def test_low_byte_is_zero(self):
+        source = EntropySource(5)
+        for _ in range(100):
+            assert terminator_free_word(source) & 0xFF == 0
+
+    def test_high_bytes_vary(self):
+        source = EntropySource(5)
+        values = {terminator_free_word(source) for _ in range(20)}
+        assert len(values) > 15

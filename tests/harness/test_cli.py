@@ -1,0 +1,98 @@
+"""CLI and report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.report import generate_report
+
+
+class TestCli:
+    def test_schemes_lists_registry(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("ssp", "pssp", "pssp-owf", "dynaguard", "dcr"):
+            assert scheme in out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "pssp-nt" in out and "extra cycles" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "9"]) == 2
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "canary word" in capsys.readouterr().out
+
+    def test_figure3(self, capsys):
+        assert main(["figure", "3"]) == 0
+        assert "__stack_chk_fail" in capsys.readouterr().out
+
+    def test_figure6(self, capsys):
+        assert main(["figure", "6"]) == 0
+        assert "TLS canary" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "42"]) == 2
+
+    def test_sweep_width(self, capsys):
+        assert main(["sweep", "width", "--samples", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "pssp-binary" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate"]) == 0
+        assert "ALL OK" in capsys.readouterr().out
+
+    def test_attack_ssp_reports_break(self, capsys):
+        # exit 1 signals the defence was broken — scripting-friendly.
+        assert main(["attack", "--scheme", "ssp", "--trials", "6000"]) == 1
+        out = capsys.readouterr().out
+        assert "success:   True" in out
+
+    def test_attack_pssp_reports_hold(self, capsys):
+        assert main(["attack", "--scheme", "pssp", "--trials", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "success:   False" in out
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "--scheme", "rot13"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        # Reduced settings: small SPEC subset, shortened attack budget.
+        return generate_report(
+            spec_names=("mcf", "astar"),
+            full_figure5=False,
+            attack_trials=2500,
+        )
+
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "## Table I", "## Table II", "## Table III", "## Table IV",
+            "## Table V", "## Figure 5", "## Figures 1 & 2",
+            "## Figures 3 & 4", "## Figure 6", "## §VI-C",
+            "## Measured properties matrix",
+        ):
+            assert heading in report_text
+
+    def test_mentions_paper_references(self, report_text):
+        assert "0.24" in report_text  # the paper's headline overhead
+        assert "156" in report_text   # DynaGuard PIN
+        assert "33.006" in report_text  # Apache native
+
+    def test_renders_measured_tables(self, report_text):
+        assert "BROP prev." in report_text
+        assert "extra cycles" in report_text

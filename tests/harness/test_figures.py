@@ -1,0 +1,96 @@
+"""Figure regenerators."""
+
+import pytest
+
+from repro.harness.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    frames_share_canary,
+)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure1()
+
+    def test_ssp_has_one_canary_word(self, fig):
+        for frame in fig["ssp"].frames:
+            assert len(frame.canary_words) == 1
+
+    def test_pssp_has_a_pair(self, fig):
+        for frame in fig["pssp"].frames:
+            assert len(frame.canary_words) == 2
+            assert [offset for offset, _ in frame.canary_words] == [8, 16]
+
+    def test_render_mentions_return_address(self, fig):
+        assert "return address" in fig["ssp"].render()
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure2()
+
+    def test_pssp_frames_share_one_stack_canary(self, fig):
+        assert frames_share_canary(fig["pssp"])
+
+    def test_pssp_nt_frames_differ(self, fig):
+        assert not frames_share_canary(fig["pssp-nt"])
+
+    def test_both_capture_two_frames(self, fig):
+        assert len(fig["pssp"].frames) == 2
+        assert len(fig["pssp-nt"].frames) == 2
+
+
+class TestFigure3:
+    def test_listings_show_the_mechanism(self):
+        fig = figure3()
+        assert "__stack_chk_fail" in fig.rewritten_epilogue
+        assert "rdi" in fig.rewritten_epilogue
+        assert "__GI__fortify_fail" in fig.stack_chk_listing
+        assert "ret" in fig.stack_chk_listing
+
+    def test_render_combines_both(self):
+        text = figure3().render()
+        assert "Code 6" in text and "Figures 3/4" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure5(spec_names=("perlbench", "gcc", "mcf", "lbm"))
+
+    def test_per_program_series_present(self, fig):
+        assert set(fig.overheads) == {"perlbench", "gcc", "mcf", "lbm"}
+
+    def test_instrumentation_costs_more_than_compiler(self, fig):
+        assert fig.instrumentation_average > fig.compiler_average
+
+    def test_compiler_average_sub_percent(self, fig):
+        assert 0 <= fig.compiler_average < 1.0
+
+    def test_instrumentation_average_order_one_percent(self, fig):
+        assert 0 < fig.instrumentation_average < 4.0
+
+    def test_render_has_average_row(self, fig):
+        assert "AVERAGE" in fig.render()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure6()
+
+    def test_buffer_holds_one_half_per_live_frame(self, fig):
+        assert len(fig.buffer_entries) == 2
+        assert len(fig.stack_halves) == 2
+
+    def test_pairs_bind_to_tls_canary(self, fig):
+        assert fig.consistent()
+
+    def test_render(self, fig):
+        assert "TLS canary" in fig.render()

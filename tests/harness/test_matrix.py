@@ -1,0 +1,49 @@
+"""The measured scheme-properties matrix."""
+
+import pytest
+
+from repro.harness.matrix import properties_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return properties_matrix(attack_trials=2500)
+
+
+class TestMatrixShape:
+    def test_ten_schemes(self, matrix):
+        assert len(matrix.rows) == 10
+
+    def test_only_ssp_falls_to_brop(self, matrix):
+        vulnerable = {r.scheme for r in matrix.rows if not r.brop_prevented}
+        assert vulnerable == {"ssp"}
+
+    def test_only_raf_breaks_fork(self, matrix):
+        broken = {r.scheme for r in matrix.rows if not r.fork_correct}
+        assert broken == {"raf-ssp"}
+
+    def test_leak_resilience_is_owf_and_gb(self, matrix):
+        resilient = {r.scheme for r in matrix.rows if r.leak_resilient}
+        assert resilient == {"pssp-owf", "pssp-gb"}
+
+    def test_unwinding_fragile_schemes(self, matrix):
+        fragile = {r.scheme for r in matrix.rows if not r.unwinding_safe}
+        # DCR false-positives; the global-buffer variant desyncs its
+        # count.  (DynaGuard leaks bookkeeping without crashing, which
+        # this column — "no false positives" — does not penalise.)
+        assert fragile == {"dcr", "pssp-gb"}
+
+    def test_cost_ordering(self, matrix):
+        cost = {r.scheme: r.per_call_cycles for r in matrix.rows}
+        assert cost["ssp"] <= cost["pssp"] < cost["pssp-binary"]
+        assert cost["pssp"] < cost["dynaguard"] < cost["dcr"]
+        assert cost["pssp-owf"] < cost["pssp-nt"] < cost["pssp-gb"] + 60
+
+    def test_pssp_lv_stays_polymorphic(self, matrix):
+        # The single-variable degeneracy fix: LV must prevent BROP even
+        # when only one buffer is protected.
+        assert matrix.row("pssp-lv").brop_prevented
+
+    def test_render(self, matrix):
+        text = matrix.render()
+        assert "BROP" in text and "pssp-owf" in text

@@ -1,0 +1,64 @@
+"""Terminal plotting."""
+
+from repro.harness.figures import figure5
+from repro.harness.plots import bar_chart, figure5_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_values_printed(self):
+        chart = bar_chart([("x", 1.234)], unit="%")
+        assert "1.234%" in chart
+
+    def test_title(self):
+        chart = bar_chart([("x", 1.0)], title="overheads")
+        assert chart.splitlines()[0] == "overheads"
+
+    def test_empty_series(self):
+        assert bar_chart([], title="nothing") == "nothing"
+
+    def test_zero_values_do_not_divide_by_zero(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "0.000" in chart
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("muchlonger", 2.0)])
+        bars = [line.index("|") for line in chart.splitlines()]
+        assert len(set(bars)) == 1
+
+
+class TestGroupedChart:
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart(
+            {"a": [("x", 10.0)], "b": [("y", 5.0)]}, width=10
+        )
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_group_headers(self):
+        chart = grouped_bar_chart({"first": [("x", 1.0)]})
+        assert "[first]" in chart
+
+
+class TestFigure5Chart:
+    def test_renders_both_series(self):
+        result = figure5(spec_names=("mcf", "perlbench"))
+        chart = figure5_chart(result)
+        assert "compiler-based" in chart
+        assert "instrumentation-based" in chart
+        assert "averages:" in chart
+        assert "perlbench" in chart
+
+    def test_csv_export(self):
+        result = figure5(spec_names=("mcf", "perlbench"))
+        csv = result.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("program,")
+        assert lines[-1].startswith("AVERAGE,")
+        assert len(lines) == 4  # header + 2 programs + average

@@ -1,0 +1,159 @@
+"""Table regenerators: structural and shape assertions.
+
+Full-fidelity regeneration lives in benchmarks/; these tests run reduced
+configurations and assert the *shape* properties the paper reports.
+"""
+
+import pytest
+
+from repro.harness.tables import (
+    effectiveness,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1(spec_names=("mcf", "astar"), attack_trials=2500)
+
+
+class TestTable1(object):
+    def test_ssp_falls_to_brop(self, t1):
+        assert t1.row("ssp").brop_prevented is False
+
+    def test_all_defences_prevent_brop(self, t1):
+        for scheme in ("raf-ssp", "dynaguard", "dcr", "pssp"):
+            assert t1.row(scheme).brop_prevented is True, scheme
+
+    def test_only_raf_breaks_correctness(self, t1):
+        assert t1.row("raf-ssp").fork_correct is False
+        for scheme in ("ssp", "dynaguard", "dcr", "pssp"):
+            assert t1.row(scheme).fork_correct is True, scheme
+
+    def test_dynaguard_dbi_near_156_percent(self, t1):
+        assert 120 < t1.row("dynaguard").instrumentation_overhead < 190
+
+    def test_dcr_instrumentation_above_10_percent(self, t1):
+        assert t1.row("dcr").instrumentation_overhead > 10
+
+    def test_pssp_cheapest_defence(self, t1):
+        pssp = t1.row("pssp")
+        dynaguard = t1.row("dynaguard")
+        assert pssp.compiler_overhead < dynaguard.compiler_overhead
+        assert pssp.instrumentation_overhead < dynaguard.instrumentation_overhead
+        assert pssp.instrumentation_overhead < t1.row("dcr").instrumentation_overhead
+
+    def test_render(self, t1):
+        text = t1.render()
+        assert "pssp" in text and "dynaguard" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def t2(self):
+        return table2(spec_names=("perlbench", "gcc", "mcf"))
+
+    def test_dynamic_instrumentation_zero_expansion(self, t2):
+        assert t2.instrumentation_dynamic_expansion == 0.0
+
+    def test_compiler_expansion_small_positive(self, t2):
+        assert 0 < t2.compiler_expansion < 10
+
+    def test_static_expansion_exceeds_compiler(self, t2):
+        assert t2.instrumentation_static_expansion > t2.compiler_expansion
+
+    def test_absolute_metrics_present(self, t2):
+        assert 8 <= t2.compiler_bytes_per_function <= 64
+        assert 100 <= t2.static_bytes_added <= 500
+
+    def test_render(self, t2):
+        assert "%" in t2.render()
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def t3(self):
+        return table3(requests=6)
+
+    def test_deltas_in_third_decimal(self, t3):
+        for server, by_scheme in t3.results.items():
+            native = by_scheme["ssp"].mean_response_ms
+            for scheme in ("pssp", "pssp-binary"):
+                delta = abs(by_scheme[scheme].mean_response_ms - native)
+                assert delta < 0.05, (server, scheme)
+
+    def test_ordering_matches_paper(self, t3):
+        apache = t3.results["apache2"]["ssp"].mean_response_ms
+        nginx = t3.results["nginx"]["ssp"].mean_response_ms
+        assert apache > 10 * nginx
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def t4(self):
+        return table4()
+
+    def test_memory_identical_across_builds(self, t4):
+        for database, by_scheme in t4.results.items():
+            values = {round(s.memory_mb, 2) for s in by_scheme.values()}
+            assert len(values) == 1, database
+
+    def test_sqlite_batch_dominates(self, t4):
+        assert (
+            t4.results["sqlite"]["ssp"].mean_query_ms
+            > t4.results["mysql"]["ssp"].mean_query_ms * 30
+        )
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def t5(self):
+        return table5()
+
+    def test_pssp_is_single_digit_extra(self, t5):
+        assert t5.cycles["pssp"] < 30
+
+    def test_nt_dominated_by_rdrand(self, t5):
+        assert 300 < t5.cycles["pssp-nt"] < 420
+
+    def test_lv_two_vars_matches_nt(self, t5):
+        delta = abs(t5.cycles["pssp-lv (2 vars)"] - t5.cycles["pssp-nt"])
+        assert delta < 40
+
+    def test_lv_four_vars_roughly_triple(self, t5):
+        ratio = t5.cycles["pssp-lv (4 vars)"] / t5.cycles["pssp-lv (2 vars)"]
+        assert 2.4 < ratio < 3.4  # paper: 986/343 ≈ 2.9
+
+    def test_owf_between_pssp_and_nt(self, t5):
+        assert t5.cycles["pssp"] < t5.cycles["pssp-owf"] < t5.cycles["pssp-nt"]
+
+    def test_ablation_rows_present(self, t5):
+        for label in ("ssp", "dynaguard", "dcr", "pssp-gb", "pssp-binary"):
+            assert label in t5.cycles
+
+
+class TestEffectiveness:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return effectiveness(max_trials=2500, compat_runs=2)
+
+    def test_ssp_servers_fall(self, report):
+        for row in report.rows:
+            if row.scheme == "ssp":
+                assert row.attack_succeeded, row.server
+
+    def test_pssp_servers_resist(self, report):
+        for row in report.rows:
+            if row.scheme == "pssp":
+                assert not row.attack_succeeded, row.server
+
+    def test_no_compat_false_positives(self, report):
+        assert report.compat_false_positives == 0
+        assert report.compat_runs == 4
+
+    def test_render(self, report):
+        assert "compatibility" in report.render()

@@ -1,0 +1,35 @@
+"""The scheme health-check."""
+
+from repro.cli import main
+from repro.harness.validate import validate_all, validate_scheme
+
+
+class TestValidate:
+    def test_all_registered_schemes_pass(self):
+        report = validate_all()
+        assert report.ok, report.render()
+
+    def test_every_scheme_present(self):
+        from repro.core.deploy import SCHEMES
+
+        report = validate_all()
+        assert {r.scheme for r in report.results} >= set(SCHEMES)
+
+    def test_single_scheme(self):
+        result = validate_scheme("pssp")
+        assert result.ok
+        assert result.scheme == "pssp"
+
+    def test_none_is_annotated_baseline(self):
+        result = validate_scheme("none")
+        assert result.ok
+        assert "baseline" in result.note
+
+    def test_render_mentions_verdicts(self):
+        text = validate_all().render()
+        assert "ALL OK" in text
+        assert "semantics" in text
+
+    def test_cli_exit_zero_when_healthy(self, capsys):
+        assert main(["validate"]) == 0
+        assert "ALL OK" in capsys.readouterr().out

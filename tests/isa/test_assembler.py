@@ -1,0 +1,110 @@
+"""Two-pass assembler behaviour."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble, assemble_one, parse_operand
+from repro.isa.instructions import Imm, Label, Mem, Reg, Sym
+
+
+class TestOperandParsing:
+    def test_register(self):
+        assert parse_operand("rax") == Reg("rax")
+
+    def test_xmm(self):
+        assert parse_operand("xmm15") == Reg("xmm15")
+
+    def test_decimal_and_hex_immediates(self):
+        assert parse_operand("42") == Imm(42)
+        assert parse_operand("0x2a") == Imm(42)
+        assert parse_operand("-8") == Imm(-8)
+
+    def test_memory_base_disp(self):
+        assert parse_operand("[rbp-8]") == Mem(base="rbp", disp=-8)
+        assert parse_operand("[rbp+0x10]") == Mem(base="rbp", disp=0x10)
+
+    def test_memory_tls(self):
+        assert parse_operand("fs:[0x28]") == Mem(seg="fs", disp=0x28)
+
+    def test_memory_indexed(self):
+        operand = parse_operand("[rcx+rdx*8]")
+        assert operand == Mem(base="rcx", index="rdx", scale=8)
+
+    def test_local_label(self):
+        assert parse_operand(".loop") == Label(".loop")
+
+    def test_symbol(self):
+        assert parse_operand("strcpy") == Sym("strcpy")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_operand("@@@")
+
+
+class TestAssemble:
+    SOURCE = """
+    f:
+        push rbp
+        mov rbp, rsp
+        mov rax, 0
+    .loop:
+        add rax, 1
+        cmp rax, 5
+        jne .loop
+        leave
+        ret
+    """
+
+    def test_single_function(self):
+        function = assemble_one(self.SOURCE)
+        assert function.name == "f"
+        assert function.body[0].op == "push"
+        assert function.labels[".loop"] == 3
+
+    def test_branch_target_bound_to_label(self):
+        function = assemble_one(self.SOURCE)
+        jne = function.body[5]
+        assert jne.op == "jne"
+        assert jne.operands[0] == Label(".loop")
+
+    def test_multiple_functions(self):
+        functions = assemble("a:\n ret\nb:\n nop\n ret\n")
+        assert list(functions) == ["a", "b"]
+        assert len(functions["b"]) == 2
+
+    def test_comments_ignored(self):
+        function = assemble_one("f:\n nop ; comment\n ret # more\n")
+        assert len(function) == 2
+
+    def test_call_symbol(self):
+        function = assemble_one("f:\n call strcpy\n ret\n")
+        assert function.body[0].operands[0] == Sym("strcpy")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble_one("f:\n jmp .nowhere\n ret\n")
+
+    def test_instruction_outside_function_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("f:\n frobnicate rax\n")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("f:\n ret\nf:\n ret\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("f:\n .l:\n nop\n .l:\n ret\n")
+
+    def test_expect_one_function(self):
+        with pytest.raises(AssemblerError):
+            assemble_one("a:\n ret\nb:\n ret\n")
+
+    def test_forward_reference_to_symbol_that_becomes_label(self):
+        function = assemble_one("f:\n jmp out\n nop\n out:\n ret\n")
+        # "out:" is indented → local label; the jmp target rebinds to it.
+        assert function.body[0].operands[0] == Label("out")

@@ -1,0 +1,35 @@
+"""ISA completeness: every declared mnemonic is fully wired up.
+
+A mnemonic that parses but has no cost entry or no CPU semantics is a
+latent crash in whatever first emits it; these tests close that gap
+structurally.
+"""
+
+from repro.isa.costs import _BASE_COSTS
+from repro.isa.instructions import ALL_OPS, CONDITIONAL_JUMPS
+from repro.machine.cpu import _DISPATCH
+
+
+class TestCompleteness:
+    def test_every_op_has_a_cost(self):
+        missing = set(ALL_OPS) - set(_BASE_COSTS)
+        assert not missing, f"ops without cycle costs: {sorted(missing)}"
+
+    def test_every_op_has_cpu_semantics(self):
+        missing = set(ALL_OPS) - set(_DISPATCH)
+        assert not missing, f"ops without CPU handlers: {sorted(missing)}"
+
+    def test_no_orphan_costs(self):
+        orphans = set(_BASE_COSTS) - set(ALL_OPS)
+        assert not orphans, f"costs for unknown ops: {sorted(orphans)}"
+
+    def test_no_orphan_handlers(self):
+        orphans = set(_DISPATCH) - set(ALL_OPS)
+        assert not orphans, f"handlers for unknown ops: {sorted(orphans)}"
+
+    def test_conditional_jumps_subset_of_ops(self):
+        assert CONDITIONAL_JUMPS <= ALL_OPS
+
+    def test_all_costs_positive(self):
+        for op, cost in _BASE_COSTS.items():
+            assert cost > 0, op

@@ -1,0 +1,110 @@
+"""ASLR (§VII-B): randomized layouts composing with canary schemes."""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.errors import InvalidJump
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int win() {
+    puts("PWNED");
+    exit(66);
+    return 0;
+}
+int handler(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+
+def spawn(scheme="none", seed=5, aslr=False):
+    kernel = Kernel(seed)
+    binary = build(VICTIM, scheme, name="v")
+    process, _ = deploy(kernel, binary, scheme, aslr=aslr)
+    return kernel, binary, process
+
+
+class TestLayoutRandomization:
+    def test_code_addresses_differ_across_spawns(self):
+        kernel = Kernel(5)
+        binary = build(VICTIM, "none", name="v")
+        addresses = set()
+        for _ in range(4):
+            process, _ = deploy(kernel, binary, "none", aslr=True)
+            addresses.add(process.image.address_of("win"))
+        assert len(addresses) >= 3
+
+    def test_stack_and_heap_slide(self):
+        kernel = Kernel(5)
+        binary = build(VICTIM, "none", name="v")
+        stacks, heaps = set(), set()
+        for _ in range(4):
+            process, _ = deploy(kernel, binary, "none", aslr=True)
+            stacks.add(process.memory.segment("stack").base)
+            heaps.add(process.memory.segment("heap").base)
+        assert len(stacks) >= 3 and len(heaps) >= 2
+
+    def test_no_aslr_is_deterministic_layout(self):
+        _, _, a = spawn(seed=5)
+        _, _, b = spawn(seed=6)
+        assert a.image.address_of("win") == b.image.address_of("win")
+
+    def test_programs_run_normally_under_aslr(self):
+        for scheme in ("none", "ssp", "pssp", "pssp-owf"):
+            _, _, process = spawn(scheme=scheme, aslr=True)
+            process.feed_stdin(b"hi")
+            assert process.call("handler", (2,)).state == "exited", scheme
+
+    def test_detection_still_works_under_aslr(self):
+        _, _, process = spawn(scheme="pssp", aslr=True)
+        process.feed_stdin(b"A" * 150)
+        assert process.call("handler", (150,)).smashed
+
+    def test_fork_preserves_the_layout(self):
+        # ASLR randomizes per-exec; fork clones, it does not re-randomize
+        # (which is exactly why BROP works: same layout every worker).
+        kernel, _, parent = spawn(scheme="ssp", aslr=True)
+        child = kernel.fork(parent)
+        assert child.memory.segment("stack").base == parent.memory.segment("stack").base
+
+
+class TestHijackUnderAslr:
+    def _exploit(self, process, gadget_address):
+        from repro.attacks.payloads import PayloadBuilder, frame_map
+
+        frame = frame_map(process.binary, "handler")
+        builder = PayloadBuilder(frame)
+        payload = builder.with_canaries(
+            {frame.canary_slots[0]: process.tls.canary},
+            new_return=gadget_address,
+            new_rbp=process.registers.read("rsp") - 0x200,
+        )
+        process.stdin.clear()
+        process.feed_stdin(payload)
+        return process.call("handler", (len(payload),))
+
+    def test_fixed_address_exploit_works_without_aslr(self):
+        _, _, process = spawn(scheme="ssp", seed=9)
+        gadget = process.image.address_of("win")
+        result = self._exploit(process, gadget)
+        assert b"PWNED" in process.stdout
+
+    def test_fixed_address_exploit_misses_under_aslr(self):
+        """The §VII-B composition: even with the canary known (perfect
+        disclosure), a gadget address from another instance misses."""
+        # Attacker learned the address from a *different* spawn.
+        _, _, reference = spawn(scheme="ssp", seed=9)
+        leaked_gadget = reference.image.address_of("win")
+        kernel = Kernel(10)
+        binary = build(VICTIM, "ssp", name="v")
+        process, _ = deploy(kernel, binary, "ssp", aslr=True)
+        process.binary = binary
+        if process.image.address_of("win") == leaked_gadget:
+            pytest.skip("slide happened to be zero")
+        result = self._exploit(process, leaked_gadget)
+        assert b"PWNED" not in process.stdout
+        assert result.crashed

@@ -1,0 +1,104 @@
+"""Fork semantics: the substrate both the attack and defence stand on."""
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+SIMPLE = """
+int main() { return 0; }
+"""
+
+FORKER = """
+int main() {
+    int pid;
+    int x;
+    x = 5;
+    pid = fork();
+    if (pid == 0) {
+        return x + 1;
+    }
+    return x;
+}
+"""
+
+
+def spawn(source, scheme="ssp", seed=5):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme)
+    return kernel, process
+
+
+class TestHostFork:
+    def test_child_inherits_tls_canary(self):
+        kernel, parent = spawn(SIMPLE)
+        child = kernel.fork(parent)
+        assert child.tls.canary == parent.tls.canary
+
+    def test_child_memory_is_independent(self):
+        kernel, parent = spawn(SIMPLE)
+        child = kernel.fork(parent)
+        heap = parent.memory.segment("heap").base
+        child.memory.write_word(heap, 999)
+        assert parent.memory.read_word(heap) == 0
+
+    def test_child_inherits_stack_contents(self):
+        kernel, parent = spawn(SIMPLE)
+        stack_base = parent.memory.segment("stack").base
+        parent.memory.write_word(stack_base + 64, 0xCAFE)
+        child = kernel.fork(parent)
+        assert child.memory.read_word(stack_base + 64) == 0xCAFE
+
+    def test_child_gets_new_pid_and_ppid(self):
+        kernel, parent = spawn(SIMPLE)
+        child = kernel.fork(parent)
+        assert child.pid != parent.pid
+        assert child.ppid == parent.pid
+
+    def test_registers_cloned(self):
+        kernel, parent = spawn(SIMPLE)
+        parent.registers.write("r12", 0x1234)
+        child = kernel.fork(parent)
+        assert child.registers.read("r12") == 0x1234
+
+    def test_fork_hooks_run_on_child_only(self):
+        kernel, parent = spawn(SIMPLE)
+        seen = []
+        parent.fork_hooks.append(lambda c, p: seen.append((c.pid, p.pid)))
+        child = kernel.fork(parent)
+        assert seen == [(child.pid, parent.pid)]
+
+    def test_fork_count(self):
+        kernel, parent = spawn(SIMPLE)
+        kernel.fork(parent)
+        kernel.fork(parent)
+        assert kernel.fork_count == 2
+
+    def test_child_entropy_diverges(self):
+        kernel, parent = spawn(SIMPLE)
+        a = kernel.fork(parent)
+        b = kernel.fork(parent)
+        assert a.entropy.word() != b.entropy.word()
+
+
+class TestSimulatedFork:
+    def test_fork_returns_zero_in_child(self):
+        _, process = spawn(FORKER)
+        result = process.run()
+        # Parent path returns 5; the child (run first) returned 6.
+        assert result.exit_status == 5
+        children = process.child_results
+        assert len(children) == 1
+        assert children[0][1].exit_status == 6
+
+    def test_child_runs_to_completion_before_parent_resumes(self):
+        _, process = spawn(FORKER)
+        result = process.run()
+        assert all(r.state == "exited" for _, r in process.child_results)
+        assert result.state == "exited"
+
+    def test_reap_forgets_child(self):
+        kernel, parent = spawn(SIMPLE)
+        child = kernel.fork(parent)
+        assert child.pid in kernel.processes
+        kernel.reap(child)
+        assert child.pid not in kernel.processes

@@ -1,0 +1,111 @@
+"""Process lifecycle: spawn, run, crash capture, streams."""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.errors import KernelError
+from repro.kernel.kernel import Kernel
+from repro.libc.builtins import build_natives
+
+SIMPLE = """
+int main() {
+    return 7;
+}
+"""
+
+CRASHER = """
+int main() {
+    int *p;
+    p = 0;
+    return *p;
+}
+"""
+
+ECHO = """
+int main() {
+    char buf[32];
+    int n;
+    n = read(0, buf, 16);
+    buf[n] = 0;
+    printf("got:%s", buf);
+    return n;
+}
+"""
+
+
+def spawn(source, scheme="ssp", seed=5):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme)
+    return kernel, process
+
+
+class TestLifecycle:
+    def test_exit_status(self):
+        _, process = spawn(SIMPLE)
+        result = process.run()
+        assert result.state == "exited"
+        assert result.exit_status == 7
+
+    def test_tls_canary_initialised_at_spawn(self):
+        _, process = spawn(SIMPLE)
+        assert process.tls.canary != 0
+        assert process.tls.canary & 0xFF == 0  # glibc terminator byte
+
+    def test_crash_captured_not_raised(self):
+        _, process = spawn(CRASHER)
+        result = process.run()
+        assert result.crashed
+        assert result.signal == "SIGSEGV"
+        assert process.state == "crashed"
+
+    def test_crashed_process_cannot_rerun(self):
+        _, process = spawn(CRASHER)
+        process.run()
+        with pytest.raises(KernelError):
+            process.run()
+
+    def test_exited_process_can_be_called_again(self):
+        _, process = spawn(SIMPLE)
+        assert process.run().exit_status == 7
+        assert process.run().exit_status == 7
+
+    def test_cycles_and_instructions_counted(self):
+        _, process = spawn(SIMPLE)
+        result = process.run()
+        assert result.cycles > 0
+        assert result.instructions > 0
+
+    def test_distinct_pids(self):
+        kernel = Kernel(1)
+        binary = build(SIMPLE, "ssp", name="t")
+        a, _ = deploy(kernel, binary, "ssp")
+        b, _ = deploy(kernel, binary, "ssp")
+        assert a.pid != b.pid
+
+
+class TestStreams:
+    def test_stdin_to_stdout(self):
+        _, process = spawn(ECHO)
+        process.feed_stdin(b"hello")
+        result = process.run()
+        assert result.exit_status == 5
+        assert process.stdout_text() == "got:hello"
+
+    def test_stdin_consumed(self):
+        _, process = spawn(ECHO)
+        process.feed_stdin(b"abcdef")
+        process.run()
+        assert len(process.stdin) == 0
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_canary(self):
+        _, a = spawn(SIMPLE, seed=42)
+        _, b = spawn(SIMPLE, seed=42)
+        assert a.tls.canary == b.tls.canary
+
+    def test_different_seed_different_canary(self):
+        _, a = spawn(SIMPLE, seed=42)
+        _, b = spawn(SIMPLE, seed=43)
+        assert a.tls.canary != b.tls.canary

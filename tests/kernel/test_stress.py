@@ -1,0 +1,97 @@
+"""Kernel stress: fork storms, reaping, repeated server cycles."""
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+VICTIM = """
+int handler(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return n & 127;
+}
+int main() { return 0; }
+"""
+
+
+class TestForkStorm:
+    def test_two_hundred_workers_with_reaping(self):
+        kernel = Kernel(99)
+        binary = build(VICTIM, "pssp", name="srv")
+        parent, _ = deploy(kernel, binary, "pssp")
+        population_before = len(kernel.processes)
+        for index in range(200):
+            child = kernel.fork(parent)
+            child.feed_stdin(b"x" * (index % 16))
+            result = child.call("handler", (index,))
+            assert result.state == "exited"
+            kernel.reap(child)
+        assert len(kernel.processes) == population_before
+        assert kernel.fork_count == 200
+
+    def test_shadow_pairs_unique_across_the_storm(self):
+        kernel = Kernel(100)
+        binary = build(VICTIM, "pssp", name="srv")
+        parent, _ = deploy(kernel, binary, "pssp")
+        pairs = set()
+        for _ in range(100):
+            child = kernel.fork(parent)
+            pairs.add((child.tls.shadow_c0, child.tls.shadow_c1))
+            kernel.reap(child)
+        assert len(pairs) == 100  # re-randomization never repeats
+
+    def test_mixed_crash_and_success_workers(self):
+        kernel = Kernel(101)
+        binary = build(VICTIM, "ssp", name="srv")
+        parent, _ = deploy(kernel, binary, "ssp")
+        crashed = 0
+        for index in range(60):
+            child = kernel.fork(parent)
+            payload = b"x" * (200 if index % 3 == 0 else 8)
+            child.feed_stdin(payload)
+            result = child.call("handler", (len(payload),))
+            crashed += int(result.crashed)
+            kernel.reap(child)
+        assert crashed == 20
+        # The parent's state is pristine throughout.
+        assert parent.tls.canary != 0
+
+    def test_grandchildren(self):
+        kernel = Kernel(102)
+        binary = build(VICTIM, "pssp", name="srv")
+        parent, _ = deploy(kernel, binary, "pssp")
+        child = kernel.fork(parent)
+        grandchild = kernel.fork(child)
+        assert grandchild.ppid == child.pid
+        assert grandchild.tls.canary == parent.tls.canary
+        # Three distinct shadow pairs across the generations.
+        pairs = {
+            (p.tls.shadow_c0, p.tls.shadow_c1)
+            for p in (parent, child, grandchild)
+        }
+        assert len(pairs) == 3
+
+
+class TestDeepExpressions:
+    def test_spill_depth(self):
+        # A right-leaning tree forces the evaluation stack deep.
+        expr = "1"
+        for i in range(2, 30):
+            expr = f"({expr} + {i})"
+        source = f"int main() {{ return ({expr}) & 0xff; }}"
+        kernel = Kernel(103)
+        binary = build(source, "none", name="deep")
+        process, _ = deploy(kernel, binary, "none")
+        result = process.run()
+        assert result.exit_status == sum(range(1, 30)) & 0xFF
+
+    def test_nested_calls_as_arguments(self):
+        source = """
+int add(int a, int b) { return a + b; }
+int main() {
+    return add(add(add(1, 2), add(3, 4)), add(add(5, 6), add(7, 8)));
+}
+"""
+        kernel = Kernel(104)
+        binary = build(source, "ssp", name="deep")
+        process, _ = deploy(kernel, binary, "ssp")
+        assert process.run().exit_status == 36

@@ -1,0 +1,248 @@
+"""Simulated libc semantics, exercised through compiled MiniC."""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+from repro.libc.builtins import OVERFLOW_VECTORS, build_natives
+
+
+def run(source, stdin=b"", scheme="ssp", seed=9):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme)
+    process.feed_stdin(stdin)
+    result = process.run()
+    return result, process
+
+
+class TestStringRoutines:
+    def test_strlen(self):
+        result, _ = run('int main() { return strlen("hello"); }')
+        assert result.exit_status == 5
+
+    def test_strcpy_copies_and_returns_dst(self):
+        result, process = run("""
+int main() {
+    char buf[32];
+    strcpy(buf, "copy me");
+    puts(buf);
+    return strlen(buf);
+}
+""")
+        assert result.exit_status == 7
+        assert process.stdout_text() == "copy me\n"
+
+    def test_strncpy_pads(self):
+        result, _ = run("""
+int main() {
+    char buf[16];
+    buf[5] = 77;
+    strncpy(buf, "ab", 8);
+    return buf[5];
+}
+""")
+        assert result.exit_status == 0  # padded with NULs
+
+    def test_strcat(self):
+        result, process = run("""
+int main() {
+    char buf[32];
+    strcpy(buf, "foo");
+    strcat(buf, "bar");
+    puts(buf);
+    return strlen(buf);
+}
+""")
+        assert process.stdout_text() == "foobar\n"
+        assert result.exit_status == 6
+
+    def test_strcmp(self):
+        result, _ = run("""
+int main() {
+    int same; int diff;
+    same = strcmp("abc", "abc");
+    diff = strcmp("abc", "abd");
+    return (same == 0) + (diff != 0);
+}
+""")
+        assert result.exit_status == 2
+
+    def test_memcmp_and_memset(self):
+        result, _ = run("""
+int main() {
+    char a[16];
+    char b[16];
+    memset(a, 7, 16);
+    memset(b, 7, 16);
+    return memcmp(a, b, 16);
+}
+""")
+        assert result.exit_status == 0
+
+    def test_memcpy(self):
+        result, _ = run("""
+int main() {
+    char a[16];
+    char b[16];
+    strcpy(a, "data!");
+    memcpy(b, a, 6);
+    return strcmp(a, b);
+}
+""")
+        assert result.exit_status == 0
+
+    def test_strchr(self):
+        result, _ = run("""
+int main() {
+    char *s;
+    char *hit;
+    s = "hello";
+    hit = strchr(s, 'l');
+    return hit - s;
+}
+""")
+        assert result.exit_status == 2
+
+    def test_atoi(self):
+        result, _ = run('int main() { return atoi("123"); }')
+        assert result.exit_status == 123
+
+
+class TestStdio:
+    def test_printf_formats(self):
+        _, process = run("""
+int main() {
+    printf("n=%d hex=%x ch=%c s=%s pct=%%", 42, 255, 'Z', "ok");
+    return 0;
+}
+""")
+        assert process.stdout_text() == "n=42 hex=ff ch=Z s=ok pct=%"
+
+    def test_printf_negative(self):
+        _, process = run('int main() { printf("%d", 0 - 5); return 0; }')
+        assert process.stdout_text() == "-5"
+
+    def test_sprintf(self):
+        result, _ = run("""
+int main() {
+    char buf[32];
+    sprintf(buf, "x%dy", 9);
+    return strlen(buf);
+}
+""")
+        assert result.exit_status == 3
+
+    def test_snprintf_clips(self):
+        result, process = run("""
+int main() {
+    char buf[8];
+    snprintf(buf, 4, "abcdefgh");
+    puts(buf);
+    return strlen(buf);
+}
+""")
+        assert result.exit_status == 3
+        assert process.stdout_text() == "abc\n"
+
+    def test_gets_reads_line(self):
+        result, process = run("""
+int main() {
+    char buf[32];
+    gets(buf);
+    puts(buf);
+    return strlen(buf);
+}
+""", stdin=b"first\nsecond\n")
+        assert process.stdout_text() == "first\n"
+        assert result.exit_status == 5
+
+    def test_read_partial(self):
+        result, _ = run("""
+int main() {
+    char buf[32];
+    return read(0, buf, 32);
+}
+""", stdin=b"abc")
+        assert result.exit_status == 3
+
+
+class TestAllocator:
+    def test_malloc_alignment(self):
+        result, _ = run("""
+int main() {
+    int *a;
+    int *b;
+    a = malloc(5);
+    b = malloc(5);
+    return b - a;
+}
+""")
+        assert result.exit_status == 2  # 16 bytes apart = 2 int strides
+
+    def test_malloc_oom_returns_zero(self):
+        result, _ = run("""
+int main() {
+    int *p;
+    p = malloc(0x100000);
+    return p == 0;
+}
+""")
+        assert result.exit_status == 1
+
+    def test_calloc_zeroes(self):
+        result, _ = run("""
+int main() {
+    int *p;
+    p = calloc(4, 8);
+    return p[0] + p[3];
+}
+""")
+        assert result.exit_status == 0
+
+
+class TestProcessControl:
+    def test_exit_stops_execution(self):
+        result, _ = run("""
+int main() {
+    exit(9);
+    return 1;
+}
+""")
+        assert result.exit_status == 9
+
+    def test_abort_raises_sigabrt(self):
+        result, _ = run("int main() { abort(); return 0; }")
+        assert result.crashed
+        assert result.signal == "SIGABRT"
+        assert not result.smashed  # plain abort is not a canary event
+
+    def test_getpid(self):
+        result, _ = run("int main() { return getpid() > 0; }")
+        assert result.exit_status == 1
+
+    def test_rand_varies(self):
+        result, _ = run("""
+int main() {
+    return rand() != rand();
+}
+""")
+        assert result.exit_status == 1
+
+
+class TestRegistry:
+    def test_build_natives_is_fresh_each_call(self):
+        a = build_natives()
+        b = build_natives()
+        assert a is not b
+        assert set(a) == set(b)
+
+    def test_override_via_extra(self):
+        base = build_natives()
+        override = build_natives(extra={"strlen": base["strcpy"]})
+        assert override["strlen"] is base["strcpy"]
+
+    def test_overflow_vectors_list_the_paper_functions(self):
+        for name in ("strcpy", "read", "memcpy", "strcat", "gets"):
+            assert name in OVERFLOW_VECTORS
+        assert "strlen" not in OVERFLOW_VECTORS

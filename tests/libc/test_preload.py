@@ -1,0 +1,92 @@
+"""The P-SSP preload library: shadow-canary maintenance invariants."""
+
+from repro.core.deploy import build, deploy
+from repro.core.rerandomize import check_packed32, fold32
+from repro.kernel.kernel import Kernel
+from repro.libc.preload import SO_SIZE_BYTES, SO_SOURCE_LINES, PSSPPreload
+
+SIMPLE = "int main() { return 0; }"
+
+
+def spawn(scheme="pssp", seed=3):
+    kernel = Kernel(seed)
+    binary = build(SIMPLE, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme)
+    return kernel, process
+
+
+class TestCompilerMode:
+    def test_setup_binds_pair_to_canary(self):
+        _, process = spawn("pssp")
+        tls = process.tls
+        assert tls.shadow_c0 ^ tls.shadow_c1 == tls.canary
+
+    def test_fork_refreshes_child_pair_only(self):
+        kernel, parent = spawn("pssp")
+        before = (parent.tls.shadow_c0, parent.tls.shadow_c1)
+        child = kernel.fork(parent)
+        assert (parent.tls.shadow_c0, parent.tls.shadow_c1) == before
+        assert (child.tls.shadow_c0, child.tls.shadow_c1) != before
+
+    def test_fork_never_touches_tls_canary(self):
+        # The paper's central compatibility property.
+        kernel, parent = spawn("pssp")
+        canary = parent.tls.canary
+        child = kernel.fork(parent)
+        assert child.tls.canary == canary
+        assert parent.tls.canary == canary
+
+    def test_each_fork_gets_an_independent_pair(self):
+        kernel, parent = spawn("pssp")
+        pairs = set()
+        for _ in range(8):
+            child = kernel.fork(parent)
+            pairs.add((child.tls.shadow_c0, child.tls.shadow_c1))
+            assert child.tls.shadow_c0 ^ child.tls.shadow_c1 == child.tls.canary
+        assert len(pairs) == 8
+
+    def test_thread_gets_its_own_pair(self):
+        kernel, process = spawn("pssp")
+        thread = kernel.create_thread(process)
+        assert thread.tls.shadow_c0 != process.tls.shadow_c0
+        assert thread.tls.shadow_c0 ^ thread.tls.shadow_c1 == thread.tls.canary
+
+
+class TestBinaryMode:
+    def test_packed_word_checks_out(self):
+        _, process = spawn("pssp-binary")
+        packed = process.tls.shadow_c0
+        assert check_packed32(packed, process.tls.canary)
+
+    def test_packed_halves_fold_correctly(self):
+        _, process = spawn("pssp-binary")
+        packed = process.tls.shadow_c0
+        lo = packed & 0xFFFFFFFF
+        hi = packed >> 32
+        assert lo ^ hi == fold32(process.tls.canary)
+
+    def test_fork_repacks(self):
+        kernel, parent = spawn("pssp-binary")
+        child = kernel.fork(parent)
+        assert child.tls.shadow_c0 != parent.tls.shadow_c0
+        assert check_packed32(child.tls.shadow_c0, child.tls.canary)
+
+
+class TestArtifactMetadata:
+    def test_paper_reported_size(self):
+        assert SO_SIZE_BYTES == 16 * 1024
+        assert SO_SOURCE_LINES == 358
+
+    def test_bad_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PSSPPreload("bogus")
+
+    def test_binary_mode_interposes_stack_chk(self):
+        preload = PSSPPreload("binary")
+        binaries = preload.preload_binaries()
+        assert any(b.has_function("__stack_chk_fail") for b in binaries)
+
+    def test_compiler_mode_needs_no_interposition(self):
+        assert PSSPPreload("compiler").preload_binaries() == []

@@ -1,0 +1,156 @@
+"""setjmp/longjmp and the stack-unwinding compatibility experiment.
+
+The paper's §III-D argues the linked-list schemes (DynaGuard, DCR) are
+hard to keep correct under exception handling / stack unwinding, because
+a non-local exit skips the epilogues that were supposed to pop their
+per-frame bookkeeping.  P-SSP keeps no such state and sails through.
+"""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+BASIC = """
+int jumper(int env) {
+    char pad[16];
+    pad[0] = 1;
+    longjmp(env, 7);
+    return 99;
+}
+int main() {
+    int env[8];
+    int r;
+    r = setjmp(env);
+    if (r == 0) {
+        jumper(env);
+        return 50;
+    }
+    return r;
+}
+"""
+
+#: setjmp in main; two protected frames get unwound by the longjmp; then
+#: another protected call runs at the same stack depth the dead frames
+#: occupied.
+UNWIND_THEN_CALL = """
+int helper(int env) {
+    char pad[16];
+    pad[0] = 1;
+    longjmp(env, 7);
+    return 0;
+}
+int work(int env) {
+    char buf[16];
+    buf[0] = 2;
+    return helper(env);
+}
+int after(int x) {
+    char buf2[16];
+    buf2[0] = x;
+    return buf2[0];
+}
+int main() {
+    int env[8];
+    int r;
+    r = setjmp(env);
+    if (r == 0) {
+        work(env);
+        return 99;
+    }
+    return after(r);
+}
+"""
+
+
+def run(source, scheme, seed=61):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme)
+    return process.run(), process
+
+
+class TestSetjmpBasics:
+    def test_longjmp_returns_value_at_setjmp(self):
+        result, _ = run(BASIC, "none")
+        assert result.state == "exited"
+        assert result.exit_status == 7
+
+    def test_longjmp_zero_becomes_one(self):
+        source = BASIC.replace("longjmp(env, 7)", "longjmp(env, 0)")
+        result, _ = run(source, "none")
+        assert result.exit_status == 1
+
+    def test_longjmp_without_setjmp_faults(self):
+        source = """
+int main() {
+    int env[8];
+    longjmp(env, 1);
+    return 0;
+}
+"""
+        result, _ = run(source, "none")
+        assert result.crashed
+        assert result.signal == "SIGSEGV"
+
+    def test_callee_saved_registers_restored(self):
+        # r12/r13 hold the OWF key; a longjmp must not lose it.
+        result, _ = run(BASIC, "pssp-owf")
+        assert result.state == "exited"
+        assert result.exit_status == 7
+
+
+class TestUnwindingCompatibility:
+    @pytest.mark.parametrize("scheme", ["none", "ssp", "pssp", "pssp-nt",
+                                        "pssp-owf", "pssp-binary"])
+    def test_stateless_schemes_survive_unwinding(self, scheme):
+        """P-SSP and friends: no per-frame side state, no problem."""
+        result, _ = run(UNWIND_THEN_CALL, scheme)
+        assert result.state == "exited", f"{scheme}: {result.crash}"
+        assert result.exit_status == 7
+
+    def test_global_buffer_variant_also_breaks(self):
+        """Reproduction finding: the §VII-C global-buffer variant keeps a
+        per-call side-buffer count, so it inherits exactly the unwinding
+        fragility the paper attributes to DynaGuard/DCR — the skipped
+        epilogues leave the count high and a later epilogue pops a dead
+        frame's C1 half, aborting a healthy process."""
+        result, _ = run(UNWIND_THEN_CALL, "pssp-gb")
+        assert result.crashed
+        assert result.smashed  # false positive
+
+    def test_dynaguard_leaks_cab_entries(self):
+        """The unwound frames' CAB entries are never popped."""
+        result, process = run(UNWIND_THEN_CALL, "dynaguard")
+        # The program completes (the stale entries poison future forks,
+        # not this run)...
+        assert result.state == "exited"
+        # ...but the canary address buffer still holds the dead frames:
+        # work + helper pushed, nobody popped.
+        assert process.tls.cab_index >= 2
+
+    def test_dynaguard_stale_entries_poison_fork(self):
+        """A fork after the unwind rewrites stale stack addresses —
+        DynaGuard's fork hook cannot tell dead entries from live ones."""
+        _, process = run(UNWIND_THEN_CALL, "dynaguard")
+        kernel = process.kernel
+        stale = process.tls.cab_index
+        assert stale >= 2
+        child = kernel.fork(process)
+        # The hook walked the stale entries: dead stack slots that still
+        # held the old canary were rewritten to the new one.
+        rewritten = 0
+        new_canary = child.tls.canary
+        for i in range(child.tls.cab_index):
+            address = child.memory.read_word(child.tls.cab_base + 8 * i)
+            if child.memory.read_word(address) == new_canary:
+                rewritten += 1
+        assert rewritten >= 1  # writes into frames that no longer exist
+
+    def test_dcr_false_positive_after_unwinding(self):
+        """DCR's in-stack list head points into dead frames after the
+        longjmp; the next protected call computes a nonsense delta and
+        the epilogue aborts a perfectly healthy process."""
+        result, _ = run(UNWIND_THEN_CALL, "dcr")
+        assert result.crashed
+        assert result.smashed  # a *false positive* canary abort

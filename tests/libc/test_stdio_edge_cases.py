@@ -1,0 +1,150 @@
+"""libc edge cases not covered by the main builtin tests."""
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+
+def run(source, stdin=b"", scheme="none", seed=9):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme)
+    process.feed_stdin(stdin)
+    result = process.run()
+    return result, process
+
+
+class TestPrintfEdgeCases:
+    def test_unsigned_format(self):
+        _, process = run('int main() { printf("%u", 7); return 0; }')
+        assert process.stdout_text() == "7"
+
+    def test_unknown_specifier_passes_through(self):
+        _, process = run('int main() { printf("%q"); return 0; }')
+        assert process.stdout_text() == "%q"
+
+    def test_trailing_percent(self):
+        _, process = run('int main() { printf("x%%"); return 0; }')
+        assert process.stdout_text() == "x%"
+
+    def test_more_specifiers_than_args_prints_zeroes(self):
+        _, process = run('int main() { printf("%d %d %d %d %d %d %d"); return 0; }')
+        # Registers beyond the format hold whatever they hold; the last
+        # specifier past the six-register window formats as 0.
+        assert process.stdout_text().count(" ") == 6
+
+    def test_write_to_stderr_fd(self):
+        result, process = run("""
+int main() {
+    char msg[8];
+    strcpy(msg, "err");
+    return write(2, msg, 3);
+}
+""")
+        assert result.exit_status == 3
+        assert b"err" in process.stdout  # both fds share the capture
+
+    def test_write_to_bad_fd_fails(self):
+        result, _ = run("""
+int main() {
+    char msg[8];
+    msg[0] = 'x';
+    return write(7, msg, 1) == 0 - 1;
+}
+""")
+        assert result.exit_status == 1
+
+
+class TestMemoryEdgeCases:
+    def test_memmove_reads_before_writing(self):
+        result, process = run("""
+int main() {
+    char buf[32];
+    strcpy(buf, "abcdef");
+    memmove(buf + 2, buf, 6);
+    buf[8] = 0;
+    puts(buf);
+    return 0;
+}
+""")
+        assert process.stdout_text() == "ababcdef\n"
+
+    def test_zero_length_operations(self):
+        result, _ = run("""
+int main() {
+    char a[8];
+    char b[8];
+    a[0] = 1;
+    memcpy(a, b, 0);
+    memset(a, 9, 0);
+    return a[0] + memcmp(a, b, 0);
+}
+""")
+        assert result.exit_status == 1
+
+    def test_realloc_preserves_prefix(self):
+        result, _ = run("""
+int main() {
+    char *p;
+    char *q;
+    p = malloc(8);
+    strcpy(p, "keep");
+    q = realloc(p, 64);
+    return strcmp(q, "keep");
+}
+""")
+        assert result.exit_status == 0
+
+    def test_strncpy_truncates_without_nul(self):
+        result, _ = run("""
+int main() {
+    char buf[8];
+    buf[3] = 'Z';
+    strncpy(buf, "abcdef", 3);
+    return buf[3];
+}
+""")
+        assert result.exit_status == ord("Z")
+
+
+class TestProcessEdgeCases:
+    def test_waitpid_returns_child_pid(self):
+        result, _ = run("""
+int main() {
+    int pid; int status; int got;
+    pid = fork();
+    if (pid == 0) { return 3; }
+    got = waitpid(pid, &status, 0);
+    return got == pid;
+}
+""")
+        assert result.exit_status == 1
+
+    def test_waitpid_without_children_fails(self):
+        result, _ = run("""
+int main() {
+    return waitpid(12345, 0, 0) == 0 - 1;
+}
+""")
+        assert result.exit_status == 1
+
+    def test_time_monotone(self):
+        result, _ = run("""
+int main() {
+    int a; int i; int b;
+    a = time(0);
+    for (i = 0; i < 10000; i = i + 1) { }
+    b = time(0);
+    return b >= a;
+}
+""")
+        assert result.exit_status == 1
+
+    def test_gets_empty_line(self):
+        result, _ = run("""
+int main() {
+    char buf[16];
+    gets(buf);
+    return strlen(buf);
+}
+""", stdin=b"\nrest")
+        assert result.exit_status == 0

@@ -1,0 +1,43 @@
+"""Shared helpers for machine-level tests: run raw assembly on a CPU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.binfmt.elf import Binary
+from repro.binfmt.loader import load
+from repro.crypto.random import EntropySource
+from repro.isa.assembler import assemble
+from repro.machine.cpu import CPU
+from repro.machine.devices import RdRandDevice, TimeStampCounter
+from repro.machine.memory import STACK_TOP, TLS_BASE, standard_memory
+
+
+class AsmHarness:
+    """Assemble source, load it, and execute functions on a fresh CPU."""
+
+    def __init__(self, source: str, *, seed: int = 7, natives=None) -> None:
+        self.binary = Binary("test")
+        for function in assemble(source).values():
+            self.binary.add_function(function)
+        self.memory = standard_memory()
+        self.image = load(self.binary, self.memory)
+        self.cpu = CPU(
+            self.memory,
+            self.image,
+            natives or {},
+            tsc=TimeStampCounter(1000),
+            rdrand=RdRandDevice(EntropySource(seed)),
+        )
+        self.cpu.registers.fs_base = TLS_BASE
+        self.cpu.registers.write("rsp", STACK_TOP - 0x100)
+        self.cpu.registers.write("rbp", STACK_TOP - 0x100)
+
+    def run(self, entry: str, args=()):
+        return self.cpu.call_function(entry, args)
+
+
+@pytest.fixture
+def asm():
+    """Factory fixture: ``asm(source)`` returns an :class:`AsmHarness`."""
+    return AsmHarness

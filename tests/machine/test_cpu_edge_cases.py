@@ -1,0 +1,112 @@
+"""CPU edge cases: faults, deep recursion, indirect control flow."""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.errors import IllegalInstruction, InvalidJump
+from repro.kernel.kernel import Kernel
+
+
+def spawn(source, scheme="none", seed=5, cycle_limit=50_000_000):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="t")
+    process, _ = deploy(kernel, binary, scheme, cycle_limit=cycle_limit)
+    return process
+
+
+class TestStackExhaustion:
+    def test_runaway_recursion_faults_cleanly(self):
+        # The stack segment ends; the next push lands on unmapped memory —
+        # a clean SIGSEGV, just like hitting a guard page.
+        source = """
+int infinite(int n) {
+    char pad[128];
+    pad[0] = n;
+    return infinite(n + 1);
+}
+int main() { return infinite(0); }
+"""
+        result = spawn(source).run()
+        assert result.crashed
+        assert result.signal == "SIGSEGV"
+
+    def test_deep_but_bounded_recursion_succeeds(self):
+        source = """
+int depth(int n) {
+    if (n == 0) { return 0; }
+    return depth(n - 1) + 1;
+}
+int main() { return depth(200) & 255; }
+"""
+        result = spawn(source).run()
+        assert result.state == "exited"
+        assert result.exit_status == 200
+
+
+class TestIndirectControlFlow:
+    def test_call_through_function_pointer(self):
+        # MiniC has no indirect-call syntax; pthread_create's start
+        # routine is the indirect call path (address resolved at runtime).
+        result = spawn("""
+int worker(int arg) { return arg * 2; }
+int main() {
+    int tid;
+    pthread_create(&tid, 0, worker, 21);
+    return tid;
+}
+""").run()
+        assert result.state == "exited"
+
+    def test_jump_to_data_address_faults(self):
+        source = """
+int main() {
+    int data[4];
+    data[0] = 1;
+    return 0;
+}
+"""
+        process = spawn(source)
+        # Overwrite main's return address with a data-segment address.
+        from repro.errors import InvalidJump as IJ
+
+        data_address = process.memory.segment("data").base
+        with pytest.raises(IJ):
+            process.image.resolve(data_address)
+
+
+class TestCrashDetails:
+    def test_segv_reports_address(self):
+        source = """
+int main() {
+    int *p;
+    p = 0x1234;
+    return *p;
+}
+"""
+        result = spawn(source).run()
+        assert result.crashed
+        assert "0x1234" in str(result.crash)
+
+    def test_wild_write_reports_write_access(self):
+        source = """
+int main() {
+    int *p;
+    p = 0x1234;
+    *p = 7;
+    return 0;
+}
+"""
+        result = spawn(source).run()
+        assert result.crashed
+        assert "write" in str(result.crash)
+
+    def test_cycle_limit_reports_sigxcpu(self):
+        source = """
+int main() {
+    while (1) { }
+    return 0;
+}
+"""
+        result = spawn(source, cycle_limit=20_000).run()
+        assert result.crashed
+        assert result.signal == "SIGXCPU"

@@ -1,0 +1,45 @@
+"""Hardware devices: TSC and RDRAND."""
+
+from repro.crypto.random import EntropySource
+from repro.machine.devices import RdRandDevice, TimeStampCounter
+
+
+class TestTimeStampCounter:
+    def test_advances(self):
+        tsc = TimeStampCounter()
+        tsc.advance(100)
+        assert tsc.read() == 100
+
+    def test_base_epoch(self):
+        tsc = TimeStampCounter(base=5000)
+        assert tsc.read() == 5000
+
+    def test_wraps_at_64_bits(self):
+        tsc = TimeStampCounter(base=2**64 - 1)
+        tsc.advance(2)
+        assert tsc.read() == 1
+
+
+class TestRdRand:
+    def test_draws_counted(self):
+        device = RdRandDevice(EntropySource(1))
+        device.read()
+        device.read()
+        assert device.draws == 2
+
+    def test_success_flag(self):
+        device = RdRandDevice(EntropySource(1))
+        _, ok = device.read()
+        assert ok is True
+
+    def test_values_differ(self):
+        device = RdRandDevice(EntropySource(1))
+        a, _ = device.read()
+        b, _ = device.read()
+        assert a != b
+
+    def test_failure_rate_produces_failures(self):
+        device = RdRandDevice(EntropySource(1), failure_rate=1.0)
+        value, ok = device.read()
+        assert ok is False and value == 0
+        assert device.draws == 0

@@ -1,0 +1,122 @@
+"""Segmented memory behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SegmentationFault
+from repro.machine.memory import (
+    DATA_BASE,
+    HEAP_BASE,
+    Memory,
+    Segment,
+    standard_memory,
+)
+
+
+@pytest.fixture
+def memory():
+    return standard_memory()
+
+
+class TestMapping:
+    def test_standard_segments_present(self, memory):
+        for name in ("data", "heap", "tls", "stack"):
+            assert memory.has_segment(name)
+
+    def test_overlap_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.map_segment(Segment("clash", DATA_BASE + 8, 64))
+
+    def test_find_by_address(self, memory):
+        assert memory.find(HEAP_BASE).name == "heap"
+        assert memory.find(0x1234) is None
+
+    def test_segment_data_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Segment("bad", 0, 16, data=bytearray(8))
+
+
+class TestAccess:
+    def test_word_roundtrip(self, memory):
+        memory.write_word(HEAP_BASE, 0x1122334455667788)
+        assert memory.read_word(HEAP_BASE) == 0x1122334455667788
+
+    def test_little_endian(self, memory):
+        memory.write_word(HEAP_BASE, 0x01)
+        assert memory.read(HEAP_BASE, 8) == b"\x01" + b"\x00" * 7
+
+    def test_dword_roundtrip(self, memory):
+        memory.write_dword(HEAP_BASE, 0xAABBCCDD)
+        assert memory.read_dword(HEAP_BASE) == 0xAABBCCDD
+
+    def test_byte_roundtrip(self, memory):
+        memory.write_byte(HEAP_BASE + 3, 0x7F)
+        assert memory.read_byte(HEAP_BASE + 3) == 0x7F
+
+    def test_unmapped_read_faults(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.read(0xDEAD0000, 1)
+
+    def test_unmapped_write_faults(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.write(0xDEAD0000, b"x")
+
+    def test_straddling_segment_end_faults(self, memory):
+        heap = memory.segment("heap")
+        with pytest.raises(SegmentationFault):
+            memory.read(heap.end - 4, 8)
+
+    def test_write_to_readonly_faults(self):
+        memory = Memory()
+        memory.map_segment(Segment("code", 0x1000, 64, writable=False))
+        with pytest.raises(SegmentationFault):
+            memory.write(0x1000, b"x")
+        assert memory.read(0x1000, 1) == b"\x00"
+
+    def test_cstring(self, memory):
+        memory.write(HEAP_BASE, b"hello\x00world")
+        assert memory.read_cstring(HEAP_BASE) == b"hello"
+
+    def test_cstring_unterminated_respects_limit(self, memory):
+        memory.write(HEAP_BASE, b"x" * 32)
+        assert memory.read_cstring(HEAP_BASE, limit=16) == b"x" * 16
+
+
+class TestOverflowSemantics:
+    def test_overflow_within_segment_succeeds(self, memory):
+        """The core premise: an in-segment overrun is NOT a fault —
+        detecting it is the canary's job, not the MMU's."""
+        stack = memory.segment("stack")
+        base = stack.base + 0x100
+        memory.write(base, b"A" * 256)  # sails past any 'buffer' freely
+        assert memory.read(base + 200, 1) == b"A"
+
+
+class TestClone:
+    def test_clone_copies_contents(self, memory):
+        memory.write_word(HEAP_BASE, 42)
+        clone = memory.clone()
+        assert clone.read_word(HEAP_BASE) == 42
+
+    def test_clone_is_independent(self, memory):
+        clone = memory.clone()
+        clone.write_word(HEAP_BASE, 99)
+        assert memory.read_word(HEAP_BASE) == 0
+
+    def test_clone_preserves_layout(self, memory):
+        clone = memory.clone()
+        for segment in memory.segments():
+            twin = clone.segment(segment.name)
+            assert (twin.base, twin.size) == (segment.base, segment.size)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=0x1000 - 8),
+    value=st.integers(min_value=0, max_value=2**64 - 1),
+)
+def test_word_roundtrip_property(offset, value):
+    memory = standard_memory()
+    memory.write_word(HEAP_BASE + offset, value)
+    assert memory.read_word(HEAP_BASE + offset) == value

@@ -1,0 +1,58 @@
+"""TLS layout and typed accessors."""
+
+from repro.machine.memory import TLS_BASE, standard_memory
+from repro.machine.tls import (
+    CANARY_OFFSET,
+    SHADOW_C0_OFFSET,
+    SHADOW_C1_OFFSET,
+    TLS_MIN_SIZE,
+    TlsView,
+)
+
+
+class TestOffsets:
+    def test_paper_offsets(self):
+        # §V-A pins these: canary at fs:0x28, shadow pair at fs:0x2a8+.
+        assert CANARY_OFFSET == 0x28
+        assert SHADOW_C0_OFFSET == 0x2A8
+        assert SHADOW_C1_OFFSET == 0x2B0
+
+    def test_min_size_covers_all_slots(self):
+        assert TLS_MIN_SIZE > SHADOW_C1_OFFSET + 8
+
+
+class TestTlsView:
+    def setup_method(self):
+        self.memory = standard_memory()
+        self.tls = TlsView(self.memory, TLS_BASE)
+
+    def test_canary_roundtrip(self):
+        self.tls.canary = 0x1234
+        assert self.tls.canary == 0x1234
+        assert self.memory.read_word(TLS_BASE + CANARY_OFFSET) == 0x1234
+
+    def test_shadow_pair_roundtrip(self):
+        self.tls.shadow_c0 = 0xAAAA
+        self.tls.shadow_c1 = 0xBBBB
+        assert (self.tls.shadow_c0, self.tls.shadow_c1) == (0xAAAA, 0xBBBB)
+
+    def test_shadow_slots_are_distinct_from_canary(self):
+        self.tls.canary = 1
+        self.tls.shadow_c0 = 2
+        self.tls.shadow_c1 = 3
+        assert self.tls.canary == 1
+
+    def test_dynaguard_slots(self):
+        self.tls.cab_base = 0x8000
+        self.tls.cab_index = 5
+        assert (self.tls.cab_base, self.tls.cab_index) == (0x8000, 5)
+
+    def test_dcr_head(self):
+        self.tls.dcr_head = 0x7FFF0
+        assert self.tls.dcr_head == 0x7FFF0
+
+    def test_global_buffer_slots(self):
+        self.tls.global_buffer_base = 0x9000
+        self.tls.global_buffer_count = 2
+        assert self.tls.global_buffer_base == 0x9000
+        assert self.tls.global_buffer_count == 2

@@ -1,0 +1,72 @@
+"""SSP pattern matching on compiled binaries."""
+
+from repro.compiler.codegen import compile_source
+from repro.rewriter.matcher import (
+    find_epilogues,
+    find_prologues,
+    is_ssp_protected,
+)
+
+VICTIM = """
+int handler(int n) {
+    char buf[32];
+    read(0, buf, n);
+    return 0;
+}
+int helper(int x) {
+    return x * 2;
+}
+"""
+
+
+class TestPrologueMatching:
+    def test_finds_ssp_prologue(self):
+        binary = compile_source(VICTIM, protection="ssp")
+        matches = find_prologues(binary.function("handler"))
+        assert len(matches) == 1
+        assert matches[0].canary_slot == 8
+
+    def test_store_follows_load(self):
+        binary = compile_source(VICTIM, protection="ssp")
+        match = find_prologues(binary.function("handler"))[0]
+        assert match.store_index == match.index + 1
+
+    def test_unprotected_function_has_no_match(self):
+        binary = compile_source(VICTIM, protection="ssp")
+        assert find_prologues(binary.function("helper")) == []
+
+    def test_none_build_has_no_match(self):
+        binary = compile_source(VICTIM, protection="none")
+        assert find_prologues(binary.function("handler")) == []
+
+
+class TestEpilogueMatching:
+    def test_finds_ssp_epilogue(self):
+        binary = compile_source(VICTIM, protection="ssp")
+        matches = find_epilogues(binary.function("handler"))
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.canary_slot == 8
+        assert match.ok_label.startswith(".ssp_ok")
+
+    def test_window_is_contiguous(self):
+        binary = compile_source(VICTIM, protection="ssp")
+        match = find_epilogues(binary.function("handler"))[0]
+        assert (match.xor_index, match.je_index, match.call_index) == (
+            match.load_index + 1,
+            match.load_index + 2,
+            match.load_index + 3,
+        )
+
+    def test_pssp_epilogue_not_matched_as_ssp(self):
+        # P-SSP's check xors two frame slots before the TLS xor — a
+        # different shape the SSP matcher must not claim.
+        binary = compile_source(VICTIM, protection="pssp")
+        assert find_epilogues(binary.function("handler")) == []
+
+
+class TestIsProtected:
+    def test_protected_detection(self):
+        binary = compile_source(VICTIM, protection="ssp")
+        assert is_ssp_protected(binary.function("handler"))
+        assert not is_ssp_protected(binary.function("helper"))

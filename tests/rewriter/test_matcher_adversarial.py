@@ -1,0 +1,126 @@
+"""Adversarial matcher inputs: SSP look-alikes that must NOT match.
+
+A real rewriter that mis-identifies a pattern corrupts working binaries;
+these hand-written sequences are near-misses of the SSP idioms.
+"""
+
+from repro.isa.assembler import assemble_one
+from repro.rewriter.matcher import find_epilogues, find_prologues
+
+
+class TestPrologueNearMisses:
+    def test_wrong_tls_offset(self):
+        function = assemble_one("""
+f:
+    mov rax, fs:[0x30]
+    mov [rbp-8], rax
+    ret
+""")
+        assert find_prologues(function) == []
+
+    def test_store_of_a_different_register(self):
+        function = assemble_one("""
+f:
+    mov rax, fs:[0x28]
+    mov [rbp-8], rcx
+    ret
+""")
+        assert find_prologues(function) == []
+
+    def test_store_not_frame_relative(self):
+        function = assemble_one("""
+f:
+    mov rax, fs:[0x28]
+    mov [rcx-8], rax
+    ret
+""")
+        assert find_prologues(function) == []
+
+    def test_load_at_end_of_function(self):
+        function = assemble_one("""
+f:
+    nop
+    mov rax, fs:[0x28]
+""")
+        assert find_prologues(function) == []
+
+    def test_genuine_pattern_with_intervening_gap(self):
+        # The store must directly follow the load (the compiler idiom).
+        function = assemble_one("""
+f:
+    mov rax, fs:[0x28]
+    nop
+    mov [rbp-8], rax
+    ret
+""")
+        assert find_prologues(function) == []
+
+
+class TestEpilogueNearMisses:
+    def test_xor_against_wrong_tls_slot(self):
+        function = assemble_one("""
+f:
+    mov rdx, [rbp-8]
+    xor rdx, fs:[0x2a8]
+    je .ok
+    call __stack_chk_fail
+.ok:
+    ret
+""")
+        assert find_epilogues(function) == []
+
+    def test_xor_into_a_different_register(self):
+        function = assemble_one("""
+f:
+    mov rdx, [rbp-8]
+    xor rcx, fs:[0x28]
+    je .ok
+    call __stack_chk_fail
+.ok:
+    ret
+""")
+        assert find_epilogues(function) == []
+
+    def test_call_to_other_symbol(self):
+        function = assemble_one("""
+f:
+    mov rdx, [rbp-8]
+    xor rdx, fs:[0x28]
+    je .ok
+    call abort
+.ok:
+    ret
+""")
+        assert find_epilogues(function) == []
+
+    def test_jne_instead_of_je(self):
+        function = assemble_one("""
+f:
+    mov rdx, [rbp-8]
+    xor rdx, fs:[0x28]
+    jne .ok
+    call __stack_chk_fail
+.ok:
+    ret
+""")
+        assert find_epilogues(function) == []
+
+    def test_genuine_handwritten_pattern_matches(self):
+        # Sanity: the matcher is shape-based, so hand-written SSP (no
+        # compiler notes at all) must still be found.
+        function = assemble_one("""
+f:
+    push rbp
+    mov rbp, rsp
+    mov rax, fs:[0x28]
+    mov [rbp-8], rax
+    mov rdx, [rbp-8]
+    xor rdx, fs:[0x28]
+    je .ok
+    call __stack_chk_fail
+.ok:
+    leave
+    ret
+""")
+        assert len(find_prologues(function)) == 1
+        assert len(find_epilogues(function)) == 1

@@ -1,0 +1,108 @@
+"""Layout-preserving rewriting: bytes, semantics, security."""
+
+import pytest
+
+from repro.binfmt.elf import Binary
+from repro.compiler.codegen import compile_source
+from repro.core.deploy import build, deploy
+from repro.errors import RewriteError
+from repro.isa.encoding import function_length
+from repro.kernel.kernel import Kernel
+from repro.machine.tls import SHADOW_C0_OFFSET
+from repro.rewriter.rewrite import instrument_binary, rewrite_function
+
+VICTIM = """
+int handler(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+int helper(int x) {
+    return x * 2;
+}
+int main() { return 0; }
+"""
+
+
+@pytest.fixture
+def ssp_binary():
+    return compile_source(VICTIM, protection="ssp", name="victim")
+
+
+class TestByteLayout:
+    def test_function_byte_length_preserved(self, ssp_binary):
+        original = ssp_binary.function("handler")
+        rewritten = rewrite_function(original)
+        assert function_length(rewritten.body) == function_length(original.body)
+
+    def test_whole_binary_size_unchanged(self, ssp_binary):
+        rewritten = instrument_binary(ssp_binary)
+        assert rewritten.total_size() == ssp_binary.total_size()
+
+    def test_prologue_retargeted_to_shadow(self, ssp_binary):
+        rewritten = rewrite_function(ssp_binary.function("handler"))
+        loads = [
+            i for i in rewritten.body
+            if i.op == "mov" and i.note == "pssp-binary-prologue"
+        ]
+        assert len(loads) == 1
+        assert loads[0].operands[1].disp == SHADOW_C0_OFFSET
+
+    def test_epilogue_passes_canary_in_rdi(self, ssp_binary):
+        rewritten = rewrite_function(ssp_binary.function("handler"))
+        notes = [i.note for i in rewritten.body]
+        assert notes.count("pssp-binary-epilogue") >= 7
+
+    def test_unprotected_function_untouched(self, ssp_binary):
+        rewritten = instrument_binary(ssp_binary)
+        original_helper = ssp_binary.function("helper")
+        assert rewritten.function("helper").body == original_helper.body
+
+    def test_rewriting_none_build_fails(self):
+        binary = compile_source(VICTIM, protection="none")
+        with pytest.raises(RewriteError):
+            rewrite_function(binary.function("handler"))
+
+    def test_protection_marker(self, ssp_binary):
+        rewritten = instrument_binary(ssp_binary)
+        assert rewritten.protection == "pssp-binary"
+        assert rewritten.function("handler").protected == "pssp-binary"
+
+
+class TestSemantics:
+    def _deploy(self, seed=21):
+        kernel = Kernel(seed)
+        binary = build(VICTIM, "pssp-binary", name="victim")
+        process, _ = deploy(kernel, binary, "pssp-binary")
+        return process
+
+    def test_benign_request_survives(self):
+        process = self._deploy()
+        process.feed_stdin(b"x" * 16)
+        assert process.call("handler", (16,)).state == "exited"
+
+    def test_overflow_detected_via_fortify(self):
+        process = self._deploy()
+        process.feed_stdin(b"x" * 128)
+        result = process.call("handler", (128,))
+        assert result.smashed
+        assert "fortify" in str(result.crash)
+
+    def test_fork_rerandomizes_packed_canary(self):
+        kernel = Kernel(23)
+        binary = build(VICTIM, "pssp-binary", name="victim")
+        parent, _ = deploy(kernel, binary, "pssp-binary")
+        packed = {kernel.fork(parent).tls.shadow_c0 for _ in range(4)}
+        assert len(packed) == 4
+
+    def test_plain_ssp_caller_still_aborts_through_stub(self):
+        """An *un-rewritten* SSP binary running with the interposed
+        __stack_chk_fail must still die on a genuine smash (§V-C's
+        compatibility requirement)."""
+        kernel = Kernel(29)
+        binary = build(VICTIM, "ssp", name="victim")
+        # Run it under the pssp-binary runtime: preload interposes the stub.
+        process, _ = deploy(kernel, binary, "pssp-binary")
+        process.feed_stdin(b"y" * 128)
+        result = process.call("handler", (128,))
+        assert result.smashed

@@ -1,0 +1,68 @@
+"""Rewriter fuzzing: layout preservation and semantic equivalence over
+generated programs.
+
+For a spread of synthetic programs (varying function counts, buffer
+sizes, call densities), instrument the SSP build and require:
+
+* byte-identical total size (the Table II invariant),
+* identical checksums between the SSP build run natively and the
+  rewritten build run under the binary runtime,
+* identical overflow detection behaviour.
+"""
+
+import pytest
+
+from repro.compiler.codegen import compile_source
+from repro.core.deploy import build, deploy
+from repro.crypto.random import EntropySource
+from repro.kernel.kernel import Kernel
+from repro.rewriter.rewrite import instrument_binary
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+CONFIGS = [
+    (GeneratorConfig(functions=2, buffer_bytes=16, outer_iterations=6,
+                     inner_iterations=4), 11),
+    (GeneratorConfig(functions=4, buffer_bytes=32, outer_iterations=5,
+                     inner_iterations=3), 12),
+    (GeneratorConfig(functions=3, buffer_bytes=64, outer_iterations=8,
+                     inner_iterations=2), 13),
+    (GeneratorConfig(functions=5, buffer_bytes=24, outer_iterations=4,
+                     inner_iterations=5), 14),
+    (GeneratorConfig(functions=2, buffer_bytes=0, outer_iterations=6,
+                     inner_iterations=4), 15),  # nothing to rewrite
+]
+
+
+@pytest.mark.parametrize("config,seed", CONFIGS,
+                         ids=[f"cfg{i}" for i in range(len(CONFIGS))])
+class TestRewriterFuzz:
+    def _source(self, config, seed):
+        return generate_program(config, EntropySource(seed))
+
+    def test_size_preserved(self, config, seed):
+        source = self._source(config, seed)
+        native = compile_source(source, protection="ssp", name="fuzz")
+        rewritten = instrument_binary(native)
+        assert rewritten.total_size() == native.total_size()
+
+    def test_checksum_preserved(self, config, seed):
+        source = self._source(config, seed)
+        kernel = Kernel(seed)
+        native_binary = build(source, "ssp", name="fuzz")
+        native, _ = deploy(kernel, native_binary, "ssp")
+        reference = native.run().exit_status
+
+        rewritten_binary = build(source, "pssp-binary", name="fuzz")
+        rewritten, _ = deploy(kernel, rewritten_binary, "pssp-binary")
+        assert rewritten.run().exit_status == reference
+
+    def test_protected_functions_rewritten_only_when_present(self, config, seed):
+        source = self._source(config, seed)
+        native = compile_source(source, protection="ssp", name="fuzz")
+        rewritten = instrument_binary(native)
+        for name, function in rewritten.functions.items():
+            original = native.function(name)
+            if original.protected:
+                assert function.protected == "pssp-binary"
+            else:
+                assert function.body == original.body

@@ -1,0 +1,80 @@
+"""Rewriter robustness: unusual-but-legal inputs."""
+
+from repro.binfmt.serialize import dumps, loads
+from repro.compiler.codegen import compile_source
+from repro.core.deploy import deploy
+from repro.kernel.kernel import Kernel
+from repro.rewriter.rewrite import instrument_binary
+
+VICTIM = """
+int handler(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    return 0;
+}
+int main() { return 0; }
+"""
+
+MULTI_EXIT = """
+int handler(int n) {
+    char buf[32];
+    read(0, buf, 4096);
+    if (n > 100) { return 1; }
+    if (n > 50) { return 2; }
+    return 3;
+}
+int main() { return 0; }
+"""
+
+
+class TestRobustness:
+    def test_double_instrumentation_is_a_no_op(self):
+        # A second pass finds no SSP idioms (they were all rewritten) and
+        # must leave the binary untouched rather than corrupt it.
+        native = compile_source(VICTIM, protection="ssp", name="v")
+        once = instrument_binary(native)
+        twice = instrument_binary(once)
+        assert twice.function("handler").body == once.function("handler").body
+        assert twice.total_size() == once.total_size()
+
+    def test_optimized_ssp_build_still_rewritable(self):
+        native = compile_source(VICTIM, protection="ssp", name="v",
+                                optimize=True)
+        rewritten = instrument_binary(native)
+        assert rewritten.total_size() == native.total_size()
+        kernel = Kernel(5)
+        process, _ = deploy(kernel, rewritten, "pssp-binary")
+        process.feed_stdin(b"A" * 120)
+        assert process.call("handler", (120,)).smashed
+
+    def test_multiple_return_sites_single_epilogue(self):
+        # Our codegen funnels every return through one epilogue; the
+        # rewriter must handle exactly the sites that exist, no more.
+        native = compile_source(MULTI_EXIT, protection="ssp", name="v")
+        rewritten = instrument_binary(native)
+        calls = [
+            i for i in rewritten.function("handler").body
+            if i.op == "call" and i.note == "pssp-binary-epilogue"
+        ]
+        assert len(calls) == 2  # check-call + failure-call, one site
+        kernel = Kernel(6)
+        process, _ = deploy(kernel, rewritten, "pssp-binary")
+        process.feed_stdin(b"ok")
+        result = process.call("handler", (2,))
+        assert result.state == "exited"
+        assert result.exit_status == 3
+
+    def test_rewrite_of_serialized_roundtrip(self):
+        native = compile_source(VICTIM, protection="ssp", name="v")
+        revived = loads(dumps(native))
+        rewritten = instrument_binary(revived)
+        assert rewritten.total_size() == native.total_size()
+
+    def test_benign_paths_through_every_exit(self):
+        native = compile_source(MULTI_EXIT, protection="ssp", name="v")
+        rewritten = instrument_binary(native)
+        kernel = Kernel(7)
+        for n, expected in ((120, 1), (70, 2), (5, 3)):
+            process, _ = deploy(kernel, rewritten, "pssp-binary")
+            process.feed_stdin(b"x" * 4)
+            assert process.call("handler", (n,)).exit_status == expected

@@ -1,0 +1,69 @@
+"""Every example script must run cleanly and show its headline result.
+
+The examples are the library's front door; a broken example is a broken
+deliverable, so each one runs end-to-end here with its key output pinned.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "stack smashing detected" in out
+        assert "scheme: pssp" in out
+        # The unprotected build must NOT report a canary detection.
+        none_section = out.split("--- scheme: ssp ---")[0]
+        assert "stack smashing detected" not in none_section
+
+    def test_byte_by_byte_attack(self, capsys):
+        out = run_example("byte_by_byte_attack.py", capsys)
+        assert "ATTACK SUCCEEDED" in out          # ssp falls
+        assert out.count("attack FAILED") == 2    # pssp and pssp-nt hold
+        assert "recovered canary" in out
+
+    def test_binary_rewriting(self, capsys):
+        out = run_example("binary_rewriting.py", capsys)
+        assert "expansion: 0" in out              # dynamic: zero bytes
+        assert "__pssp_fork" in out               # static: new section
+        assert "stack smashing detected" in out
+
+    def test_local_variable_protection(self, capsys):
+        out = run_example("local_variable_protection.py", capsys)
+        assert "access granted: True" in out      # ssp blind to the flip
+        assert "SIGABRT" in out                   # pssp-lv catches it
+
+    def test_exposure_resilience(self, capsys):
+        out = run_example("exposure_resilience.py", capsys)
+        lines = {line.split()[0]: line for line in out.splitlines()
+                 if line and line.split()[0] in
+                 ("ssp", "pssp", "pssp-nt", "pssp-owf", "pssp-gb")}
+        assert "True" in lines["ssp"].split()[1]       # hijacked
+        assert "False" in lines["pssp-owf"].split()[1]  # resisted
+        assert "False" in lines["pssp-gb"].split()[1]
+
+    def test_forking_server_compat(self, capsys):
+        out = run_example("forking_server_compat.py", capsys)
+        assert "SIGABRT" in out                   # raf-ssp child dies
+        assert "children clean: True" in out      # mixed builds fine
+
+    def test_server_under_attack(self, capsys):
+        out = run_example("server_under_attack.py", capsys)
+        assert "server compromised" in out        # ssp campaign lands
+        assert "defence held" in out              # pssp campaign stalls
+        assert out.count("20/20 served") == 4     # service stays up

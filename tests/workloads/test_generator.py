@@ -1,0 +1,84 @@
+"""Synthetic workload generator."""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.crypto.random import EntropySource
+from repro.kernel.kernel import Kernel
+from repro.workloads.generator import (
+    GeneratorConfig,
+    call_density_sweep_configs,
+    generate_program,
+)
+
+
+def run(source, scheme="ssp", seed=3):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="gen")
+    process, _ = deploy(kernel, binary, scheme)
+    return process.run()
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = GeneratorConfig()
+        a = generate_program(config, EntropySource(1))
+        b = generate_program(config, EntropySource(1))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        config = GeneratorConfig()
+        a = generate_program(config, EntropySource(1))
+        b = generate_program(config, EntropySource(2))
+        assert a != b
+
+    def test_function_count_respected(self):
+        source = generate_program(GeneratorConfig(functions=6),
+                                  EntropySource(1))
+        for index in range(6):
+            assert f"int worker{index}(" in source
+
+    def test_bufferless_configuration(self):
+        source = generate_program(
+            GeneratorConfig(buffer_bytes=0), EntropySource(1)
+        )
+        assert "char buf" not in source
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_generated_programs_run_clean(self, seed):
+        source = generate_program(GeneratorConfig(), EntropySource(seed))
+        result = run(source)
+        assert result.state == "exited", f"seed {seed}: {result.crash}"
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_checksums_stable_across_schemes(self, seed):
+        source = generate_program(GeneratorConfig(), EntropySource(seed))
+        reference = run(source, "none").exit_status
+        for scheme in ("ssp", "pssp", "pssp-nt"):
+            assert run(source, scheme).exit_status == reference
+
+    def test_buffered_workers_are_protected(self):
+        source = generate_program(GeneratorConfig(buffer_bytes=32),
+                                  EntropySource(1))
+        binary = build(source, "pssp", name="gen")
+        assert binary.function("worker0").protected == "pssp"
+
+    def test_bufferless_workers_unprotected(self):
+        source = generate_program(GeneratorConfig(buffer_bytes=0),
+                                  EntropySource(1))
+        binary = build(source, "pssp", name="gen")
+        assert binary.function("worker0").protected == ""
+
+
+class TestSweepConfigs:
+    def test_density_monotone(self):
+        configs = call_density_sweep_configs()
+        calls = [c.functions * c.outer_iterations for c in configs]
+        work = [c.inner_iterations for c in configs]
+        assert calls == sorted(calls)
+        assert work == sorted(work, reverse=True)
+
+    def test_all_configs_compile_and_run(self):
+        for index, config in enumerate(call_density_sweep_configs()):
+            source = generate_program(config, EntropySource(100 + index))
+            assert run(source).state == "exited"

@@ -1,0 +1,85 @@
+"""Web-server and database workloads."""
+
+import math
+
+import pytest
+
+from repro.workloads.database import MYSQL, SQLITE
+from repro.workloads.webserver import APACHE2, NGINX
+
+
+class TestWebServers:
+    def test_apache_serves_without_failures(self):
+        stats = APACHE2.measure("ssp", requests=8)
+        assert stats.failures == 0
+        assert stats.requests == 8
+
+    def test_nginx_faster_than_apache(self):
+        apache = APACHE2.measure("ssp", requests=8)
+        nginx = NGINX.measure("ssp", requests=8)
+        assert nginx.mean_response_ms < apache.mean_response_ms
+
+    def test_response_times_near_paper(self):
+        apache = APACHE2.measure("ssp", requests=8)
+        nginx = NGINX.measure("ssp", requests=8)
+        assert 32.5 < apache.mean_response_ms < 33.5   # paper: 33.006
+        assert 3.0 < nginx.mean_response_ms < 3.2      # paper: 3.088
+
+    def test_pssp_delta_negligible(self):
+        base = APACHE2.measure("ssp", requests=8)
+        pssp = APACHE2.measure("pssp", requests=8)
+        delta = abs(pssp.mean_response_ms - base.mean_response_ms)
+        assert delta < 0.01  # third-decimal territory, as in Table III
+
+    def test_deterministic_given_seed(self):
+        a = NGINX.measure("ssp", requests=5, seed=99)
+        b = NGINX.measure("ssp", requests=5, seed=99)
+        assert a.mean_response_ms == b.mean_response_ms
+
+    def test_cpu_cycles_positive(self):
+        stats = NGINX.measure("pssp", requests=5)
+        assert stats.cpu_cycles_per_request > 0
+
+    def test_thread_mode_serves_cleanly(self):
+        # The paper's "multithread mode": pthread workers instead of forks.
+        stats = NGINX.measure("pssp", requests=6, mode="thread")
+        assert stats.failures == 0
+        assert stats.cpu_cycles_per_request > 0
+
+    def test_thread_and_fork_modes_cost_alike(self):
+        fork = NGINX.measure("ssp", requests=6, mode="fork")
+        thread = NGINX.measure("ssp", requests=6, mode="thread")
+        assert thread.cpu_cycles_per_request == pytest.approx(
+            fork.cpu_cycles_per_request, rel=0.10
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            NGINX.measure("ssp", requests=1, mode="coroutine")
+
+
+class TestDatabases:
+    def test_mysql_runs_clean(self):
+        stats = MYSQL.measure("ssp")
+        assert stats.failures == 0
+        assert not math.isnan(stats.mean_query_ms)
+
+    def test_sqlite_batch_much_slower_than_mysql_query(self):
+        mysql = MYSQL.measure("ssp")
+        sqlite = SQLITE.measure("ssp")
+        assert sqlite.mean_query_ms > 30 * mysql.mean_query_ms
+
+    def test_query_times_near_paper(self):
+        mysql = MYSQL.measure("ssp")
+        sqlite = SQLITE.measure("ssp")
+        assert 3.0 < mysql.mean_query_ms < 3.7       # paper: 3.33
+        assert 160 < sqlite.mean_query_ms < 175      # paper: 167.27
+
+    def test_memory_flat_across_schemes(self):
+        base = MYSQL.measure("ssp")
+        pssp = MYSQL.measure("pssp")
+        assert abs(base.memory_mb - pssp.memory_mb) < 0.01
+
+    def test_memory_near_paper(self):
+        assert 21 < MYSQL.measure("ssp").memory_mb < 24     # paper: 22.59
+        assert 19 < SQLITE.measure("ssp").memory_mb < 22    # paper: 20.58

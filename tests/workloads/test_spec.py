@@ -1,0 +1,78 @@
+"""SPEC-like suite: semantic equivalence across protection schemes."""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+from repro.workloads.spec import SPEC_PROGRAMS, SPECFP, SPECINT, program
+
+
+def run(source, scheme, name, seed=3):
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name=name)
+    process, _ = deploy(kernel, binary, scheme)
+    return process.run()
+
+
+class TestSuiteShape:
+    def test_twenty_eight_programs_like_the_paper(self):
+        # "We use the 28 programs in SPEC CPU2006 benchmarks" (§VI-A2).
+        assert len(SPEC_PROGRAMS) == 28
+
+    def test_int_and_fp_split(self):
+        assert len(SPECINT) == 12  # all of SPECint2006
+        assert len(SPECFP) == 16
+
+    def test_unique_names(self):
+        names = [p.name for p in SPEC_PROGRAMS]
+        assert len(set(names)) == len(names)
+
+    def test_lookup(self):
+        assert program("perlbench").name == "perlbench"
+        with pytest.raises(KeyError):
+            program("fortran77")
+
+
+@pytest.mark.parametrize("spec", SPEC_PROGRAMS, ids=lambda p: p.name)
+class TestEveryProgram:
+    def test_runs_clean_under_ssp(self, spec):
+        result = run(spec.source, "ssp", spec.name)
+        assert result.state == "exited", f"{spec.name}: {result.crash}"
+
+    def test_checksum_stable_across_schemes(self, spec):
+        """Protection must never change program semantics."""
+        reference = run(spec.source, "none", spec.name).exit_status
+        for scheme in ("ssp", "pssp", "pssp-nt"):
+            status = run(spec.source, scheme, spec.name).exit_status
+            assert status == reference, f"{spec.name} under {scheme}"
+
+
+@pytest.mark.parametrize("spec", [program("perlbench"), program("gcc"),
+                                  program("milc")], ids=lambda p: p.name)
+@pytest.mark.parametrize("scheme", ["pssp-owf", "pssp-lv", "pssp-gb",
+                                    "dynaguard", "dcr", "pssp-binary"])
+class TestHeavySchemesOnSample:
+    def test_checksum_stable(self, spec, scheme):
+        reference = run(spec.source, "none", spec.name).exit_status
+        assert run(spec.source, scheme, spec.name).exit_status == reference
+
+
+class TestOverheadShape:
+    def test_pssp_overhead_is_sub_percent_on_average(self):
+        """Figure 5's headline: compiler P-SSP costs well under 1%."""
+        overheads = []
+        for spec in SPEC_PROGRAMS[:6]:
+            base = run(spec.source, "ssp", spec.name)
+            cand = run(spec.source, "pssp", spec.name)
+            overheads.append((cand.cycles - base.cycles) / base.cycles)
+        assert 0 <= sum(overheads) / len(overheads) < 0.01
+
+    def test_call_dense_program_costs_more(self):
+        """perlbench (call-dense) pays more than lbm (loop-dense)."""
+        def overhead(name):
+            spec = program(name)
+            base = run(spec.source, "ssp", spec.name)
+            cand = run(spec.source, "pssp-nt", spec.name)
+            return (cand.cycles - base.cycles) / base.cycles
+
+        assert overhead("perlbench") > overhead("lbm")
