@@ -44,6 +44,14 @@ class LoadedImage:
         self._entry_names: List[str] = []
         self._data_symbols: Dict[str, int] = {}
         self._next_code = code_base
+        #: Monotonic counter bumped on every code change (new function or
+        #: rewriter patch via ``add_function(replace=True)``).  CPUs key
+        #: their decode caches on this, so stale pre-decoded closures are
+        #: discarded the moment the image is patched.  Loaded ``Function``
+        #: bodies must otherwise be treated as immutable; in-place patches
+        #: must go through :meth:`add_function` (or call
+        #: :meth:`invalidate_code`) to be picked up.
+        self.code_generation = 0
 
     # -- construction --------------------------------------------------------
 
@@ -72,7 +80,13 @@ class LoadedImage:
             self._insert_entry(entry, function.name)
         self._functions[function.name] = function
         self._layout[function.name] = (entry, offsets)
+        self.code_generation += 1
         return entry
+
+    def invalidate_code(self) -> None:
+        """Force CPUs to re-decode: call after mutating a loaded body in
+        place (the rewriter's splice path does this for you)."""
+        self.code_generation += 1
 
     def _insert_entry(self, entry: int, name: str) -> None:
         position = bisect.bisect_left(self._entries, entry)

@@ -147,6 +147,7 @@ def deploy(
     cycle_limit: int = 50_000_000,
     stack_size: int = 0x40000,
     aslr: bool = False,
+    fast: bool = True,
 ) -> Tuple[Process, Optional[SchemeRuntime]]:
     """Spawn ``binary`` with the scheme's runtime support installed.
 
@@ -166,6 +167,7 @@ def deploy(
         cycle_limit=cycle_limit,
         stack_size=stack_size,
         aslr=aslr,
+        fast=fast,
     )
     if runtime is not None:
         runtime.install(process)

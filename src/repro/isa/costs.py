@@ -20,6 +20,8 @@ model.  Absolute numbers are not meant to match an i7-4770K; ratios are.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .instructions import Instruction, Mem
 
 #: Extra cycles per memory operand touched.
@@ -93,9 +95,6 @@ NATIVE_HELPER_COSTS = {
 }
 
 
-from functools import lru_cache
-
-
 @lru_cache(maxsize=65536)
 def instruction_cost(instruction: Instruction) -> int:
     """Cycles consumed by one dynamic execution of ``instruction``.
@@ -108,6 +107,24 @@ def instruction_cost(instruction: Instruction) -> int:
         if isinstance(operand, Mem):
             cost += MEM_ACCESS_COST
     return cost
+
+
+def step_cost(instruction: Instruction, dbi_multiplier: float = 1.0):
+    """Pre-scaled accounting for one dynamic execution of ``instruction``.
+
+    Returns ``(cycles, ticks)`` where ``cycles`` is what ``CPU.charge``
+    would add to ``CPU.cycles`` (the base cost scaled by the DBI
+    multiplier) and ``ticks`` is the matching TSC advance
+    (``int(cycles) or 1``).  The decode cache resolves this once per
+    *static* instruction so the fast interpreter loop can batch cycle
+    accounting without ever diverging from the slow path's numbers.
+    """
+    cost = instruction_cost(instruction)
+    if dbi_multiplier == 1.0:
+        # Base costs are positive integers, so int(cost) or 1 == cost.
+        return cost, cost
+    scaled = cost * dbi_multiplier
+    return scaled, int(scaled) or 1
 
 
 def sequence_cost(body) -> int:

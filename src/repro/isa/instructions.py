@@ -116,6 +116,11 @@ ALL_OPS = frozenset(
 
 CONDITIONAL_JUMPS = frozenset(("je", "jne", "jl", "jle", "jg", "jge", "jb", "jae"))
 
+#: Instructions that may redirect the instruction pointer or stop the CPU.
+#: The decode cache uses this to mark steps after which the fast loop must
+#: re-derive its position from ``registers.rip`` instead of falling through.
+CONTROL_TRANSFER_OPS = CONDITIONAL_JUMPS | frozenset(("jmp", "call", "ret", "hlt"))
+
 
 @dataclass(frozen=True)
 class Instruction:

@@ -80,6 +80,7 @@ class Kernel:
         stack_size: int = 0x40000,
         run_constructors: bool = True,
         aslr: bool = False,
+        fast: bool = True,
     ) -> Process:
         """execve: create a process from ``binary``.
 
@@ -115,6 +116,7 @@ class Kernel:
             dbi_multiplier=dbi_multiplier,
             cycle_limit=cycle_limit,
             tsc_base=self._elapse_wall_time(),
+            fast=fast,
         )
         process.entry = binary.entry
         process.binary = binary
@@ -164,6 +166,7 @@ class Kernel:
             dbi_multiplier=parent.cpu.dbi_multiplier,
             cycle_limit=parent.cpu.cycle_limit,
             tsc_base=max(parent.cpu.tsc.value, self._elapse_wall_time()),
+            fast=parent.cpu.fast,
         )
         child.entry = parent.entry
         child.binary = getattr(parent, "binary", None)
@@ -219,6 +222,7 @@ class Kernel:
             dbi_multiplier=process.cpu.dbi_multiplier,
             cycle_limit=process.cpu.cycle_limit,
             tsc_base=process.cpu.tsc.value,
+            fast=process.cpu.fast,
         )
         thread.entry = process.entry
         thread.binary = getattr(process, "binary", None)

@@ -80,6 +80,7 @@ class Process:
         dbi_multiplier: float = 1.0,
         cycle_limit: int = 50_000_000,
         tsc_base: int = 0,
+        fast: bool = True,
     ) -> None:
         self.kernel = kernel
         self.pid = pid
@@ -110,6 +111,7 @@ class Process:
             rdrand=RdRandDevice(entropy),
             cycle_limit=cycle_limit,
             dbi_multiplier=dbi_multiplier,
+            fast=fast,
         )
         #: Back-reference so native handlers can reach kernel services.
         self.cpu.process = self

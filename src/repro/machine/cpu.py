@@ -31,6 +31,7 @@ from ..errors import (
 from ..isa.costs import instruction_cost
 from ..isa.instructions import Function, Imm, Instruction, Label, Mem, Reg, Sym
 from ..isa.registers import ARG_REGS, RegisterFile
+from .decode import CONTROL, SYNC, DecodedFunction, FunctionDecoder
 from .devices import RdRandDevice, TimeStampCounter
 from .memory import EXIT_ADDRESS, Memory
 
@@ -75,6 +76,13 @@ class CPU:
     dbi_multiplier:
         Per-instruction cycle multiplier modelling PIN-style dynamic
         binary instrumentation (1.0 = native execution).
+    fast:
+        Use the decode-cache fast path (default).  ``fast=False`` keeps
+        the original interpret-every-step loop, which serves as the
+        differential-testing oracle: both paths must produce identical
+        cycles, instruction counts, memory images and exit statuses.
+        The fast path is also bypassed whenever a ``trace`` hook is
+        installed, since tracing observes every single step.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class CPU:
         rdrand: Optional[RdRandDevice] = None,
         cycle_limit: int = 50_000_000,
         dbi_multiplier: float = 1.0,
+        fast: bool = True,
     ) -> None:
         self.memory = memory
         self.image = image
@@ -97,6 +106,7 @@ class CPU:
         self.rdrand = rdrand
         self.cycle_limit = cycle_limit
         self.dbi_multiplier = dbi_multiplier
+        self.fast = fast
 
         self.cycles = 0.0
         self.instructions_executed = 0
@@ -105,6 +115,11 @@ class CPU:
         #: Optional per-instruction trace hook for tests/debugging.
         self.trace: Optional[Callable[[str, int, Instruction], None]] = None
         self._current: Optional[Function] = None
+        #: Decode cache: function name -> DecodedFunction, valid for one
+        #: image generation and one decoder binding (see _decoded).
+        self._decoder: Optional[FunctionDecoder] = None
+        self._decode_cache: Dict[str, DecodedFunction] = {}
+        self._decode_generation: Optional[int] = None
 
     # ------------------------------------------------------------------
     # operand access
@@ -271,6 +286,18 @@ class CPU:
         return self.registers.read("rax")
 
     def _run_loop(self) -> None:
+        """Execute until ``running`` drops; picks the fast or slow path.
+
+        The trace hook observes every step, so tracing always uses the
+        slow path — accounting is identical either way.
+        """
+        if self.fast and self.trace is None:
+            self._run_loop_fast()
+        else:
+            self._run_loop_slow()
+
+    def _run_loop_slow(self) -> None:
+        """The original interpret-every-step loop (differential oracle)."""
         while self.running:
             function = self._current
             name, index = self.registers.rip
@@ -284,6 +311,117 @@ class CPU:
             self.charge(instruction_cost(instruction))
             self.instructions_executed += 1
             self._dispatch(instruction)
+
+    # -- decode-cache fast path ------------------------------------------
+
+    def flush_decode_cache(self) -> None:
+        """Drop every cached decode (e.g. after mutating code in place)."""
+        self._decode_cache.clear()
+        self._decoder = None
+
+    def _decoded(self, function: Function) -> DecodedFunction:
+        """Fetch (or build) the decoded form of ``function`` for this CPU.
+
+        Invalidation rules: the whole cache is dropped when the image's
+        ``code_generation`` moves (rewriter patched the image), when the
+        decoder's bound register file / memory / DBI multiplier no longer
+        match the CPU's, and a single entry is re-decoded when the image
+        maps the name to a different ``Function`` object.
+        """
+        decoder = self._decoder
+        if (
+            decoder is None
+            or decoder.registers is not self.registers
+            or decoder.memory is not self.memory
+            or decoder.dbi_multiplier != self.dbi_multiplier
+        ):
+            decoder = self._decoder = FunctionDecoder(self, _DISPATCH)
+            self._decode_cache.clear()
+        generation = getattr(self.image, "code_generation", None)
+        if generation != self._decode_generation:
+            self._decode_cache.clear()
+            self._decode_generation = generation
+        decoded = self._decode_cache.get(function.name)
+        if decoded is None or decoded.function is not function:
+            decoded = decoder.decode(function)
+            self._decode_cache[function.name] = decoded
+        return decoded
+
+    def _run_loop_fast(self) -> None:
+        """Walk pre-decoded step lists with batched cycle accounting.
+
+        Cycle/TSC/instruction totals are accumulated locally and flushed
+        to ``self.cycles`` / ``self.tsc`` / ``instructions_executed``
+        before anything can observe them: SYNC steps (``rdtsc``, calls
+        that may charge native costs), faults (the ``finally``), the
+        cycle-limit trip, and loop exit.  The limit check itself runs
+        every instruction against the local accumulator, so the trip
+        point is bit-identical to the slow path's.
+        """
+        registers = self.registers
+        tsc = self.tsc
+        cycle_limit = self.cycle_limit
+        base = self.cycles
+        pending_cycles = 0
+        pending_ticks = 0
+        pending_instructions = 0
+        try:
+            while self.running:
+                function = self._current
+                assert function is not None
+                decoded = self._decoded(function)
+                steps = decoded.steps
+                name = function.name
+                index = registers.rip[1]
+                count = len(steps)
+                while True:
+                    if index >= count:
+                        raise InvalidJump(f"{name}: execution ran off the end")
+                    execute, cycles, ticks, kind, next_rip = steps[index]
+                    registers.rip = next_rip
+                    pending_cycles += cycles
+                    pending_ticks += ticks
+                    if base + pending_cycles > cycle_limit:
+                        # The finally clause flushes; instructions_executed
+                        # excludes this instruction, matching charge().
+                        raise CpuLimitExceeded(
+                            f"cycle limit {cycle_limit} exceeded at {registers.rip}"
+                        )
+                    pending_instructions += 1
+                    if kind == 0:
+                        execute()
+                        index += 1
+                        continue
+                    if kind & SYNC:
+                        # Make accounting exact before the step can observe
+                        # it (rdtsc, native charge), then re-sync afterwards
+                        # because natives may have charged more cycles.
+                        self.cycles = base + pending_cycles
+                        tsc.advance(pending_ticks)
+                        self.instructions_executed += pending_instructions
+                        pending_cycles = 0
+                        pending_ticks = 0
+                        pending_instructions = 0
+                        try:
+                            execute()
+                        finally:
+                            base = self.cycles
+                    else:
+                        execute()
+                    if not (kind & CONTROL):
+                        index += 1
+                        continue
+                    if not self.running:
+                        break
+                    current = self._current
+                    if current is function:
+                        index = registers.rip[1]
+                        continue
+                    break
+        finally:
+            self.cycles = base + pending_cycles
+            tsc.advance(pending_ticks)
+            self.instructions_executed += pending_instructions
 
     # ------------------------------------------------------------------
     # instruction semantics

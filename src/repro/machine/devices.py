@@ -18,14 +18,24 @@ class TimeStampCounter:
     ``base`` gives each boot a distinct epoch so two runs of the same
     program see different TSC values — the property the P-SSP-OWF nonce
     depends on.
+
+    Advancement contract: the CPU's slow path calls :meth:`advance` once
+    per instruction; the fast path batches several instructions into a
+    single call.  Because advancement is plain modular addition, a batched
+    sum lands on exactly the same counter value — and the fast loop always
+    flushes its pending batch before any instruction that can *observe*
+    the counter (``rdtsc``, native helpers), so readers never see a stale
+    value.
     """
+
+    _MASK = (1 << 64) - 1
 
     def __init__(self, base: int = 0) -> None:
         self.value = base
 
     def advance(self, cycles: int) -> None:
-        """Advance by ``cycles`` (called by the CPU after each instruction)."""
-        self.value = (self.value + cycles) & (2**64 - 1)
+        """Advance by ``cycles`` (one instruction, or a batched run)."""
+        self.value = (self.value + cycles) & self._MASK
 
     def read(self) -> int:
         """``rdtsc``: return the current counter."""

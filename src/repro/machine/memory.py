@@ -31,6 +31,11 @@ STACK_TOP = 0x0000_7FFF_FFFF_0000
 EXIT_ADDRESS = 0x0000_DEAD_0000_0000
 
 WORD_BYTES = 8
+WORD_MASK = (1 << 64) - 1
+
+#: A lane that can never match an address: ``base <= addr < limit`` is
+#: false for every addr when base > limit.
+_EMPTY_LANE = (1, 0, bytearray())
 
 
 @dataclass
@@ -83,6 +88,15 @@ class Memory:
         #: Most-recently-hit segment (the stack, almost always) — a fast
         #: path that roughly halves simulated-memory lookup cost.
         self._hot: Optional[Segment] = None
+        #: Fast lanes: ``(base, end, data)`` of the last segment hit by a
+        #: word/byte read (``_rlane``) or write (``_wlane``).  A lane is
+        #: only installed after a full ``_locate`` has proven the segment
+        #: readable/writable, and segment permissions are immutable after
+        #: mapping, so accesses that stay inside the lane can skip the
+        #: permission re-check entirely.  Reset whenever the mapping
+        #: changes (``map_segment``).
+        self._rlane = _EMPTY_LANE
+        self._wlane = _EMPTY_LANE
 
     # -- mapping -----------------------------------------------------------
 
@@ -95,6 +109,8 @@ class Memory:
                 )
         self._segments[segment.name] = segment
         self._sorted = sorted(self._segments.values(), key=lambda s: s.base)
+        self._rlane = _EMPTY_LANE
+        self._wlane = _EMPTY_LANE
         return segment
 
     def segment(self, name: str) -> Segment:
@@ -136,37 +152,70 @@ class Memory:
     def read(self, address: int, length: int) -> bytes:
         """Read ``length`` raw bytes."""
         segment = self._locate(address, length, "read", write=False)
+        self._rlane = (segment.base, segment.end, segment.data)
         offset = address - segment.base
         return bytes(segment.data[offset : offset + length])
 
     def write(self, address: int, data: bytes) -> None:
         """Write raw bytes; may freely corrupt stack contents."""
         segment = self._locate(address, len(data), "write", write=True)
+        self._wlane = (segment.base, segment.end, segment.data)
         offset = address - segment.base
         segment.data[offset : offset + len(data)] = data
 
     def read_word(self, address: int) -> int:
         """Read a 64-bit little-endian word."""
-        return int.from_bytes(self.read(address, WORD_BYTES), "little")
+        base, end, data = self._rlane
+        if base <= address and address + 8 <= end:
+            offset = address - base
+            return int.from_bytes(data[offset : offset + 8], "little")
+        segment = self._locate(address, WORD_BYTES, "read", write=False)
+        self._rlane = (segment.base, segment.end, segment.data)
+        offset = address - segment.base
+        return int.from_bytes(segment.data[offset : offset + 8], "little")
 
     def write_word(self, address: int, value: int) -> None:
         """Write a 64-bit little-endian word."""
-        self.write(address, (value & (2**64 - 1)).to_bytes(WORD_BYTES, "little"))
+        base, end, data = self._wlane
+        if base <= address and address + 8 <= end:
+            offset = address - base
+            data[offset : offset + 8] = (value & WORD_MASK).to_bytes(8, "little")
+            return
+        segment = self._locate(address, WORD_BYTES, "write", write=True)
+        self._wlane = (segment.base, segment.end, segment.data)
+        offset = address - segment.base
+        segment.data[offset : offset + 8] = (value & WORD_MASK).to_bytes(8, "little")
 
     def read_dword(self, address: int) -> int:
         """Read a 32-bit little-endian word (for 32-bit split canaries)."""
+        base, end, data = self._rlane
+        if base <= address and address + 4 <= end:
+            offset = address - base
+            return int.from_bytes(data[offset : offset + 4], "little")
         return int.from_bytes(self.read(address, 4), "little")
 
     def write_dword(self, address: int, value: int) -> None:
         """Write a 32-bit little-endian word."""
+        base, end, data = self._wlane
+        if base <= address and address + 4 <= end:
+            offset = address - base
+            data[offset : offset + 4] = (value & 0xFFFF_FFFF).to_bytes(4, "little")
+            return
         self.write(address, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
 
     def read_byte(self, address: int) -> int:
         """Read one byte."""
+        base, end, data = self._rlane
+        if base <= address < end:
+            return data[address - base]
         return self.read(address, 1)[0]
 
     def write_byte(self, address: int, value: int) -> None:
         """Write one byte."""
+        base, end, data = self._wlane
+        if base <= address < end:
+            data[address - base] = value & 0xFF
+            return
         self.write(address, bytes([value & 0xFF]))
 
     def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:

@@ -9,6 +9,9 @@ from repro.core.deploy import build, deploy
 from repro.crypto.random import EntropySource
 from repro.kernel.kernel import Kernel
 
+#: byte-by-byte attack campaigns — excluded from the CI quick-signal subset.
+pytestmark = pytest.mark.slow
+
 VICTIM = """
 int handler(int n) {
     char buf[64];

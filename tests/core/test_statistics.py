@@ -15,6 +15,9 @@ from repro.core.rerandomize import re_randomize, re_randomize_packed32
 from repro.crypto.owf import owf_canary
 from repro.crypto.random import EntropySource
 
+#: statistical sweeps over many canary draws — excluded from the CI quick-signal subset.
+pytestmark = pytest.mark.slow
+
 ALPHA = 1e-6  # reject only on overwhelming evidence (tests must be stable)
 
 

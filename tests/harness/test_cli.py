@@ -5,6 +5,9 @@ import pytest
 from repro.cli import main
 from repro.harness.report import generate_report
 
+#: full report generation drives whole campaigns — excluded from the CI quick-signal subset.
+pytestmark = pytest.mark.slow
+
 
 class TestCli:
     def test_schemes_lists_registry(self, capsys):

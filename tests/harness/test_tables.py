@@ -15,6 +15,9 @@ from repro.harness.tables import (
     table5,
 )
 
+#: table regeneration runs attack campaigns — excluded from the CI quick-signal subset.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def t1():

@@ -1,0 +1,185 @@
+"""Differential test: the decode-cache fast path vs. the slow oracle.
+
+The fast interpreter loop (``CPU._run_loop_fast``) pre-decodes function
+bodies into bound closures and batches cycle accounting; the slow loop
+(``CPU._run_loop_slow``) re-dispatches every step.  These tests run the
+same workloads down both paths and demand *bit-identical* observable
+state: cycles, TSC, instruction counts, exit status, register file, and
+the full memory image.  Any specialisation bug in the decoder shows up
+here as a divergence.
+"""
+
+import pytest
+
+from repro.core.deploy import build, deploy
+from repro.kernel.kernel import Kernel
+
+#: A canary-heavy workload: P-SSP-OWF prologues read ``rdtsc`` (so exact
+#: TSC flushing is exercised), call the AES native helper (native-cost
+#: charging mid-batch), and the recursion spreads frames across the stack.
+CANARY_HEAVY = """
+int leaf(int n) {
+    char buf[32];
+    buf[0] = n;
+    return buf[0] + 1;
+}
+
+int fan(int depth) {
+    int total; int i;
+    total = 0;
+    if (depth > 0) {
+        total = total + fan(depth - 1);
+    }
+    for (i = 0; i < 8; i = i + 1) {
+        total = total + leaf(i);
+    }
+    return total;
+}
+
+int main() { return fan(6); }
+"""
+
+#: Branch- and memory-heavy compute loop with div/mul and byte traffic.
+COMPUTE = """
+int work(int n) {
+    char scratch[64];
+    int acc; int i;
+    acc = 1;
+    for (i = 0; i < n; i = i + 1) {
+        scratch[i - (i / 64) * 64] = i;
+        acc = acc + i * 3 - (acc / 7);
+        if (acc > 100000) {
+            acc = acc - 100000;
+        }
+    }
+    return acc + scratch[13];
+}
+int main() { return work(3000); }
+"""
+
+
+def run_both(source: str, scheme: str, *, seed: int = 2018):
+    """Run ``source`` under ``scheme`` on the fast and slow paths."""
+    results = []
+    for fast in (True, False):
+        kernel = Kernel(seed=seed)
+        binary = build(source, scheme, name="diff")
+        process, _ = deploy(kernel, binary, scheme, fast=fast)
+        result = process.run()
+        results.append((process, result))
+    return results
+
+
+def assert_identical(fast_pair, slow_pair) -> None:
+    fast_process, fast_result = fast_pair
+    slow_process, slow_result = slow_pair
+    assert fast_result.state == slow_result.state
+    assert fast_result.exit_status == slow_result.exit_status
+    assert fast_result.signal == slow_result.signal
+    assert fast_result.cycles == slow_result.cycles
+    assert fast_result.instructions == slow_result.instructions
+    assert fast_process.cpu.cycles == slow_process.cpu.cycles
+    assert fast_process.cpu.tsc.value == slow_process.cpu.tsc.value
+    assert fast_process.registers.gpr == slow_process.registers.gpr
+    assert fast_process.registers.xmm == slow_process.registers.xmm
+    fast_segments = {s.name: bytes(s.data) for s in fast_process.memory.segments()}
+    slow_segments = {s.name: bytes(s.data) for s in slow_process.memory.segments()}
+    assert fast_segments == slow_segments
+
+
+class TestFastSlowEquivalence:
+    @pytest.mark.parametrize(
+        "scheme", ["none", "ssp", "pssp", "pssp-nt", "pssp-lv", "pssp-owf"]
+    )
+    def test_canary_heavy_workload_identical(self, scheme):
+        fast, slow = run_both(CANARY_HEAVY, scheme)
+        assert_identical(fast, slow)
+
+    @pytest.mark.parametrize("scheme", ["none", "pssp-owf"])
+    def test_compute_workload_identical(self, scheme):
+        fast, slow = run_both(COMPUTE, scheme)
+        assert_identical(fast, slow)
+
+    def test_overflow_detection_identical(self):
+        """A smashed canary must abort identically on both paths."""
+        source = """
+        int victim(int n) {
+            char buf[16];
+            int i;
+            for (i = 0; i < n; i = i + 1) {
+                buf[i] = 65;
+            }
+            return 0;
+        }
+        int main() { return victim(64); }
+        """
+        fast, slow = run_both(source, "pssp")
+        assert fast[1].crashed and slow[1].crashed
+        assert fast[1].smashed == slow[1].smashed
+        assert fast[1].signal == slow[1].signal
+        assert fast[1].cycles == slow[1].cycles
+        assert fast[1].instructions == slow[1].instructions
+
+    def test_cycle_limit_trips_identically(self):
+        """The batched limit check must fire on the same instruction."""
+        source = """
+        int main() {
+            int i;
+            i = 0;
+            for (;;) {
+                i = i + 1;
+            }
+            return i;
+        }
+        """
+        pairs = []
+        for fast_flag in (True, False):
+            kernel = Kernel(seed=7)
+            binary = build(source, "none", name="spin")
+            process, _ = deploy(
+                kernel, binary, "none", cycle_limit=25_000, fast=fast_flag
+            )
+            result = process.run()
+            assert result.signal == "SIGXCPU"
+            pairs.append((process.cpu.cycles, process.cpu.tsc.value,
+                          process.cpu.instructions_executed))
+        assert pairs[0] == pairs[1]
+
+    def test_forking_server_identical(self):
+        """Fork inherits the fast flag; children must match the oracle."""
+        source = """
+        int handler(int n) {
+            char buf[24];
+            buf[0] = n;
+            return buf[0] * 2;
+        }
+
+        int main() {
+            int pid; int total; int i;
+            total = 0;
+            for (i = 0; i < 3; i = i + 1) {
+                pid = fork();
+                if (pid == 0) {
+                    return handler(i + 1);
+                }
+            }
+            return total;
+        }
+        """
+        outcomes = []
+        for fast in (True, False):
+            kernel = Kernel(seed=99)
+            binary = build(source, "pssp", name="forker")
+            process, _ = deploy(kernel, binary, "pssp", fast=fast)
+            result = process.run()
+            children = [p for p in kernel.processes.values() if p.ppid == process.pid]
+            outcomes.append(
+                (
+                    result.state,
+                    result.exit_status,
+                    result.cycles,
+                    result.instructions,
+                    sorted((c.exit_status, c.cpu.cycles) for c in children),
+                )
+            )
+        assert outcomes[0] == outcomes[1]

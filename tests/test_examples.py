@@ -10,6 +10,9 @@ import sys
 
 import pytest
 
+#: runs every example end to end (incl. fork servers) — excluded from the CI quick-signal subset.
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 

@@ -6,6 +6,9 @@ from repro.core.deploy import build, deploy
 from repro.kernel.kernel import Kernel
 from repro.workloads.spec import SPEC_PROGRAMS, SPECFP, SPECINT, program
 
+#: SPEC-like program sweep across every scheme — excluded from the CI quick-signal subset.
+pytestmark = pytest.mark.slow
+
 
 def run(source, scheme, name, seed=3):
     kernel = Kernel(seed)
