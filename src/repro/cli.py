@@ -182,6 +182,55 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import run_fuzz
+    from .fuzz.fuzzer import replay_seed, write_failure_artifacts
+    from .fuzz.mutants import (
+        kill_report_ok,
+        mutation_kill_report,
+        render_kill_report,
+    )
+    from .workloads.generator import render_program
+
+    schemes = args.schemes.split(",") if args.schemes else None
+
+    if args.self_check:
+        verdicts = mutation_kill_report(
+            budget=args.kill_budget, base_seed=args.seed,
+            **({"schemes": schemes} if schemes else {}),
+        )
+        print(render_kill_report(verdicts))
+        return 0 if kill_report_ok(verdicts) else 1
+
+    if args.replay is not None:
+        spec, source, failures = replay_seed(
+            args.replay, **({"schemes": schemes} if schemes else {})
+        )
+        print(f"# seed {args.replay}"
+              + (" (fork)" if spec.uses_fork else "")
+              + (" (setjmp)" if spec.uses_setjmp else ""))
+        print(render_program(spec))
+        for failure in failures:
+            print(failure)
+        print("CONFORMANCE OK" if not failures
+              else f"{len(failures)} failure(s)")
+        return 0 if not failures else 1
+
+    report = run_fuzz(
+        args.budget,
+        base_seed=args.seed,
+        shrink=not args.no_shrink,
+        health=not args.no_health,
+        progress=lambda line: print(f"  {line}", flush=True),
+        **({"schemes": schemes} if schemes else {}),
+    )
+    print(report.render())
+    if args.out and report.failures:
+        for path in write_failure_artifacts(report, args.out):
+            print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     text = generate_report(attack_trials=args.trials)
     if args.output:
@@ -233,6 +282,30 @@ def build_parser() -> argparse.ArgumentParser:
                             help="measure the scheme-properties matrix")
     matrix.add_argument("--trials", type=int, default=3000)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing (schemes × interpreter paths)",
+    )
+    fuzz.add_argument("--budget", type=int, default=50,
+                      help="number of generated programs (default 50)")
+    fuzz.add_argument("--seed", type=int, default=2018,
+                      help="base seed; program i uses seed+i")
+    fuzz.add_argument("--schemes", default=None,
+                      help="comma-separated scheme subset (default: all)")
+    fuzz.add_argument("--replay", type=int, default=None, metavar="SEED",
+                      help="re-run one seed through the full contract")
+    fuzz.add_argument("--self-check", action="store_true",
+                      help="mutation-kill check: plant known bugs, "
+                           "verify the oracle catches every one")
+    fuzz.add_argument("--kill-budget", type=int, default=3,
+                      help="programs per mutant during --self-check")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip auto-shrinking failing programs")
+    fuzz.add_argument("--no-health", action="store_true",
+                      help="skip the detection/polymorphism probes")
+    fuzz.add_argument("--out", default=None, metavar="DIR",
+                      help="write failing programs as JSON artifacts")
+
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None)
     report.add_argument("--trials", type=int, default=4000)
@@ -249,6 +322,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "matrix": _cmd_matrix,
     "validate": _cmd_validate,
+    "fuzz": _cmd_fuzz,
     "report": _cmd_report,
 }
 

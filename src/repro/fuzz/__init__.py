@@ -1,0 +1,50 @@
+"""Differential conformance fuzzing across schemes, rewriter, and paths.
+
+The reproduction's claims rest on six protection passes, a
+layout-preserving binary rewriter, and two interpreter paths all agreeing
+on program behaviour.  This package systematically searches for
+disagreements:
+
+* :mod:`repro.fuzz.conformance` — the oracle: one generated program is
+  built under every applicable scheme (compiler passes *and* both
+  rewriter paths), run down the fast and slow interpreter loops, and
+  checked against the unprotected reference fingerprint, the fast/slow
+  architectural-state contract, and the rewriter layout contract.
+* :mod:`repro.fuzz.fuzzer` — the seeded campaign driver: deterministic
+  program generation, failure collection, and one-command seed replay.
+* :mod:`repro.fuzz.shrink` — structural minimisation of failing
+  :class:`~repro.workloads.generator.ProgramSpec` instances.
+* :mod:`repro.fuzz.mutants` — planted bugs (pass, rewriter, and runtime
+  layers) with a mutation-kill self-check proving the oracle detects
+  real defects rather than rubber-stamping everything.
+
+Entry point: ``python -m repro fuzz`` (see :mod:`repro.cli`).
+"""
+
+from .conformance import (
+    DEFAULT_FUZZ_SCHEMES,
+    ConformanceFailure,
+    applicable_schemes,
+    check_source,
+    scheme_health_failures,
+)
+from .fuzzer import FuzzFailure, FuzzReport, check_spec, replay_seed, run_fuzz
+from .mutants import MUTANTS, mutation_kill_report, planted
+from .shrink import shrink_spec
+
+__all__ = [
+    "DEFAULT_FUZZ_SCHEMES",
+    "ConformanceFailure",
+    "applicable_schemes",
+    "check_source",
+    "scheme_health_failures",
+    "FuzzFailure",
+    "FuzzReport",
+    "check_spec",
+    "replay_seed",
+    "run_fuzz",
+    "MUTANTS",
+    "mutation_kill_report",
+    "planted",
+    "shrink_spec",
+]

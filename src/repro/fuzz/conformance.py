@@ -1,0 +1,376 @@
+"""The conformance contract: one program, every scheme, both paths.
+
+For a generated program the oracle demands:
+
+1. **Behaviour** — every protected build produces the unprotected
+   reference's fingerprint (exit state/status/signal, stdout, and each
+   forked child's outcome).  Checksums are encoded in exit codes by the
+   generator, so "identical exit codes" subsumes "identical checksums".
+2. **No spurious detection** — a benign program must never raise
+   ``StackSmashDetected`` under any scheme.
+3. **Fast/slow equivalence** — for every build, the decode-cache fast
+   path and the slow oracle loop must agree on the *complete*
+   architectural snapshot (cycles, TSC, registers, flags, memory image,
+   stdout; see :func:`repro.machine.debug.snapshot_divergences`).
+4. **Rewriter layout** — both binary-instrumentation paths must keep
+   every rewritten function byte-length-identical and tag every changed
+   instruction (:func:`repro.rewriter.rewrite.verify_layout_preserved`).
+5. **Scheme health** — protection must still *work*: a canned overflow
+   victim must be caught by every protecting scheme on both paths, and
+   fork must refresh the P-SSP shadow pair (polymorphism).  These probes
+   make the oracle sensitive to "protection silently disabled" bugs that
+   benign-behaviour comparison alone can never see.
+
+Schemes whose *documented* semantics conflict with a program feature are
+skipped for that program only (see :func:`applicable_schemes`): RAF-SSP
+is fork-incorrect by design (Table I), DCR and the global-buffer variant
+false-positive across ``longjmp`` unwinding, and DynaGuard's CAB carries
+stale entries across ``longjmp``-then-``fork``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..binfmt.elf import DYNAMIC, STATIC, merge_binaries
+from ..compiler.codegen import compile_source
+from ..core.deploy import build, deploy, get_scheme
+from ..core.rerandomize import check_packed32, check_pair
+from ..harness.validate import DETECTION_VICTIM
+from ..kernel.kernel import Kernel
+from ..kernel.process import Process
+from ..libc.glibc_sim import build_static_glibc
+from ..machine.debug import architectural_snapshot, snapshot_divergences
+from ..rewriter.rewrite import verify_layout_preserved
+
+#: Every scheme the fuzzer exercises by default.  ``dynaguard-dbi`` is
+#: excluded only because it is ``dynaguard`` under a cycle multiplier —
+#: behaviourally identical, so fuzzing it doubles cost for no coverage —
+#: but it participates when passed explicitly.
+DEFAULT_FUZZ_SCHEMES: Tuple[str, ...] = (
+    "none",
+    "ssp",
+    "raf-ssp",
+    "dynaguard",
+    "dcr",
+    "pssp",
+    "pssp-binary",
+    "pssp-binary-static",
+    "pssp-nt",
+    "pssp-lv",
+    "pssp-owf",
+    "pssp-gb",
+)
+
+#: Schemes that false-positive across setjmp/longjmp unwinding (their
+#: bookkeeping expects frames to be popped in order; documented in
+#: ``tests/libc/test_setjmp.py`` and the harness matrix).
+UNWIND_FRAGILE = frozenset({"dcr", "pssp-gb"})
+
+#: Schemes whose per-frame bookkeeping goes stale across longjmp and then
+#: poisons forked children (the CAB still lists unwound frames).
+UNWIND_FORK_FRAGILE = frozenset({"dynaguard", "dynaguard-dbi"})
+
+#: Fuzz programs are small; a tight cycle budget turns a decoder or
+#: runtime livelock into a fast, attributable SIGXCPU instead of a hang.
+FUZZ_CYCLE_LIMIT = 2_000_000
+
+#: The detection probe reuses the harness's canonical overflow victim
+#: (``repro.harness.validate.DETECTION_VICTIM``) so both health checks
+#: agree on what "detects an overflow" means.
+
+
+@dataclass
+class ConformanceFailure:
+    """One violated clause of the contract."""
+
+    kind: str  #: native-crash | build-error | behaviour-divergence |
+    #: spurious-smash | fast-slow-divergence | rewriter-layout |
+    #: missed-detection | spurious-detection | polymorphism
+    scheme: str
+    path: str  #: "fast" | "slow" | "both" | "-"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] scheme={self.scheme} path={self.path}: {self.detail}"
+
+
+def applicable_schemes(
+    schemes: Iterable[str], *, uses_fork: bool, uses_setjmp: bool
+) -> Tuple[List[str], Dict[str, str]]:
+    """Split ``schemes`` into (applicable, skipped-with-reason)."""
+    selected: List[str] = []
+    skipped: Dict[str, str] = {}
+    for scheme in schemes:
+        spec = get_scheme(scheme)
+        if uses_fork and not spec.fork_correct:
+            skipped[scheme] = "fork-incorrect by design (Table I)"
+        elif uses_setjmp and scheme in UNWIND_FRAGILE:
+            skipped[scheme] = "documented false positive across longjmp"
+        elif uses_setjmp and uses_fork and scheme in UNWIND_FORK_FRAGILE:
+            skipped[scheme] = "stale CAB entries poison forks after longjmp"
+        else:
+            selected.append(scheme)
+    return selected, skipped
+
+
+def _run_one(
+    source: str, scheme: str, *, seed: int, fast: bool, cycle_limit: int
+) -> Tuple[Kernel, Process, object]:
+    kernel = Kernel(seed)
+    binary = build(source, scheme, name="fuzzed")
+    process, _ = deploy(
+        kernel, binary, scheme, fast=fast, cycle_limit=cycle_limit
+    )
+    result = process.run()
+    return kernel, process, result
+
+
+def _fingerprint(kernel: Kernel, process: Process, result) -> Dict[str, object]:
+    """The scheme-independent behaviour of one run."""
+    children = sorted(
+        (p.state, p.exit_status, bytes(p.stdout))
+        for p in kernel.processes.values()
+        if p.pid != process.pid
+    )
+    return {
+        "state": result.state,
+        "exit_status": result.exit_status,
+        "signal": result.signal,
+        "stdout": bytes(process.stdout),
+        "children": children,
+    }
+
+
+def _describe_fingerprint_diff(reference: Dict, observed: Dict) -> str:
+    parts = []
+    for key in reference:
+        if reference[key] != observed[key]:
+            parts.append(f"{key}: {reference[key]!r} != {observed[key]!r}")
+    return "; ".join(parts) or "fingerprints differ"
+
+
+def check_source(
+    source: str,
+    *,
+    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
+    seed: int = 0,
+    uses_fork: bool = False,
+    uses_setjmp: bool = False,
+    cycle_limit: int = FUZZ_CYCLE_LIMIT,
+) -> List[ConformanceFailure]:
+    """Run one program through the full contract; return violations.
+
+    The unprotected fast-path run is the reference.  Every applicable
+    scheme (including ``none`` itself) is then run down both interpreter
+    paths; each run must reproduce the reference fingerprint, never
+    report a smash, and agree with its sibling path on the complete
+    architectural snapshot.  Rewriting schemes additionally get the
+    layout check on their (pre-rewrite, post-rewrite) binary pair.
+    """
+    failures: List[ConformanceFailure] = []
+    selected, _ = applicable_schemes(
+        schemes, uses_fork=uses_fork, uses_setjmp=uses_setjmp
+    )
+
+    try:
+        kernel, process, result = _run_one(
+            source, "none", seed=seed, fast=True, cycle_limit=cycle_limit
+        )
+    except Exception as error:
+        return [ConformanceFailure("build-error", "none", "fast", repr(error))]
+    if result.state != "exited":
+        # The generator only emits well-defined programs; a crashing
+        # native build is a generator (or interpreter) bug, not a scheme
+        # bug, and comparing schemes against it would be meaningless.
+        return [
+            ConformanceFailure(
+                "native-crash",
+                "none",
+                "fast",
+                f"state={result.state} signal={result.signal}",
+            )
+        ]
+    reference = _fingerprint(kernel, process, result)
+
+    for scheme in selected:
+        snapshots = {}
+        for fast in (True, False):
+            path = "fast" if fast else "slow"
+            try:
+                kernel, process, result = _run_one(
+                    source, scheme, seed=seed, fast=fast,
+                    cycle_limit=cycle_limit,
+                )
+            except Exception as error:
+                failures.append(
+                    ConformanceFailure("build-error", scheme, path, repr(error))
+                )
+                break
+            if result.smashed:
+                failures.append(
+                    ConformanceFailure(
+                        "spurious-smash", scheme, path,
+                        "benign program reported StackSmashDetected",
+                    )
+                )
+            observed = _fingerprint(kernel, process, result)
+            if observed != reference and scheme != "none":
+                failures.append(
+                    ConformanceFailure(
+                        "behaviour-divergence", scheme, path,
+                        _describe_fingerprint_diff(reference, observed),
+                    )
+                )
+            elif observed != reference:
+                failures.append(
+                    ConformanceFailure(
+                        "fast-slow-divergence", "none", path,
+                        _describe_fingerprint_diff(reference, observed),
+                    )
+                )
+            snapshots[path] = architectural_snapshot(process)
+        if len(snapshots) == 2:
+            divergences = snapshot_divergences(
+                snapshots["fast"], snapshots["slow"]
+            )
+            if divergences:
+                failures.append(
+                    ConformanceFailure(
+                        "fast-slow-divergence", scheme, "both",
+                        "; ".join(divergences[:4]),
+                    )
+                )
+
+    for scheme in selected:
+        failures.extend(rewriter_layout_failures(source, scheme))
+    return failures
+
+
+def rewriter_layout_failures(
+    source: str, scheme: str
+) -> List[ConformanceFailure]:
+    """Contract clause 4: rebuild the scheme's pre-rewrite binary and
+    diff it against the rewritten one (no-op for non-rewriting schemes)."""
+    spec = get_scheme(scheme)
+    if spec.rewrite is None:
+        return []
+    link_type = STATIC if spec.static_link else DYNAMIC
+    try:
+        original = compile_source(
+            source, protection=spec.pass_name, name="fuzzed",
+            link_type=link_type,
+        )
+        if spec.static_link:
+            original = merge_binaries(
+                original, build_static_glibc(), name=original.name
+            )
+        rewritten = spec.rewrite(original)
+    except Exception as error:
+        return [ConformanceFailure("build-error", scheme, "-", repr(error))]
+    return [
+        ConformanceFailure("rewriter-layout", scheme, "-", problem)
+        for problem in verify_layout_preserved(original, rewritten)
+    ]
+
+
+# -- scheme-health probes ----------------------------------------------------
+
+
+def detection_probe_failures(
+    scheme: str, *, seed: int = 0
+) -> List[ConformanceFailure]:
+    """A blind smash must be caught, and benign traffic must not be."""
+    if scheme == "none":
+        return []  # nothing to detect by definition
+    failures: List[ConformanceFailure] = []
+    for fast in (True, False):
+        path = "fast" if fast else "slow"
+        try:
+            kernel = Kernel(seed)
+            binary = build(DETECTION_VICTIM, scheme, name="victim")
+
+            process, _ = deploy(kernel, binary, scheme, fast=fast)
+            process.feed_stdin(b"ok")
+            benign = process.call("handler", (2,))
+            if benign.state != "exited" or benign.smashed:
+                failures.append(
+                    ConformanceFailure(
+                        "spurious-detection", scheme, path,
+                        f"benign victim call: state={benign.state} "
+                        f"smashed={benign.smashed}",
+                    )
+                )
+
+            process, _ = deploy(kernel, binary, scheme, fast=fast)
+            process.feed_stdin(b"A" * 160)
+            smash = process.call("handler", (160,))
+            if not smash.smashed:
+                failures.append(
+                    ConformanceFailure(
+                        "missed-detection", scheme, path,
+                        "160-byte overflow of 48-byte buffer not caught",
+                    )
+                )
+        except Exception as error:
+            failures.append(
+                ConformanceFailure("build-error", scheme, path, repr(error))
+            )
+    return failures
+
+
+def polymorphism_probe_failures(
+    scheme: str, *, seed: int = 0
+) -> List[ConformanceFailure]:
+    """Fork must re-randomize the shadow pair and keep it bound to ``C``.
+
+    Only meaningful for the P-SSP schemes with a fork-time preload
+    (``pssp`` compiler mode, ``pssp-binary`` packed mode).
+    """
+    if scheme not in ("pssp", "pssp-binary"):
+        return []
+    try:
+        kernel = Kernel(seed)
+        binary = build("int main() { return 0; }", scheme, name="probe")
+        parent, _ = deploy(kernel, binary, scheme)
+        parent_pair = (parent.tls.shadow_c0, parent.tls.shadow_c1)
+        child = kernel.fork(parent)
+        child_pair = (child.tls.shadow_c0, child.tls.shadow_c1)
+    except Exception as error:
+        return [ConformanceFailure("build-error", scheme, "-", repr(error))]
+
+    failures: List[ConformanceFailure] = []
+    if child_pair == parent_pair:
+        failures.append(
+            ConformanceFailure(
+                "polymorphism", scheme, "-",
+                "child shadow pair identical to parent's after fork",
+            )
+        )
+    if scheme == "pssp":
+        parent_ok = check_pair(*parent_pair, parent.tls.canary)
+        child_ok = check_pair(*child_pair, child.tls.canary)
+    else:
+        parent_ok = check_packed32(parent_pair[0], parent.tls.canary)
+        child_ok = check_packed32(child_pair[0], child.tls.canary)
+    if not parent_ok or not child_ok:
+        failures.append(
+            ConformanceFailure(
+                "polymorphism", scheme, "-",
+                f"shadow pair unbound from TLS canary "
+                f"(parent_ok={parent_ok} child_ok={child_ok})",
+            )
+        )
+    return failures
+
+
+def scheme_health_failures(
+    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES, *, seed: int = 0
+) -> List[ConformanceFailure]:
+    """Contract clause 5 for every scheme in ``schemes``."""
+    failures: List[ConformanceFailure] = []
+    for scheme in schemes:
+        failures.extend(detection_probe_failures(scheme, seed=seed))
+        failures.extend(polymorphism_probe_failures(scheme, seed=seed))
+    return failures

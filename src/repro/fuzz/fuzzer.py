@@ -1,0 +1,244 @@
+"""Seeded differential fuzz campaigns with one-command replay.
+
+Determinism is the contract: program ``i`` of a campaign is generated
+from ``base_seed + i`` and *runs* under kernels seeded with the same
+number, so ``python -m repro fuzz --replay SEED`` reproduces a failure
+bit-for-bit — same program, same canaries, same cycle counts — without
+shipping the failing binary around.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..workloads.generator import ProgramSpec, generate_fuzz_program, render_program
+from .conformance import (
+    DEFAULT_FUZZ_SCHEMES,
+    FUZZ_CYCLE_LIMIT,
+    ConformanceFailure,
+    applicable_schemes,
+    check_source,
+    scheme_health_failures,
+)
+from .shrink import removed_features, shrink_spec
+
+
+@dataclass
+class FuzzFailure:
+    """One failing program, before and after shrinking."""
+
+    seed: int
+    spec: ProgramSpec
+    source: str
+    failures: List[ConformanceFailure]
+    shrunk_spec: Optional[ProgramSpec] = None
+    shrunk_source: Optional[str] = None
+    shrink_notes: List[str] = field(default_factory=list)
+
+    @property
+    def replay_command(self) -> str:
+        return f"python -m repro fuzz --replay {self.seed}"
+
+    def to_json(self) -> Dict[str, object]:
+        """Artifact format (uploaded by the nightly CI job)."""
+        return {
+            "seed": self.seed,
+            "replay": self.replay_command,
+            "failures": [
+                {
+                    "kind": f.kind,
+                    "scheme": f.scheme,
+                    "path": f.path,
+                    "detail": f.detail,
+                }
+                for f in self.failures
+            ],
+            "spec": self.spec.to_json(),
+            "source": self.source,
+            "shrunk_spec": self.shrunk_spec.to_json() if self.shrunk_spec else None,
+            "shrunk_source": self.shrunk_source,
+            "shrink_notes": self.shrink_notes,
+        }
+
+    def render(self) -> str:
+        lines = [f"seed {self.seed}  ({self.replay_command})"]
+        for failure in self.failures:
+            lines.append(f"  {failure}")
+        if self.shrunk_source and self.shrunk_source != self.source:
+            notes = f" (dropped: {', '.join(self.shrink_notes)})" if self.shrink_notes else ""
+            lines.append(f"  shrunk program{notes}:")
+            lines.extend(f"    {line}" for line in self.shrunk_source.splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    budget: int
+    base_seed: int
+    schemes: Tuple[str, ...]
+    programs_checked: int = 0
+    runs: int = 0  #: scheme × path executions performed
+    skipped: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+    health_failures: List[ConformanceFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.health_failures
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.programs_checked}/{self.budget} programs, "
+            f"{self.runs} scheme-path runs, base seed {self.base_seed}, "
+            f"schemes: {', '.join(self.schemes)}"
+        ]
+        if self.skipped:
+            gated = ", ".join(
+                f"{scheme}×{count}" for scheme, count in sorted(self.skipped.items())
+            )
+            lines.append(f"gated by documented semantics: {gated}")
+        for failure in self.health_failures:
+            lines.append(f"health probe FAILED: {failure}")
+        for failure in self.failures:
+            lines.append(failure.render())
+        lines.append(
+            "CONFORMANCE OK" if self.ok
+            else f"{len(self.failures)} failing program(s), "
+                 f"{len(self.health_failures)} health failure(s)"
+        )
+        return "\n".join(lines)
+
+
+def check_spec(
+    spec: ProgramSpec,
+    *,
+    seed: int,
+    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
+    cycle_limit: int = FUZZ_CYCLE_LIMIT,
+) -> List[ConformanceFailure]:
+    """Render a spec and run it through the conformance contract."""
+    return check_source(
+        render_program(spec),
+        schemes=schemes,
+        seed=seed,
+        uses_fork=spec.uses_fork,
+        uses_setjmp=spec.uses_setjmp,
+        cycle_limit=cycle_limit,
+    )
+
+
+def _shrink_failure(
+    failure: FuzzFailure,
+    schemes: Tuple[str, ...],
+    cycle_limit: int,
+    max_checks: int,
+) -> None:
+    """Attach a minimised reproducer to ``failure`` (in place).
+
+    A candidate counts as reproducing when it triggers a failure of the
+    same *kind* for the same scheme — shrinking must not wander onto an
+    unrelated bug and present it as the minimal form of this one.
+    """
+    target = {(f.kind, f.scheme) for f in failure.failures}
+
+    def still_fails(candidate: ProgramSpec) -> bool:
+        observed = check_spec(
+            candidate, seed=failure.seed, schemes=schemes,
+            cycle_limit=cycle_limit,
+        )
+        return any((f.kind, f.scheme) in target for f in observed)
+
+    shrunk = shrink_spec(failure.spec, still_fails, max_checks=max_checks)
+    failure.shrunk_spec = shrunk
+    failure.shrunk_source = render_program(shrunk)
+    failure.shrink_notes = removed_features(failure.spec, shrunk)
+
+
+def run_fuzz(
+    budget: int = 50,
+    *,
+    base_seed: int = 2018,
+    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
+    shrink: bool = True,
+    health: bool = True,
+    cycle_limit: int = FUZZ_CYCLE_LIMIT,
+    max_shrink_checks: int = 40,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run a deterministic campaign of ``budget`` generated programs."""
+    schemes = tuple(schemes)
+    report = FuzzReport(budget=budget, base_seed=base_seed, schemes=schemes)
+
+    if health:
+        report.health_failures = scheme_health_failures(schemes, seed=base_seed)
+        if report.health_failures and progress:
+            progress(f"{len(report.health_failures)} scheme-health failure(s)")
+
+    for index in range(budget):
+        seed = base_seed + index
+        spec, source = generate_fuzz_program(seed)
+        selected, gated = applicable_schemes(
+            schemes, uses_fork=spec.uses_fork, uses_setjmp=spec.uses_setjmp
+        )
+        for scheme in gated:
+            report.skipped[scheme] = report.skipped.get(scheme, 0) + 1
+        failures = check_source(
+            source,
+            schemes=selected,
+            seed=seed,
+            uses_fork=spec.uses_fork,
+            uses_setjmp=spec.uses_setjmp,
+            cycle_limit=cycle_limit,
+        )
+        report.programs_checked += 1
+        report.runs += 2 * len(selected)
+        if failures:
+            failure = FuzzFailure(seed, spec, source, failures)
+            if shrink:
+                _shrink_failure(failure, schemes, cycle_limit, max_shrink_checks)
+            report.failures.append(failure)
+            if progress:
+                progress(f"seed {seed}: {len(failures)} failure(s)")
+        elif progress and (index + 1) % 25 == 0:
+            progress(f"{index + 1}/{budget} programs clean")
+    return report
+
+
+def replay_seed(
+    seed: int,
+    *,
+    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
+    cycle_limit: int = FUZZ_CYCLE_LIMIT,
+) -> Tuple[ProgramSpec, str, List[ConformanceFailure]]:
+    """Regenerate the program for ``seed`` and re-run the contract."""
+    spec, source = generate_fuzz_program(seed)
+    selected, _ = applicable_schemes(
+        schemes, uses_fork=spec.uses_fork, uses_setjmp=spec.uses_setjmp
+    )
+    failures = check_source(
+        source,
+        schemes=selected,
+        seed=seed,
+        uses_fork=spec.uses_fork,
+        uses_setjmp=spec.uses_setjmp,
+        cycle_limit=cycle_limit,
+    )
+    return spec, source, failures
+
+
+def write_failure_artifacts(report: FuzzReport, directory: str) -> List[str]:
+    """Write one JSON artifact per failing program; return the paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for failure in report.failures:
+        path = os.path.join(directory, f"fuzz-failure-seed{failure.seed}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(failure.to_json(), handle, indent=2)
+        paths.append(path)
+    return paths

@@ -30,7 +30,12 @@ int work(int rounds) {
 int main() { return work(9); }
 """
 
-_VICTIM = """
+#: The canonical overflow victim: ``read(2)`` lets stdin length decide
+#: between benign traffic and a 160-byte blind smash of the 48-byte
+#: buffer.  Shared with the conformance fuzzer's detection probe
+#: (``repro.fuzz.conformance``) so both health checks agree on what
+#: "detects an overflow" means.
+DETECTION_VICTIM = """
 int handler(int n) {
     char buf[48];
     read(0, buf, 4096);
@@ -88,7 +93,7 @@ def validate_scheme(scheme: str, *, seed: int = 1234) -> SchemeValidation:
 
     try:
         kernel = Kernel(seed)
-        binary = build(_VICTIM, scheme, name="victim")
+        binary = build(DETECTION_VICTIM, scheme, name="victim")
         process, _ = deploy(kernel, binary, scheme)
         process.feed_stdin(b"ok")
         benign_ok = process.call("handler", (2,)).state == "exited"

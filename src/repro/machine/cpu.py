@@ -357,12 +357,18 @@ class CPU:
         cycle-limit trip, and loop exit.  The limit check itself runs
         every instruction against the local accumulator, so the trip
         point is bit-identical to the slow path's.
+
+        The cycle accumulator folds one step at a time (``total += c``)
+        rather than summing a batch and adding it to the base: DBI-scaled
+        costs (×1.22, ×2.56) are not exactly representable, so float
+        addition is non-associative and batch-first summation drifts off
+        the slow path's sequential ``charge`` fold by a few ULPs — caught
+        by the conformance fuzzer on the DCR scheme.
         """
         registers = self.registers
         tsc = self.tsc
         cycle_limit = self.cycle_limit
-        base = self.cycles
-        pending_cycles = 0
+        cycle_total = self.cycles
         pending_ticks = 0
         pending_instructions = 0
         try:
@@ -379,9 +385,9 @@ class CPU:
                         raise InvalidJump(f"{name}: execution ran off the end")
                     execute, cycles, ticks, kind, next_rip = steps[index]
                     registers.rip = next_rip
-                    pending_cycles += cycles
+                    cycle_total += cycles
                     pending_ticks += ticks
-                    if base + pending_cycles > cycle_limit:
+                    if cycle_total > cycle_limit:
                         # The finally clause flushes; instructions_executed
                         # excludes this instruction, matching charge().
                         raise CpuLimitExceeded(
@@ -396,16 +402,15 @@ class CPU:
                         # Make accounting exact before the step can observe
                         # it (rdtsc, native charge), then re-sync afterwards
                         # because natives may have charged more cycles.
-                        self.cycles = base + pending_cycles
+                        self.cycles = cycle_total
                         tsc.advance(pending_ticks)
                         self.instructions_executed += pending_instructions
-                        pending_cycles = 0
                         pending_ticks = 0
                         pending_instructions = 0
                         try:
                             execute()
                         finally:
-                            base = self.cycles
+                            cycle_total = self.cycles
                     else:
                         execute()
                     if not (kind & CONTROL):
@@ -419,7 +424,7 @@ class CPU:
                         continue
                     break
         finally:
-            self.cycles = base + pending_cycles
+            self.cycles = cycle_total
             tsc.advance(pending_ticks)
             self.instructions_executed += pending_instructions
 

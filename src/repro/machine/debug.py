@@ -198,3 +198,52 @@ def canary_watch(process: Process, function: str) -> Debugger:
 
     process.cpu.trace = trace
     return debugger
+
+
+def architectural_snapshot(process: Process) -> Dict[str, object]:
+    """Every observable the fast and slow interpreter paths must agree on.
+
+    The decode-cache loop batches cycle/TSC accounting and specialises
+    operand access, so its entire contract is "indistinguishable from the
+    slow loop".  This snapshot *is* that contract, in one place: the
+    differential tests and the conformance fuzzer (`repro.fuzz`) compare
+    snapshots from a fast and a slow run of the same program and demand
+    equality.
+    """
+    cpu = process.cpu
+    registers = process.registers
+    return {
+        "state": process.state,
+        "exit_status": process.exit_status,
+        "signal": process.crash.signal if process.crash else "",
+        "cycles": cpu.cycles,
+        "tsc": cpu.tsc.value,
+        "instructions": cpu.instructions_executed,
+        "rip": registers.rip,
+        "gpr": dict(registers.gpr),
+        "xmm": dict(registers.xmm),
+        "flags": (registers.zf, registers.sf, registers.cf),
+        "memory": {
+            segment.name: bytes(segment.data)
+            for segment in process.memory.segments()
+        },
+        "stdout": bytes(process.stdout),
+    }
+
+
+def snapshot_divergences(fast: Dict[str, object], slow: Dict[str, object]) -> List[str]:
+    """Human-readable field names where two snapshots disagree."""
+    problems: List[str] = []
+    for key in fast:
+        if fast[key] == slow[key]:
+            continue
+        if key == "memory":
+            fast_mem = fast[key]
+            slow_mem = slow[key]
+            names = set(fast_mem) | set(slow_mem)  # type: ignore[arg-type]
+            for name in sorted(names):
+                if fast_mem.get(name) != slow_mem.get(name):  # type: ignore[union-attr]
+                    problems.append(f"memory[{name}]")
+        else:
+            problems.append(f"{key}: fast={fast[key]!r} slow={slow[key]!r}")
+    return problems

@@ -91,6 +91,70 @@ def rewrite_function(function: Function) -> Function:
     return clone
 
 
+#: Instruction-note prefixes a layout-preserving rewrite may introduce.
+REWRITE_NOTE_PREFIXES = ("pssp-binary", "dyninst")
+
+#: Function names the static (Dyninst-style) path may append as a new
+#: code section; anything else appearing in a rewritten binary is a bug.
+STATIC_SECTION_FUNCTIONS = frozenset(
+    {"__pssp_fork", "__pssp_stack_chk_fail", "__pssp_setup"}
+)
+
+
+def verify_layout_preserved(original: Binary, rewritten: Binary) -> List[str]:
+    """Check the rewriter's two §V-C contracts; return violations.
+
+    1. every function shared with the input keeps its exact encoded byte
+       length (address layout preservation), and
+    2. every instruction that differs from the input carries a rewrite
+       note (``pssp-binary-*``/``dyninst-*``) — the rewriter may not
+       silently perturb unrelated code.  Functions may only be *added*
+       (the static path's appended section), never removed.
+
+    Used by the conformance fuzzer on every rewritten build, so a future
+    matcher/splice regression is caught by the first fuzz run rather
+    than by a crashing victim.
+    """
+    problems: List[str] = []
+    for name, before in original.functions.items():
+        after = rewritten.functions.get(name)
+        if after is None:
+            problems.append(f"{name}: function removed by rewrite")
+            continue
+        bytes_before = function_length(before.body)
+        bytes_after = function_length(after.body)
+        if bytes_before != bytes_after:
+            problems.append(
+                f"{name}: byte length {bytes_before} -> {bytes_after}"
+            )
+        if len(before.body) != len(after.body):
+            # Instruction-count changes are fine (push/pop sequences trade
+            # against nop padding) as long as every new instruction is
+            # note-tagged; positional comparison below would misalign, so
+            # fall back to checking the tags only.
+            untagged = [
+                str(instruction)
+                for instruction in after.body
+                if instruction not in before.body
+                and not instruction.note.startswith(REWRITE_NOTE_PREFIXES)
+            ]
+            if untagged:
+                problems.append(
+                    f"{name}: untagged rewritten instructions {untagged[:3]}"
+                )
+            continue
+        for index, (old, new) in enumerate(zip(before.body, after.body)):
+            if old != new and not new.note.startswith(REWRITE_NOTE_PREFIXES):
+                problems.append(
+                    f"{name}[{index}]: {old} -> {new} lacks a rewrite note"
+                )
+    added = set(rewritten.functions) - set(original.functions)
+    unexpected = added - STATIC_SECTION_FUNCTIONS
+    if unexpected:
+        problems.append(f"unexpected added functions: {sorted(unexpected)}")
+    return problems
+
+
 def instrument_binary(binary: Binary, *, suffix: str = ".pssp") -> Binary:
     """Instrument every SSP-protected function in ``binary``.
 

@@ -11,13 +11,24 @@ space between them (`benchmarks/bench_sweep_call_density.py`).
 
 Programs are deterministic given the entropy seed, and every generated
 program returns a checksum so builds can be differentially validated
-across schemes, exactly like the curated suite.
+across schemes, exactly like the curated suite.  Two generator families
+live here:
+
+* :class:`GeneratorConfig`/:func:`generate_program` — the original
+  rectangular worker/dispatch shape the overhead sweeps use;
+* :class:`ProgramSpec`/:func:`generate_fuzz_spec` — a structural IR for
+  the differential conformance fuzzer (`repro.fuzz`): nested calls,
+  bounded recursion, mixed buffer sizes, setjmp/longjmp, fork points and
+  in-bounds libc traffic.  Specs render to MiniC deterministically, are
+  JSON round-trippable (the regression corpus stores them), and shrink
+  structurally (`repro.fuzz.shrink` deletes functions/statements and
+  re-renders).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
 
 from ..crypto.random import EntropySource
 
@@ -86,6 +97,318 @@ def generate_program(config: GeneratorConfig, entropy: EntropySource) -> str:
     dispatch.append("}")
     parts.append("\n".join(dispatch))
     return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer program specs (structural IR, shrinkable, JSON round-trippable)
+# ---------------------------------------------------------------------------
+
+#: Buffer sizes the fuzzer mixes (0 = unprotected function).
+FUZZ_BUFFER_SIZES = (0, 8, 16, 24, 32, 64)
+
+#: In-bounds libc operations a function may perform on its buffer.
+#: Each maps to a statement block; all stay strictly inside the buffer.
+LIBC_OPS = ("memset", "strcpy", "strlen", "memcmp")
+
+#: Minimum buffer bytes each libc op needs to stay in-bounds.
+_LIBC_MIN_BUFFER = {"memset": 8, "strcpy": 8, "strlen": 8, "memcmp": 8}
+
+#: Name of the bounded-recursion function when a spec includes one.
+RECURSION_NAME = "frec"
+
+
+@dataclass
+class FunctionSpec:
+    """One generated function: a loop of work snippets over a local buffer,
+    optional in-bounds libc traffic, and calls into earlier functions
+    (the call graph is acyclic by construction)."""
+
+    name: str
+    buffer_bytes: int = 0
+    inner_iterations: int = 0
+    #: Indices into :data:`_WORK_SNIPPETS`.
+    ops: List[int] = field(default_factory=list)
+    libc_op: str = ""
+    #: Callee names; generation only permits earlier functions.
+    calls: List[str] = field(default_factory=list)
+    #: Mark the buffer ``critical`` (P-SSP-LV selective protection).
+    critical: bool = False
+
+
+@dataclass
+class ProgramSpec:
+    """A whole fuzz program: functions + main-loop shape + feature flags."""
+
+    functions: List[FunctionSpec] = field(default_factory=list)
+    #: Function names main's dispatch loop calls (may include frec).
+    main_calls: List[str] = field(default_factory=list)
+    outer_iterations: int = 2
+    #: Depth bound of the recursive helper (0 = none).
+    recursion_depth: int = 0
+    recursion_buffer: int = 16
+    use_setjmp: bool = False
+    use_fork: bool = False
+    #: Function the forked child runs before exiting ('' = first function).
+    fork_callee: str = ""
+
+    # -- feature queries (scheme gating in repro.fuzz.conformance) ---------
+
+    @property
+    def uses_fork(self) -> bool:
+        return self.use_fork and bool(self.functions)
+
+    @property
+    def uses_setjmp(self) -> bool:
+        return self.use_setjmp
+
+    # -- JSON round-trip (the regression corpus stores specs) --------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "functions": [
+                {
+                    "name": f.name,
+                    "buffer_bytes": f.buffer_bytes,
+                    "inner_iterations": f.inner_iterations,
+                    "ops": list(f.ops),
+                    "libc_op": f.libc_op,
+                    "calls": list(f.calls),
+                    "critical": f.critical,
+                }
+                for f in self.functions
+            ],
+            "main_calls": list(self.main_calls),
+            "outer_iterations": self.outer_iterations,
+            "recursion_depth": self.recursion_depth,
+            "recursion_buffer": self.recursion_buffer,
+            "use_setjmp": self.use_setjmp,
+            "use_fork": self.use_fork,
+            "fork_callee": self.fork_callee,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ProgramSpec":
+        spec = cls(
+            functions=[
+                FunctionSpec(
+                    name=f["name"],
+                    buffer_bytes=int(f.get("buffer_bytes", 0)),
+                    inner_iterations=int(f.get("inner_iterations", 0)),
+                    ops=[int(i) for i in f.get("ops", [])],
+                    libc_op=f.get("libc_op", ""),
+                    calls=list(f.get("calls", [])),
+                    critical=bool(f.get("critical", False)),
+                )
+                for f in data.get("functions", [])
+            ],
+            main_calls=list(data.get("main_calls", [])),
+            outer_iterations=int(data.get("outer_iterations", 1)),
+            recursion_depth=int(data.get("recursion_depth", 0)),
+            recursion_buffer=int(data.get("recursion_buffer", 0)),
+            use_setjmp=bool(data.get("use_setjmp", False)),
+            use_fork=bool(data.get("use_fork", False)),
+            fork_callee=data.get("fork_callee", ""),
+        )
+        return spec
+
+
+def _render_libc_op(op: str, size: int) -> List[str]:
+    """In-bounds libc traffic over ``buf`` (size checked at generation)."""
+    if op == "memset":
+        return [
+            f"    memset(buf, (arg & 7) + 1, {size});",
+            f"    acc = acc + buf[{size - 1}];",
+        ]
+    if op == "strcpy":
+        return [
+            '    strcpy(buf, "fzz");',
+            "    acc = acc + strlen(buf);",
+        ]
+    if op == "strlen":
+        return [
+            "    buf[0] = 65;",
+            "    buf[1] = 0;",
+            "    acc = acc + strlen(buf);",
+        ]
+    if op == "memcmp":
+        return [f"    acc = acc + memcmp(buf, buf, {size});"]
+    return []
+
+
+def _render_function(spec: FunctionSpec) -> str:
+    size = spec.buffer_bytes
+    bufmod = max(1, size - 1)
+    lines = [f"int {spec.name}(int arg) {{"]
+    if size:
+        qualifier = "critical " if spec.critical else ""
+        lines.append(f"    {qualifier}char buf[{size}];")
+    lines.append("    int acc; int i;")
+    lines.append("    acc = arg;")
+    if size:
+        # Fully initialise the buffer before any snippet reads it: a read
+        # of dead-frame garbage would make program behaviour depend on the
+        # scheme's stack layout, which is exactly what the conformance
+        # contract forbids the *schemes* from doing.
+        lines.append(f"    for (i = 0; i < {size}; i = i + 1) {{")
+        lines.append("        buf[i] = (arg + i) & 63;")
+        lines.append("    }")
+    if spec.inner_iterations and spec.ops:
+        lines.append(
+            f"    for (i = 0; i < {spec.inner_iterations}; i = i + 1) {{"
+        )
+        for op_index in spec.ops:
+            snippet = _WORK_SNIPPETS[op_index % len(_WORK_SNIPPETS)]
+            if "buf" in snippet and not size:
+                snippet = "acc = acc + {i};"
+            lines.append("        " + snippet.format(i="i", arg="arg", bufmod=bufmod))
+        lines.append("    }")
+    if spec.libc_op and size >= _LIBC_MIN_BUFFER.get(spec.libc_op, 1):
+        lines.extend(_render_libc_op(spec.libc_op, size))
+    for callee in spec.calls:
+        lines.append(f"    acc = acc + {callee}(acc & 15);")
+    lines.append("    return acc & 0xffff;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_recursion(spec: ProgramSpec) -> str:
+    size = spec.recursion_buffer
+    lines = [f"int {RECURSION_NAME}(int n) {{"]
+    if size:
+        lines.append(f"    char rbuf[{size}];")
+        lines.append("    rbuf[0] = n & 31;")
+        lines.append("    if (n <= 0) { return rbuf[0] & 1; }")
+    else:
+        lines.append("    if (n <= 0) { return n & 1; }")
+    lines.append(f"    return {RECURSION_NAME}(n - 1) + (n & 3);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_SETJMP_HELPERS = """\
+int jmp_helper(int env) {
+    char pad[16];
+    pad[0] = 1;
+    longjmp(env, 5);
+    return 0;
+}
+
+int jmp_work(int env) {
+    char jbuf[16];
+    jbuf[0] = 2;
+    return jmp_helper(env);
+}"""
+
+
+def render_program(spec: ProgramSpec) -> str:
+    """Render a :class:`ProgramSpec` to MiniC source (deterministic)."""
+    parts: List[str] = []
+    if spec.recursion_depth:
+        parts.append(_render_recursion(spec))
+    for function in spec.functions:
+        parts.append(_render_function(function))
+    if spec.use_setjmp:
+        parts.append(_SETJMP_HELPERS)
+
+    main = ["int main() {", "    int total; int round;", "    total = 0;"]
+    if spec.use_setjmp:
+        main.append("    int env[8]; int jr;")
+        main.append("    jr = setjmp(env);")
+        main.append("    if (jr == 0) {")
+        main.append("        jmp_work(env);")
+        main.append("        total = total + 99;")
+        main.append("    } else {")
+        main.append("        total = total + jr;")
+        main.append("    }")
+    if spec.main_calls and spec.outer_iterations:
+        main.append(
+            f"    for (round = 0; round < {spec.outer_iterations}; "
+            "round = round + 1) {"
+        )
+        for offset, name in enumerate(spec.main_calls):
+            if name == RECURSION_NAME:
+                main.append(
+                    f"        total = total + {RECURSION_NAME}"
+                    f"({spec.recursion_depth});"
+                )
+            else:
+                main.append(f"        total = total + {name}(round + {offset});")
+        main.append("    }")
+    if spec.uses_fork:
+        callee = spec.fork_callee or spec.functions[0].name
+        main.append("    int pid;")
+        main.append("    pid = fork();")
+        main.append("    if (pid == 0) {")
+        main.append(f"        return {callee}(7) & 0xff;")
+        main.append("    }")
+        main.append("    total = total + 1;")
+    main.append("    return total & 255;")
+    main.append("}")
+    parts.append("\n".join(main))
+    return "\n\n".join(parts)
+
+
+def generate_fuzz_spec(
+    entropy: EntropySource,
+    *,
+    allow_fork: bool = True,
+    allow_setjmp: bool = True,
+    max_functions: int = 4,
+) -> ProgramSpec:
+    """Draw a random program shape from ``entropy`` (deterministic).
+
+    Shapes stay small on purpose: the conformance fuzzer runs every
+    program under ~a dozen scheme builds on both interpreter paths, so
+    per-program instruction counts in the low thousands keep a
+    200-program campaign tractable.
+    """
+    spec = ProgramSpec()
+    count = 1 + entropy.randrange(max_functions)
+    names: List[str] = []
+    for index in range(count):
+        function = FunctionSpec(name=f"fz{index}")
+        function.buffer_bytes = entropy.choice(list(FUZZ_BUFFER_SIZES))
+        function.inner_iterations = entropy.randrange(7)
+        function.ops = [
+            entropy.randrange(len(_WORK_SNIPPETS))
+            for _ in range(1 + entropy.randrange(3))
+        ]
+        if function.buffer_bytes >= 8 and entropy.randrange(3) == 0:
+            function.libc_op = entropy.choice(list(LIBC_OPS))
+        if function.buffer_bytes and entropy.randrange(5) == 0:
+            function.critical = True
+        # Acyclic nesting: call only already-generated functions.
+        for earlier in names:
+            if len(function.calls) < 2 and entropy.randrange(3) == 0:
+                function.calls.append(earlier)
+        names.append(function.name)
+        spec.functions.append(function)
+
+    if entropy.randrange(2) == 0:
+        spec.recursion_depth = 1 + entropy.randrange(6)
+        spec.recursion_buffer = entropy.choice([0, 8, 16, 32])
+    spec.use_setjmp = allow_setjmp and entropy.randrange(4) == 0
+    spec.use_fork = allow_fork and entropy.randrange(4) == 0
+    spec.fork_callee = entropy.choice(names)
+    spec.outer_iterations = 1 + entropy.randrange(3)
+
+    pool = list(names) + ([RECURSION_NAME] if spec.recursion_depth else [])
+    entropy.shuffle(pool)
+    spec.main_calls = pool[: 1 + entropy.randrange(min(3, len(pool)))]
+    return spec
+
+
+def generate_fuzz_program(
+    seed: int,
+    *,
+    allow_fork: bool = True,
+    allow_setjmp: bool = True,
+) -> "tuple[ProgramSpec, str]":
+    """Seed → (spec, MiniC source); the fuzzer's one-seed-one-program map."""
+    spec = generate_fuzz_spec(
+        EntropySource(seed), allow_fork=allow_fork, allow_setjmp=allow_setjmp
+    )
+    return spec, render_program(spec)
 
 
 def call_density_sweep_configs() -> List[GeneratorConfig]:

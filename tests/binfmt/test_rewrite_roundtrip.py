@@ -1,0 +1,119 @@
+"""Serialize → rewrite → serialize → load round-trip regression.
+
+A real rewriter consumes a binary from disk and writes one back; any
+fidelity gap in the container format would let the rewriter "pass" in
+memory while producing garbage on disk.  This pins the full pipeline:
+
+    compile(ssp) → dumps → loads → instrument_binary → dumps → loads
+
+and asserts the structural diff between the two *loaded* binaries is
+exactly the documented prologue/epilogue rewrites — nothing else.
+"""
+
+from repro.binfmt.diffing import diff_binaries
+from repro.binfmt.serialize import dumps, loads
+from repro.compiler.codegen import compile_source
+from repro.machine.tls import SHADOW_C0_OFFSET
+from repro.rewriter.matcher import is_ssp_protected
+from repro.rewriter.rewrite import instrument_binary, verify_layout_preserved
+
+SOURCE = """
+int leaf(int n) {
+    char buf[24];
+    buf[0] = n;
+    return buf[0] + 1;
+}
+
+int plain(int n) {
+    return n * 3;
+}
+
+int main() {
+    return leaf(4) + plain(5);
+}
+"""
+
+
+def roundtrip_pair():
+    """(loaded original, loaded rewrite-of-loaded-original)."""
+    compiled = compile_source(SOURCE, protection="ssp", name="rt")
+    original = loads(dumps(compiled))
+    rewritten = loads(dumps(instrument_binary(original)))
+    return original, rewritten
+
+
+class TestRoundTripFidelity:
+    def test_serialize_is_lossless_for_ssp_builds(self):
+        compiled = compile_source(SOURCE, protection="ssp", name="rt")
+        reloaded = loads(dumps(compiled))
+        assert set(reloaded.functions) == set(compiled.functions)
+        for name, function in compiled.functions.items():
+            assert reloaded.functions[name].body == function.body
+            assert reloaded.functions[name].labels == function.labels
+
+    def test_rewritten_binary_survives_serialization(self):
+        compiled = compile_source(SOURCE, protection="ssp", name="rt")
+        rewritten = instrument_binary(compiled)
+        reloaded = loads(dumps(rewritten))
+        for name, function in rewritten.functions.items():
+            assert reloaded.functions[name].body == function.body
+        assert reloaded.protection == rewritten.protection
+
+
+class TestStructuralDiff:
+    def test_diff_is_exactly_the_documented_rewrites(self):
+        original, rewritten = roundtrip_pair()
+        diff = diff_binaries(original, rewritten)
+
+        # No functions appear or vanish on the dynamic path.
+        assert diff.added_functions == []
+        assert diff.removed_functions == []
+        # Zero on-disk growth (Table II's dynamic row).
+        assert diff.size_delta == 0
+
+        changed = {d.name for d in diff.changed_functions()}
+        protected = {
+            name
+            for name, function in original.functions.items()
+            if is_ssp_protected(function)
+        }
+        # Every protected function is rewritten; nothing else is touched
+        # (SSP only guards buffer-holding frames, so only ``leaf`` here).
+        assert changed == protected == {"leaf"}
+
+        for function_diff in diff.changed_functions():
+            assert function_diff.layout_preserved
+            before = original.functions[function_diff.name]
+            after = rewritten.functions[function_diff.name]
+            for change in function_diff.changes:
+                if change.index >= len(after.body):
+                    continue  # trailing positions only exist pre-rewrite
+                instruction = after.body[change.index]
+                # A changed position is either a tagged rewrite or an
+                # untouched instruction the epilogue splice shifted.
+                assert (
+                    instruction.note.startswith("pssp-binary")
+                    or instruction in before.body
+                ), (function_diff.name, change.index, instruction)
+
+    def test_changed_sites_are_prologue_and_epilogue_shapes(self):
+        original, rewritten = roundtrip_pair()
+        for name, function in rewritten.functions.items():
+            for index, instruction in enumerate(function.body):
+                if not instruction.note.startswith("pssp-binary"):
+                    continue
+                if instruction.note == "pssp-binary-prologue":
+                    # The retargeted TLS load: mov reg, fs:0x2a8.
+                    assert instruction.op == "mov"
+                    memory = instruction.operands[1]
+                    assert memory.seg == "fs"
+                    assert memory.disp == SHADOW_C0_OFFSET
+                else:
+                    # The Code-6 epilogue: rdi-passing check-call window.
+                    assert instruction.op in (
+                        "push", "pop", "call", "je", "nop"
+                    ), (name, index, instruction.op)
+
+    def test_layout_contract_holds_after_roundtrip(self):
+        original, rewritten = roundtrip_pair()
+        assert verify_layout_preserved(original, rewritten) == []

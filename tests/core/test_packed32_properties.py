@@ -1,0 +1,135 @@
+"""Algorithm 1 / Theorem 1 properties of the folded 32-bit rewriter form.
+
+The binary-instrumentation path cannot grow SSP's single canary word, so
+it packs two 32-bit halves into it: ``packed = C0 | (C1 << 32)`` with
+``C0 ⊕ C1 == fold32(C)``.  These property tests pin down the three
+claims the paper's Theorem 1 makes for that folded form:
+
+1. the XOR invariant holds for *every* (seed, canary) pair,
+2. each observed half is (statistically) uniform — a BROP attacker
+   harvesting halves from crashed children learns nothing, and
+3. the halves are independent of the protected canary: the C0 stream
+   does not depend on ``C`` at all, and distinct invocations are
+   independent of each other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rerandomize import (
+    check_packed32,
+    fold32,
+    re_randomize_packed32,
+)
+from repro.crypto.random import EntropySource
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+canaries = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def halves(packed: int):
+    return packed & 0xFFFF_FFFF, (packed >> 32) & 0xFFFF_FFFF
+
+
+class TestXorInvariant:
+    @given(seed=seeds, canary=canaries)
+    @settings(max_examples=200, deadline=None)
+    def test_packed_halves_bind_to_folded_canary(self, seed, canary):
+        packed = re_randomize_packed32(EntropySource(seed), canary)
+        c0, c1 = halves(packed)
+        assert c0 ^ c1 == fold32(canary)
+        assert check_packed32(packed, canary)
+
+    @given(seed=seeds, canary=canaries)
+    @settings(max_examples=100, deadline=None)
+    def test_any_single_bit_flip_breaks_the_check(self, seed, canary):
+        packed = re_randomize_packed32(EntropySource(seed), canary)
+        for bit in (0, 17, 31, 32, 48, 63):
+            assert not check_packed32(packed ^ (1 << bit), canary)
+
+    @given(seed=seeds, canary=canaries)
+    @settings(max_examples=100, deadline=None)
+    def test_fold32_matches_epilogue_algebra(self, seed, canary):
+        # What the rewritten epilogue computes (lo ⊕ hi of the stack word)
+        # equals what the Figure-3 stub computes from TLS (fold32(C)).
+        packed = re_randomize_packed32(EntropySource(seed), canary)
+        c0, c1 = halves(packed)
+        assert (c0 ^ c1) == ((canary ^ (canary >> 32)) & 0xFFFF_FFFF)
+
+
+class TestHalfDistribution:
+    """Uniformity of each observed half (fixed canary, many invocations)."""
+
+    SAMPLES = 4096
+
+    def _stream(self, canary: int, seed: int = 20180625):
+        entropy = EntropySource(seed)
+        return [
+            re_randomize_packed32(entropy, canary) for _ in range(self.SAMPLES)
+        ]
+
+    def test_every_c0_bit_is_balanced(self):
+        stream = self._stream(0xDEADBEEF_CAFEF00D)
+        for bit in range(32):
+            ones = sum((packed >> bit) & 1 for packed in stream)
+            # Binomial(4096, 0.5): ±5 sigma ≈ ±160.
+            assert abs(ones - self.SAMPLES // 2) < 320, f"bit {bit}: {ones}"
+
+    def test_every_c1_bit_is_balanced(self):
+        # C1 = C0 ⊕ fold32(C) inherits uniformity from C0 — including for
+        # a pathological all-ones canary that complements every bit.
+        stream = self._stream(0xFFFFFFFF_FFFFFFFF)
+        for bit in range(32, 64):
+            ones = sum((packed >> bit) & 1 for packed in stream)
+            assert abs(ones - self.SAMPLES // 2) < 320, f"bit {bit}: {ones}"
+
+    def test_top_nibble_histogram_is_flat(self):
+        stream = self._stream(0x0123456789ABCDEF)
+        bins = [0] * 16
+        for packed in stream:
+            bins[(packed >> 28) & 0xF] += 1
+        expected = self.SAMPLES / 16
+        for value, count in enumerate(bins):
+            assert abs(count - expected) < expected * 0.5, (value, count)
+
+    def test_invocations_are_distinct(self):
+        stream = self._stream(0x1111111111111111)
+        assert len(set(stream)) == self.SAMPLES
+
+
+class TestIndependence:
+    """Theorem 1: observed halves carry zero information about ``C``."""
+
+    def test_c0_stream_does_not_depend_on_canary(self):
+        # Identical entropy, two very different canaries: the C0 halves
+        # are *identical* — the draw never reads C, so leaking C0 leaks
+        # nothing about C.
+        entropy_a, entropy_b = EntropySource(7), EntropySource(7)
+        for _ in range(256):
+            packed_a = re_randomize_packed32(entropy_a, 0x0000000000000000)
+            packed_b = re_randomize_packed32(entropy_b, 0xFFFFFFFFFFFFFFFF)
+            assert halves(packed_a)[0] == halves(packed_b)[0]
+
+    @given(seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_c1_alone_reveals_only_c0_xor_fold(self, seed):
+        # Given C1, every 32-bit folded canary remains possible: for any
+        # candidate F there exists a C0 (namely C1 ⊕ F) producing it.
+        packed = re_randomize_packed32(EntropySource(seed), 0xA5A5A5A5_5A5A5A5A)
+        _, c1 = halves(packed)
+        for candidate in (0x00000000, 0xFFFFFFFF, 0x12345678):
+            assert 0 <= (c1 ^ candidate) <= 0xFFFF_FFFF
+
+    def test_successive_pairs_uncorrelated(self):
+        # XOR of successive C0s should itself look uniform (no lag-1
+        # structure an attacker could extrapolate across forks).
+        entropy = EntropySource(99)
+        canary = 0xDEADBEEF_00C0FFEE
+        stream = [
+            halves(re_randomize_packed32(entropy, canary))[0]
+            for _ in range(2048)
+        ]
+        deltas = [a ^ b for a, b in zip(stream, stream[1:])]
+        for bit in range(32):
+            ones = sum((delta >> bit) & 1 for delta in deltas)
+            assert abs(ones - len(deltas) // 2) < 250, f"bit {bit}: {ones}"

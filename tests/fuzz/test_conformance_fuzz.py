@@ -1,0 +1,181 @@
+"""The differential conformance fuzzer: unit behaviour + campaigns.
+
+The quick suite runs the cheap pieces (gating rules, shrinking, report
+plumbing, determinism, a small smoke campaign).  The ``fuzz``-marked
+campaign at the bottom is the acceptance run: ≥200 seeded programs
+across every scheme and both interpreter paths, executed by the
+scheduled CI job (and by ``pytest -m fuzz`` locally).
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    DEFAULT_FUZZ_SCHEMES,
+    applicable_schemes,
+    check_source,
+    run_fuzz,
+    shrink_spec,
+)
+from repro.fuzz.conformance import (
+    UNWIND_FRAGILE,
+    rewriter_layout_failures,
+    scheme_health_failures,
+)
+from repro.fuzz.fuzzer import replay_seed, write_failure_artifacts
+from repro.workloads.generator import (
+    ProgramSpec,
+    generate_fuzz_program,
+    render_program,
+)
+
+
+class TestSchemeGating:
+    def test_plain_program_runs_every_scheme(self):
+        selected, skipped = applicable_schemes(
+            DEFAULT_FUZZ_SCHEMES, uses_fork=False, uses_setjmp=False
+        )
+        assert list(selected) == list(DEFAULT_FUZZ_SCHEMES)
+        assert skipped == {}
+
+    def test_fork_gates_raf_ssp_only(self):
+        selected, skipped = applicable_schemes(
+            DEFAULT_FUZZ_SCHEMES, uses_fork=True, uses_setjmp=False
+        )
+        assert set(skipped) == {"raf-ssp"}
+        assert "pssp" in selected and "dynaguard" in selected
+
+    def test_setjmp_gates_unwind_fragile_schemes(self):
+        _, skipped = applicable_schemes(
+            DEFAULT_FUZZ_SCHEMES, uses_fork=False, uses_setjmp=True
+        )
+        assert set(skipped) == UNWIND_FRAGILE
+
+    def test_setjmp_plus_fork_also_gates_dynaguard(self):
+        _, skipped = applicable_schemes(
+            DEFAULT_FUZZ_SCHEMES, uses_fork=True, uses_setjmp=True
+        )
+        assert set(skipped) == UNWIND_FRAGILE | {"raf-ssp", "dynaguard"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        spec_a, source_a = generate_fuzz_program(4321)
+        spec_b, source_b = generate_fuzz_program(4321)
+        assert spec_a.to_json() == spec_b.to_json()
+        assert source_a == source_b
+
+    def test_same_seed_same_verdict(self):
+        _, source = generate_fuzz_program(2018)
+        first = check_source(source, schemes=("none", "ssp", "pssp"), seed=2018)
+        second = check_source(source, schemes=("none", "ssp", "pssp"), seed=2018)
+        assert [str(f) for f in first] == [str(f) for f in second] == []
+
+    def test_replay_matches_campaign_generation(self):
+        spec, source, failures = replay_seed(
+            2018, schemes=("none", "pssp", "pssp-binary")
+        )
+        assert source == generate_fuzz_program(2018)[1]
+        assert failures == []
+
+
+class TestContractClauses:
+    def test_health_probes_pass_on_clean_tree(self):
+        assert scheme_health_failures(("ssp", "pssp", "pssp-binary")) == []
+
+    def test_rewriter_layout_clean_on_both_paths(self):
+        _, source = generate_fuzz_program(2025)
+        for scheme in ("pssp-binary", "pssp-binary-static"):
+            assert rewriter_layout_failures(source, scheme) == []
+
+    def test_non_rewriting_scheme_has_no_layout_clause(self):
+        assert rewriter_layout_failures("int main() { return 0; }", "pssp") == []
+
+    def test_native_crash_short_circuits(self):
+        # Division by zero faults natively: the contract blames the
+        # program, not the schemes, and produces exactly one failure.
+        failures = check_source(
+            "int main() { int x; x = 0; return 1 / x; }", seed=1
+        )
+        assert [f.kind for f in failures] == ["native-crash"]
+
+
+class TestShrinking:
+    def _bulky_spec(self):
+        spec, _ = generate_fuzz_program(2018)
+        return spec
+
+    def test_shrink_reaches_fixed_point_under_always_fails(self):
+        spec = self._bulky_spec()
+        shrunk = shrink_spec(spec, lambda candidate: True)
+        # Everything optional is gone; the residue still renders/compiles.
+        assert not shrunk.use_fork and not shrunk.use_setjmp
+        assert shrunk.recursion_depth == 0
+        assert len(shrunk.functions) <= 1
+        assert "int main()" in render_program(shrunk)
+
+    def test_shrink_preserves_the_failing_feature(self):
+        spec = self._bulky_spec()
+        spec.use_fork = True
+        shrunk = shrink_spec(spec, lambda candidate: candidate.use_fork)
+        assert shrunk.use_fork
+        assert len(shrunk.functions) <= 1
+
+    def test_shrink_never_produces_a_broken_reference(self):
+        spec = self._bulky_spec()
+        seen = []
+
+        def predicate(candidate):
+            seen.append(candidate)
+            return False  # force the shrinker to try every candidate once
+
+        shrink_spec(spec, predicate)
+        for candidate in seen:
+            names = {f.name for f in candidate.functions}
+            for function in candidate.functions:
+                assert set(function.calls) <= names
+            source = render_program(candidate)
+            assert "int main()" in source
+
+
+class TestCampaignPlumbing:
+    def test_smoke_campaign_is_clean(self):
+        report = run_fuzz(4, base_seed=2018, shrink=False, health=False)
+        assert report.ok
+        assert report.programs_checked == 4
+        assert report.runs > 0
+        assert "CONFORMANCE OK" in report.render()
+
+    def test_failure_artifacts_round_trip(self, tmp_path, monkeypatch):
+        # Plant a cheap mutant so the campaign actually fails, then check
+        # the artifact contains everything needed for replay.
+        from repro.fuzz.mutants import MUTANTS, planted
+
+        by_name = {mutant.name: mutant for mutant in MUTANTS}
+        with planted(by_name["runtime-wrong-xor-half"]):
+            report = run_fuzz(
+                2, base_seed=2018, schemes=("none", "pssp"),
+                shrink=True, health=False, max_shrink_checks=10,
+            )
+        assert not report.ok
+        paths = write_failure_artifacts(report, str(tmp_path))
+        assert paths
+        artifact = json.loads(open(paths[0]).read())
+        assert artifact["replay"].startswith("python -m repro fuzz --replay")
+        assert artifact["failures"]
+        restored = ProgramSpec.from_json(artifact["spec"])
+        assert render_program(restored) == artifact["source"]
+
+
+@pytest.mark.fuzz
+@pytest.mark.slow
+class TestAcceptanceCampaign:
+    """ISSUE 2 acceptance: ≥200 programs, all schemes, both paths."""
+
+    def test_200_program_campaign_is_clean(self):
+        report = run_fuzz(200, base_seed=2018, shrink=True, health=True)
+        assert report.ok, report.render()
+        assert report.programs_checked == 200
+        # Both interpreter paths ran for every selected scheme.
+        assert report.runs >= 200 * 2 * 8

@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.deploy import build, deploy
 from repro.kernel.kernel import Kernel
+from repro.machine.debug import architectural_snapshot, snapshot_divergences
 
 #: A canary-heavy workload: P-SSP-OWF prologues read ``rdtsc`` (so exact
 #: TSC flushing is exercised), call the AES native helper (native-cost
@@ -73,18 +74,12 @@ def run_both(source: str, scheme: str, *, seed: int = 2018):
 def assert_identical(fast_pair, slow_pair) -> None:
     fast_process, fast_result = fast_pair
     slow_process, slow_result = slow_pair
-    assert fast_result.state == slow_result.state
-    assert fast_result.exit_status == slow_result.exit_status
-    assert fast_result.signal == slow_result.signal
     assert fast_result.cycles == slow_result.cycles
     assert fast_result.instructions == slow_result.instructions
-    assert fast_process.cpu.cycles == slow_process.cpu.cycles
-    assert fast_process.cpu.tsc.value == slow_process.cpu.tsc.value
-    assert fast_process.registers.gpr == slow_process.registers.gpr
-    assert fast_process.registers.xmm == slow_process.registers.xmm
-    fast_segments = {s.name: bytes(s.data) for s in fast_process.memory.segments()}
-    slow_segments = {s.name: bytes(s.data) for s in slow_process.memory.segments()}
-    assert fast_segments == slow_segments
+    divergences = snapshot_divergences(
+        architectural_snapshot(fast_process), architectural_snapshot(slow_process)
+    )
+    assert not divergences, divergences
 
 
 class TestFastSlowEquivalence:
