@@ -9,7 +9,19 @@ Commands regenerate individual experiments or the whole report:
     $ python -m repro figure 5          # regenerate Figure 5
     $ python -m repro attack --scheme ssp
     $ python -m repro effectiveness
+    $ python -m repro fuzz --budget 50
+    $ python -m repro chaos --budget 50
     $ python -m repro report -o EXPERIMENTS.md
+
+Exit codes (``fuzz`` and ``chaos``, consumed by CI):
+
+====  ========================================================
+0     all checks passed
+1     contract/invariant violation (a real, reproducible finding)
+2     usage error (argparse)
+3     infrastructure error (builds or reference runs fell over)
+4     deadline exceeded (campaign stopped early; resumable)
+====  ========================================================
 """
 
 from __future__ import annotations
@@ -23,6 +35,13 @@ from .harness import figures as _figures
 from .harness import tables as _tables
 from .harness.report import generate_report
 from .kernel.kernel import Kernel
+
+#: CLI exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_VIOLATION = 1
+EXIT_USAGE = 2
+EXIT_INFRASTRUCTURE = 3
+EXIT_DEADLINE = 4
 
 
 def _cmd_schemes(args: argparse.Namespace) -> int:
@@ -228,7 +247,63 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.out and report.failures:
         for path in write_failure_artifacts(report, args.out):
             print(f"wrote {path}")
-    return 0 if report.ok else 1
+    if report.ok:
+        return EXIT_OK
+    return EXIT_INFRASTRUCTURE if report.infra_only else EXIT_VIOLATION
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import (
+        chaos_kill_report,
+        chaos_kill_report_ok,
+        render_chaos_kill_report,
+        replay_case,
+        run_campaign,
+    )
+    from .errors import CampaignError
+
+    if args.self_check:
+        verdicts = chaos_kill_report()
+        print(render_chaos_kill_report(verdicts))
+        return EXIT_OK if chaos_kill_report_ok(verdicts) else EXIT_VIOLATION
+
+    if args.replay is not None:
+        try:
+            run = replay_case(args.replay)
+        except CampaignError as error:
+            print(f"infrastructure error: {error}", file=sys.stderr)
+            return EXIT_INFRASTRUCTURE
+        print(run.render())
+        print("FAULT-OUTCOME INVARIANT OK" if run.ok
+              else f"{len(run.violations)} violation(s)")
+        return EXIT_OK if run.ok else EXIT_VIOLATION
+
+    report = run_campaign(
+        args.budget,
+        base_seed=args.seed,
+        retries=args.retries,
+        deadline=args.deadline,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        schemes=tuple(args.schemes.split(",")) if args.schemes else None,
+        progress=lambda line: print(f"  {line}", flush=True),
+    )
+    print(report.render())
+    if args.out:
+        import json as _json
+        import os
+
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_json(), handle, indent=2)
+        print(f"wrote {args.out}")
+    if report.violating_runs:
+        return EXIT_VIOLATION
+    if report.timed_out:
+        return EXIT_DEADLINE
+    if report.infra_errors:
+        return EXIT_INFRASTRUCTURE
+    return EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -306,6 +381,33 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", default=None, metavar="DIR",
                       help="write failing programs as JSON artifacts")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaigns (fault-outcome invariant)",
+    )
+    chaos.add_argument("--budget", type=int, default=50,
+                       help="number of fault schedules (default 50)")
+    chaos.add_argument("--seed", type=int, default=2018,
+                       help="base seed; schedule i uses seed+i")
+    chaos.add_argument("--replay", type=int, default=None, metavar="SEED",
+                       help="re-run one campaign case bit-identically")
+    chaos.add_argument("--self-check", action="store_true",
+                       help="chaos mutation kill: disable each degradation "
+                            "mechanism, verify the campaign flags it")
+    chaos.add_argument("--schemes", default=None,
+                       help="comma list: only run schedules targeting these "
+                            "schemes (the per-scheme CI smoke jobs)")
+    chaos.add_argument("--retries", type=int, default=1,
+                       help="re-attempts per case on infrastructure errors")
+    chaos.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget; exceeding it exits 4")
+    chaos.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="write a JSON checkpoint after every case")
+    chaos.add_argument("--resume", action="store_true",
+                       help="skip cases already in the checkpoint file")
+    chaos.add_argument("--out", default=None, metavar="FILE",
+                       help="write the full campaign report as JSON")
+
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None)
     report.add_argument("--trials", type=int, default=4000)
@@ -323,6 +425,7 @@ _COMMANDS = {
     "matrix": _cmd_matrix,
     "validate": _cmd_validate,
     "fuzz": _cmd_fuzz,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
 }
 

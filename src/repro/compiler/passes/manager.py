@@ -15,7 +15,7 @@ from .baselines import DCRPass, DynaGuardPass
 from .global_buffer import GlobalBufferPass
 from .pssp import PSSPPass
 from .pssp_lv import PSSPLVPass
-from .pssp_nt import PSSPNTPass
+from .pssp_nt import PSSPNTHardenedPass, PSSPNTPass
 from .pssp_owf import PSSPOWFPass
 from .ssp import SSPPass
 
@@ -24,6 +24,7 @@ _REGISTRY: Dict[str, Callable[[], ProtectionPass]] = {
     "ssp": SSPPass,
     "pssp": PSSPPass,
     "pssp-nt": PSSPNTPass,
+    "pssp-nt-hardened": PSSPNTHardenedPass,
     "pssp-lv": PSSPLVPass,
     "pssp-owf": PSSPOWFPass,
     "pssp-gb": GlobalBufferPass,

@@ -5,12 +5,21 @@ Every prologue draws a fresh ``C0`` with ``rdrand`` and stores
 preload library, no fork wrapper, no TLS layout change — the easiest
 scheme to deploy, at the price of ~340 ``rdrand`` cycles per protected
 call (Table V).
+
+The plain pass trusts the ISA contract blindly: ``rdrand`` leaves CF=0
+and ``rax = 0`` on failure, so a starved DRBG silently degrades the pair
+to ``(0, C)`` — a *predictable* canary.  :class:`PSSPNTHardenedPass`
+closes that hole with a bounded retry loop (``nop`` pause between
+attempts, Intel's recommended shape) and a fail-closed fallback onto the
+TLS shadow pair, which its runtime keeps initialised exactly like
+compiler-mode P-SSP.
 """
 
 from __future__ import annotations
 
-from ...isa.instructions import Mem, Reg
-from ...machine.tls import CANARY_OFFSET
+from ...faults.policy import RDRAND_RETRY_LIMIT
+from ...isa.instructions import Imm, Label, Mem, Reg
+from ...machine.tls import CANARY_OFFSET, SHADOW_C0_OFFSET, SHADOW_C1_OFFSET
 from .base import FramePlan
 from .pssp import PSSPPass
 
@@ -37,3 +46,64 @@ class PSSPNTPass(PSSPPass):
 
     def runtime(self):
         return None  # the whole point: no runtime support needed
+
+
+class PSSPNTHardenedPass(PSSPNTPass):
+    """P-SSP-NT with a degradation-aware prologue.
+
+    Fresh path: up to :data:`RDRAND_RETRY_LIMIT` ``rdrand`` attempts
+    (CF checked with ``jb``) before giving up on per-call entropy.
+    Fallback path: load the TLS shadow pair — maintained by
+    :class:`~repro.core.schemes.HardenedNTRuntime`'s preload — so the
+    frame still carries an unpredictable, ``C``-bound pair.  Instruction
+    notes distinguish the two stores ("…-hardened-c0" vs "…-fallback-c0")
+    so the chaos auditor can tell a fresh draw from a fallback and flag
+    any zero/stuck canary that slips through.
+    """
+
+    name = "pssp-nt-hardened"
+
+    def emit_prologue(self, builder, plan: FramePlan) -> None:
+        if not plan.protected:
+            return
+        c0_slot, c1_slot = plan.canary_slots[0], plan.canary_slots[1]
+        note = "pssp-nt-hardened"
+        retry = builder.fresh("ntrh_retry")
+        fresh_ok = builder.fresh("ntrh_ok")
+        done = builder.fresh("ntrh_done")
+        # rdx is free here: parameters are spilled to frame slots before
+        # the protection prologue runs (codegen emits spills first).
+        builder.emit("mov", Reg("rdx"), Imm(RDRAND_RETRY_LIMIT), note=note)
+        builder.label(retry)
+        builder.emit("rdrand", Reg("rax"), note=note)
+        builder.emit("jb", Label(fresh_ok), note=note)
+        builder.emit("nop", note=note)  # pause-style backoff between attempts
+        builder.emit("dec", Reg("rdx"), note=note)
+        builder.emit("jne", Label(retry), note=note)
+        # Retry budget exhausted: fail closed onto the TLS shadow pair.
+        builder.emit("mov", Reg("rax"), Mem(seg="fs", disp=SHADOW_C0_OFFSET),
+                     note="pssp-nt-fallback")
+        builder.emit("mov", Mem(base="rbp", disp=-c0_slot), Reg("rax"),
+                     note="pssp-nt-fallback-c0")
+        builder.emit("mov", Reg("rcx"), Mem(seg="fs", disp=SHADOW_C1_OFFSET),
+                     note="pssp-nt-fallback")
+        builder.emit("mov", Mem(base="rbp", disp=-c1_slot), Reg("rcx"),
+                     note="pssp-nt-fallback")
+        builder.emit("jmp", Label(done), note=note)
+        builder.label(fresh_ok)
+        builder.emit("mov", Mem(base="rbp", disp=-c0_slot), Reg("rax"),
+                     note="pssp-nt-hardened-c0")
+        builder.emit("mov", Reg("rcx"), Mem(seg="fs", disp=CANARY_OFFSET),
+                     note=note)
+        builder.emit("xor", Reg("rcx"), Reg("rax"), note=note)
+        builder.emit("mov", Mem(base="rbp", disp=-c1_slot), Reg("rcx"),
+                     note=note)
+        builder.label(done)
+        builder.emit("xor", Reg("rax"), Reg("rax"), note=note)
+        builder.emit("xor", Reg("rcx"), Reg("rcx"), note=note)
+        builder.emit("xor", Reg("rdx"), Reg("rdx"), note=note)
+
+    def runtime(self):
+        from ...core.schemes import HardenedNTRuntime
+
+        return HardenedNTRuntime()

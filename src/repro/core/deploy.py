@@ -18,6 +18,7 @@ scheme                    build                    runtime
                                                    interposed stack_chk stub
 ``pssp-binary-static``    SSP static, Dyninst      in-binary setup/fork hooks
 ``pssp-nt``               P-SSP-NT pass            —
+``pssp-nt-hardened``      hardened NT pass         rdrand selftest + shadow pair
 ``pssp-lv``               P-SSP-LV pass            —
 ``pssp-owf``              P-SSP-OWF pass           r12/r13 AES key
 ``pssp-gb``               global-buffer pass       side-buffer allocation
@@ -40,6 +41,7 @@ from ..libc.glibc_sim import build_static_glibc
 from .baselines import DCRRuntime, DynaGuardRuntime
 from .schemes import (
     GlobalBufferRuntime,
+    HardenedNTRuntime,
     OWFRuntime,
     PSSPRuntime,
     RAFRuntime,
@@ -107,6 +109,7 @@ SCHEMES: Dict[str, SchemeSpec] = {
             rewrite=_static_rewrite, static_link=True,
         ),
         SchemeSpec("pssp-nt", "pssp-nt"),
+        SchemeSpec("pssp-nt-hardened", "pssp-nt-hardened", HardenedNTRuntime),
         SchemeSpec("pssp-lv", "pssp-lv"),
         SchemeSpec("pssp-owf", "pssp-owf", OWFRuntime),
         SchemeSpec("pssp-gb", "pssp-gb", GlobalBufferRuntime),

@@ -40,6 +40,32 @@ class PSSPRuntime(SchemeRuntime):
         return self.preload.preload_binaries()
 
 
+class HardenedNTRuntime(SchemeRuntime):
+    """P-SSP-NT-hardened: keep the fallback shadow pair alive.
+
+    The hardened prologue falls back onto the TLS shadow pair when its
+    ``rdrand`` retry budget is exhausted, so this runtime maintains that
+    pair exactly like compiler-mode P-SSP (constructor + fork/thread
+    hooks).  It additionally runs a small ``rdrand`` self-test at install
+    time: a device that cannot produce a few distinct words is
+    quarantined up front, which turns per-prologue retry storms into a
+    single recorded entropy-degraded event.
+    """
+
+    def __init__(self) -> None:
+        self.preload = PSSPPreload("compiler")
+
+    def install(self, process: Process) -> None:
+        # Module-level call so chaos mutants can patch the policy surface.
+        from ..faults import policy as fault_policy
+
+        fault_policy.rdrand_selftest(process)
+        self.preload.install(process)
+
+    def preload_binaries(self):
+        return self.preload.preload_binaries()
+
+
 class RAFRuntime(SchemeRuntime):
     """RAF-SSP (Marco-Gisbert & Ripoll): renew the TLS canary after fork.
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from ..errors import EntropyFailure
+
 #: Number of bits in a machine word on the simulated platform.
 WORD_BITS = 64
 WORD_BYTES = WORD_BITS // 8
@@ -45,11 +47,19 @@ class EntropySource:
 
         glibc avoids all-zero canaries (a zero canary survives ``strcpy``
         termination overflows); schemes that mimic it use this helper.
+        Bounded: a degenerate request (``bits < 1``, or a stream that
+        keeps returning zero) raises :class:`EntropyFailure` instead of
+        retrying forever.
         """
-        value = self.word(bits)
-        while value == 0:
+        if bits < 1:
+            raise EntropyFailure(f"cannot draw a nonzero {bits}-bit word")
+        for _ in range(128):
             value = self.word(bits)
-        return value
+            if value:
+                return value
+        raise EntropyFailure(
+            f"entropy source returned 128 consecutive zero {bits}-bit words"
+        )
 
     def bytes(self, n: int) -> bytes:
         """Return ``n`` uniformly random bytes."""

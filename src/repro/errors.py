@@ -89,6 +89,62 @@ class DivisionFault(MachineFault):
     signal = "SIGFPE"
 
 
+class DegradedError(MachineFault):
+    """A scheme runtime degraded *explicitly* instead of weakening silently.
+
+    Raised when a graceful-degradation budget is exhausted — rdrand still
+    failing after the bounded retry loop with no shadow pair to fall back
+    on, ``fork`` returning EAGAIN past the retry budget, or a shadow-pair
+    publish that stays torn after repair attempts.  The policy is
+    fail-closed: the process aborts (like ``__fortify_fail``) rather than
+    continue with a predictable or half-written canary.
+    """
+
+    signal = "SIGABRT"
+
+    def __init__(self, message: str, *, policy: str = "") -> None:
+        if policy:
+            message = f"{message} [policy: {policy}]"
+        super().__init__(f"degraded: {message}")
+        self.policy = policy
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection plane errors.
+# ---------------------------------------------------------------------------
+
+
+class FaultError(ReproError):
+    """Base for errors originating in the fault-injection plane.
+
+    Distinct from :class:`MachineFault`: a ``FaultError`` models an
+    environmental failure (a flaky device, a refused syscall) that the
+    scheme runtimes are expected to *absorb*; only when absorption fails
+    does it surface as a typed :class:`DegradedError` crash.
+    """
+
+
+class TransientForkFailure(FaultError):
+    """``fork`` failed with EAGAIN; the caller may retry."""
+
+
+class EntropyFailure(FaultError):
+    """The host entropy source could not satisfy a draw.
+
+    Replaces the previous behaviour of hanging (``nonzero_word`` retrying
+    forever on a degenerate bit width) with a typed, bounded failure.
+    """
+
+
+class CampaignError(ReproError):
+    """Infrastructure failure inside a fuzz/chaos campaign harness.
+
+    Means the *harness* could not produce a verdict (reference run
+    crashed, checkpoint corrupt, ...) — deliberately distinct from a
+    contract violation so CI can tell a flake from a real failure.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Library-usage errors (not process crashes).
 # ---------------------------------------------------------------------------

@@ -1,0 +1,92 @@
+"""Seeded, replayable fault injection + graceful-degradation policy.
+
+The paper's schemes lean on environmental primitives that real hardware
+and kernels do *not* guarantee: ``rdrand`` may return CF=0 or stuck
+output, ``fork`` may transiently fail with EAGAIN, and the TLS shadow
+pair is two separate words a preemption can tear.  This package makes
+those failures first-class and deterministic:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`: a JSON
+  round-trippable list of fault windows (which device, which attempt
+  indices, which value) plus the *expected* auditable outcomes.
+* :mod:`repro.faults.plane` — :class:`FaultPlane`: the per-kernel
+  injection point the devices/kernel consult, plus the delivery /
+  absorption / degradation-event ledger.
+* :mod:`repro.faults.policy` — the graceful-degradation budgets and the
+  hardened helpers (verified shadow-pair publish, fork retry wrapper,
+  boot-time rdrand self-test) the runtimes route through.
+* :mod:`repro.faults.campaign` — the chaos runner behind
+  ``python -m repro chaos``: reference-vs-faulted differential runs, the
+  weak-canary auditor, outcome classification, checkpoint/resume.
+* :mod:`repro.faults.chaos_mutants` — reversible "degradation disabled"
+  defects proving the campaign detects a silently weakened runtime.
+
+Design rule: injected faults never consume *process* entropy (stuck
+values come from the schedule itself), so a faulted run stays
+entropy-stream-aligned with its fault-free reference and whole campaigns
+replay bit-identically from one seed.
+"""
+
+from .plane import FaultPlane
+from .policy import (
+    FORK_RETRY_LIMIT,
+    RDRAND_RETRY_LIMIT,
+    SELFTEST_DRAWS,
+    TLS_PUBLISH_ATTEMPTS,
+    fork_with_retry,
+    publish_shadow_pair,
+    rdrand_selftest,
+)
+from .schedule import CHAOS_SCHEMES, FaultEvent, FaultSchedule, generate_fault_schedule
+
+#: Campaign/mutant symbols are exposed lazily (PEP 562): the campaign
+#: module imports the deployment stack, which itself imports this package
+#: for the policy helpers — eager re-export here would be a cycle.
+_LAZY = {
+    "CHAOS_CYCLE_LIMIT": "campaign",
+    "ChaosReport": "campaign",
+    "ChaosRun": "campaign",
+    "canned_invariant_cases": "campaign",
+    "replay_case": "campaign",
+    "run_campaign": "campaign",
+    "run_chaos_case": "campaign",
+    "CHAOS_MUTANTS": "chaos_mutants",
+    "chaos_kill_report": "chaos_mutants",
+    "chaos_kill_report_ok": "chaos_mutants",
+    "render_chaos_kill_report": "chaos_mutants",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CHAOS_CYCLE_LIMIT",
+    "CHAOS_MUTANTS",
+    "CHAOS_SCHEMES",
+    "ChaosReport",
+    "ChaosRun",
+    "FORK_RETRY_LIMIT",
+    "FaultEvent",
+    "FaultPlane",
+    "FaultSchedule",
+    "RDRAND_RETRY_LIMIT",
+    "SELFTEST_DRAWS",
+    "TLS_PUBLISH_ATTEMPTS",
+    "canned_invariant_cases",
+    "chaos_kill_report",
+    "chaos_kill_report_ok",
+    "fork_with_retry",
+    "generate_fault_schedule",
+    "publish_shadow_pair",
+    "rdrand_selftest",
+    "render_chaos_kill_report",
+    "replay_case",
+    "run_campaign",
+    "run_chaos_case",
+]

@@ -1,0 +1,202 @@
+"""Planted degradation bugs the chaos campaign must catch (mutation kill).
+
+The fault-outcome invariant is only as strong as its classifier and
+auditor.  Each mutant here disables one graceful-degradation mechanism —
+the hardened NT fallback, the fork retry wrapper, the publish
+write-verify loop, the boot-time entropy self-test — and the self-check
+proves the canned invariant cases flag the regression.  The same idiom
+as :mod:`repro.fuzz.mutants`: ``install()`` returns an undo closure and
+:func:`~repro.fuzz.mutants.planted` guarantees restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..compiler.passes.pssp_nt import PSSPNTHardenedPass, PSSPNTPass
+from ..errors import CampaignError, TransientForkFailure
+from ..fuzz.mutants import Mutant, planted
+from . import policy as policy_module
+from .campaign import ChaosCase, ChaosRun, canned_invariant_cases, run_canned_case
+
+
+def _install_nt_fallback_disabled() -> Callable[[], None]:
+    """The hardened NT prologue degenerates to the plain one.
+
+    No retry loop, no shadow-pair fallback: a starved ``rdrand`` silently
+    stores the (0, C) pair — the exact predictable-canary hole the
+    hardened scheme exists to close.  Only the auditor can see it:
+    behaviour stays identical because 0 XOR C still equals C.
+    """
+    original = PSSPNTHardenedPass.emit_prologue
+    PSSPNTHardenedPass.emit_prologue = PSSPNTPass.emit_prologue
+
+    def undo() -> None:
+        PSSPNTHardenedPass.emit_prologue = original
+
+    return undo
+
+
+def _install_fork_retry_disabled() -> Callable[[], None]:
+    """The fork wrapper degenerates to raw libc: one attempt, -1 on EAGAIN."""
+    original = policy_module.fork_with_retry
+
+    def naive(parent):
+        try:
+            return parent.kernel.fork(parent)
+        except TransientForkFailure:
+            return None
+
+    policy_module.fork_with_retry = naive
+
+    def undo() -> None:
+        policy_module.fork_with_retry = original
+
+    return undo
+
+
+def _install_torn_repair_disabled() -> Callable[[], None]:
+    """Publish writes both halves once and never verifies.
+
+    A torn write now leaves a stale or mixed-generation pair observable
+    instead of failing closed with a typed error.
+    """
+    original = policy_module.publish_shadow_pair
+
+    def unverified(tls, c0, c1, *, plane=None):
+        policy_module.tls_shadow_write(tls, "shadow_c0", c0, plane)
+        policy_module.tls_shadow_write(tls, "shadow_c1", c1, plane)
+
+    policy_module.publish_shadow_pair = unverified
+
+    def undo() -> None:
+        policy_module.publish_shadow_pair = original
+
+    return undo
+
+
+def _install_selftest_disabled() -> Callable[[], None]:
+    """The boot-time entropy self-test trusts the device blindly."""
+    original = policy_module.rdrand_selftest
+
+    def trusting(process):
+        return True
+
+    policy_module.rdrand_selftest = trusting
+
+    def undo() -> None:
+        policy_module.rdrand_selftest = original
+
+    return undo
+
+
+#: Mutant → the canned cases that must flag it.
+CHAOS_MUTANTS: List[Mutant] = [
+    Mutant(
+        "chaos-nt-fallback-disabled", "pass",
+        "hardened NT prologue loses its retry loop and shadow fallback",
+        "zero-canary auditor finding under nt-rdrand-starved",
+        _install_nt_fallback_disabled,
+    ),
+    Mutant(
+        "chaos-fork-retry-disabled", "runtime",
+        "fork wrapper surfaces the first EAGAIN as -1",
+        "behaviour divergence under pssp-fork-eagain",
+        _install_fork_retry_disabled,
+    ),
+    Mutant(
+        "chaos-torn-repair-disabled", "runtime",
+        "shadow-pair publish skips the verify/repair loop",
+        "unexpected outcome under pssp-torn-publish",
+        _install_torn_repair_disabled,
+    ),
+    Mutant(
+        "chaos-selftest-disabled", "runtime",
+        "entropy self-test never quarantines a stuck rdrand",
+        "stuck-canary auditor finding under nt-entropy-stuck",
+        _install_selftest_disabled,
+    ),
+]
+
+_KILL_CASES: Dict[str, List[str]] = {
+    "chaos-nt-fallback-disabled": ["nt-rdrand-starved", "nt-entropy-stuck"],
+    "chaos-fork-retry-disabled": ["pssp-fork-eagain"],
+    "chaos-torn-repair-disabled": ["pssp-torn-publish"],
+    "chaos-selftest-disabled": ["nt-entropy-stuck"],
+}
+
+
+@dataclass
+class ChaosMutantVerdict:
+    name: str
+    killed: bool
+    evidence: List[str]
+
+
+def _run_cases(cases: List[ChaosCase]) -> "tuple[List[ChaosRun], List[str]]":
+    runs: List[ChaosRun] = []
+    evidence: List[str] = []
+    for case in cases:
+        try:
+            run = run_canned_case(case)
+        except CampaignError as error:
+            evidence.append(f"{case.name}: infrastructure error: {error}")
+            continue
+        runs.append(run)
+        for violation in run.violations:
+            evidence.append(f"{case.name}: {violation}")
+    return runs, evidence
+
+
+def chaos_kill_report(
+    mutants: Optional[List[Mutant]] = None,
+) -> Dict[str, ChaosMutantVerdict]:
+    """Baseline must be clean; every mutant must be flagged.
+
+    As in :func:`repro.fuzz.mutants.mutation_kill_report`, the synthetic
+    ``baseline`` entry inverts the meaning of ``killed``: a non-empty
+    baseline evidence list is an oracle false positive.
+    """
+    cases = canned_invariant_cases()
+    by_name = {case.name: case for case in cases}
+    verdicts: Dict[str, ChaosMutantVerdict] = {}
+
+    _, baseline_evidence = _run_cases(cases)
+    verdicts["baseline"] = ChaosMutantVerdict(
+        "baseline", bool(baseline_evidence), baseline_evidence[:6]
+    )
+
+    for mutant in mutants if mutants is not None else CHAOS_MUTANTS:
+        targets = [by_name[name] for name in _KILL_CASES[mutant.name]]
+        with planted(mutant):
+            _, evidence = _run_cases(targets)
+        verdicts[mutant.name] = ChaosMutantVerdict(
+            mutant.name, bool(evidence), evidence[:6]
+        )
+    return verdicts
+
+
+def render_chaos_kill_report(verdicts: Dict[str, ChaosMutantVerdict]) -> str:
+    lines = [f"{'chaos mutant':32s} verdict"]
+    ok = True
+    for name, verdict in verdicts.items():
+        if name == "baseline":
+            good = not verdict.killed
+            status = "clean" if good else "FALSE POSITIVE"
+        else:
+            good = verdict.killed
+            status = "killed" if good else "SURVIVED"
+        ok = ok and good
+        lines.append(f"{name:32s} {status}")
+        if name != "baseline" or not good:
+            lines.extend(f"    {item}" for item in verdict.evidence[:3])
+    lines.append("CHAOS MUTATION KILL OK" if ok else "DEGRADATION ORACLE TOO WEAK")
+    return "\n".join(lines)
+
+
+def chaos_kill_report_ok(verdicts: Dict[str, ChaosMutantVerdict]) -> bool:
+    return all(
+        (not v.killed) if name == "baseline" else v.killed
+        for name, v in verdicts.items()
+    )

@@ -1,0 +1,271 @@
+"""Fault schedules: what to inject, when, and what outcomes are legal.
+
+A :class:`FaultSchedule` is pure data — JSON round-trippable so the
+regression corpus can store reproducers and campaigns can replay
+bit-identically.  Windows are expressed in *attempt indices* of the
+targeted primitive (the plane counts rdrand reads, fork calls, and
+shadow-half writes), not in wall-clock or cycle time: attempt streams
+are deterministic, so a window fires at exactly the same point on every
+replay.
+
+:func:`generate_fault_schedule` derives one scenario per campaign seed
+from its own PRNG — deliberately separate from the program-generation
+and kernel entropy streams, so fault placement never perturbs what the
+program or the canaries would have been.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .policy import FORK_RETRY_LIMIT, RDRAND_RETRY_LIMIT, SELFTEST_DRAWS
+
+#: Schemes the chaos campaign samples from.  One representative per
+#: degradation surface: SSP (fault-indifferent control), both P-SSP
+#: preload modes (shadow-pair publish + fork refresh), hardened NT
+#: (rdrand retry/fallback), and OWF (rdtsc nonce).
+CHAOS_SCHEMES: Tuple[str, ...] = (
+    "ssp",
+    "pssp",
+    "pssp-binary",
+    "pssp-nt-hardened",
+    "pssp-owf",
+)
+
+#: Fault kinds a schedule may carry (the taxonomy in docs/faults.md).
+FAULT_KINDS = (
+    "rdrand-fail",    # CF=0 for `count` consecutive read attempts
+    "rdrand-stuck",   # CF=1 but the same `value` for `count` attempts
+    "fork-eagain",    # kernel.fork raises EAGAIN for `count` attempts
+    "tls-torn",       # `count` consecutive shadow-half writes are lost
+    "tls-flip",       # one bit flip in a TLS shadow slot, post-install
+    "rdtsc-skew",     # rdtsc reads shifted by `value`
+    "rdtsc-stuck",    # rdtsc reads frozen at `value` for `count` reads
+)
+
+
+@dataclass
+class FaultEvent:
+    """One injection window against one primitive."""
+
+    kind: str
+    #: First attempt index of the window (plane-counted, 0-based).
+    at: int = 0
+    #: Window length in attempts (ignored by ``tls-flip``).
+    count: int = 1
+    #: Payload: stuck value, skew delta, ... depending on ``kind``.
+    value: int = 0
+    #: ``tls-flip`` target: "shadow_c0" | "shadow_c1".
+    slot: str = ""
+    #: ``tls-flip`` bit position.
+    bit: int = 0
+
+    def covers(self, index: int) -> bool:
+        return self.at <= index < self.at + self.count
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind, "at": self.at, "count": self.count}
+        if self.value:
+            data["value"] = self.value
+        if self.slot:
+            data["slot"] = self.slot
+        if self.bit:
+            data["bit"] = self.bit
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=data["kind"],
+            at=int(data.get("at", 0)),
+            count=int(data.get("count", 1)),
+            value=int(data.get("value", 0)),
+            slot=data.get("slot", ""),
+            bit=int(data.get("bit", 0)),
+        )
+
+
+@dataclass
+class FaultSchedule:
+    """A scheme, its injection windows, and the legal outcomes."""
+
+    scheme: str
+    events: List[FaultEvent] = field(default_factory=list)
+    #: Outcomes the fault-outcome invariant accepts for this schedule
+    #: (subset of {"identical", "detected", "degraded"}).  "identical" is
+    #: additionally always legal when zero faults were delivered — the
+    #: program may simply never reach the injection point.
+    expected: Tuple[str, ...] = ("identical",)
+    description: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "events": [event.to_json() for event in self.events],
+            "expected": list(self.expected),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        return cls(
+            scheme=data["scheme"],
+            events=[FaultEvent.from_json(e) for e in data.get("events", [])],
+            expected=tuple(data.get("expected", ("identical",))),
+            description=data.get("description", ""),
+        )
+
+
+def _scenarios(uses_fork: bool) -> List[str]:
+    scenarios = [
+        "rdtsc-skew",
+        "rdtsc-stuck",
+        "tls-flip",
+        "rdrand-transient",
+        "rdrand-exhaust",
+        "entropy-stuck",
+        "tear-transient",
+        "tear-persistent",
+    ]
+    if uses_fork:
+        scenarios += ["fork-transient", "fork-exhaust"]
+    return scenarios
+
+
+def generate_fault_schedule(seed: int, spec) -> FaultSchedule:
+    """Deterministically derive one fault scenario for campaign ``seed``.
+
+    ``spec`` is the generated :class:`ProgramSpec` (fork scenarios only
+    make sense for forking programs).  Window maths below respects the
+    degradation budgets: "transient" windows fit inside a retry budget
+    (legal outcome: identical behaviour), "exhaust"/"persistent" windows
+    overrun it (legal outcome: typed degradation).
+    """
+    rng = random.Random(f"chaos-{seed}")
+    scenario = rng.choice(_scenarios(spec.uses_fork))
+
+    if scenario == "rdtsc-skew":
+        return FaultSchedule(
+            scheme=rng.choice(("pssp-owf", "pssp", "ssp")),
+            events=[FaultEvent("rdtsc-skew", value=rng.getrandbits(32) | 1)],
+            expected=("identical",),
+            description="constant TSC skew: OWF nonce shifts, behaviour must not",
+        )
+    if scenario == "rdtsc-stuck":
+        return FaultSchedule(
+            scheme=rng.choice(("pssp-owf", "ssp")),
+            events=[
+                FaultEvent(
+                    "rdtsc-stuck",
+                    at=rng.randrange(4),
+                    count=2 + rng.randrange(6),
+                    value=rng.getrandbits(40),
+                )
+            ],
+            expected=("identical",),
+            description="frozen TSC window: nonce repeats, behaviour must not",
+        )
+    if scenario == "tls-flip":
+        return FaultSchedule(
+            scheme=rng.choice(("pssp", "pssp-binary", "ssp")),
+            events=[
+                FaultEvent(
+                    "tls-flip",
+                    slot=rng.choice(("shadow_c0", "shadow_c1")),
+                    bit=rng.randrange(64),
+                )
+            ],
+            expected=("detected", "identical"),
+            description="post-install bit flip in a TLS shadow slot",
+        )
+    if scenario == "rdrand-transient":
+        # The window always opens on the first attempt of some prologue
+        # (a prologue ends at its first CF=1), so count <= limit-1 is
+        # absorbed by a single retry loop.
+        return FaultSchedule(
+            scheme="pssp-nt-hardened",
+            events=[
+                FaultEvent(
+                    "rdrand-fail",
+                    at=SELFTEST_DRAWS + rng.randrange(24),
+                    count=1 + rng.randrange(RDRAND_RETRY_LIMIT - 1),
+                )
+            ],
+            expected=("identical",),
+            description="transient rdrand CF=0 burst within the retry budget",
+        )
+    if scenario == "rdrand-exhaust":
+        return FaultSchedule(
+            scheme="pssp-nt-hardened",
+            events=[
+                FaultEvent(
+                    "rdrand-fail",
+                    at=SELFTEST_DRAWS + rng.randrange(24),
+                    count=RDRAND_RETRY_LIMIT + rng.randrange(RDRAND_RETRY_LIMIT),
+                )
+            ],
+            expected=("degraded",),
+            description="rdrand starved past the retry budget: shadow fallback",
+        )
+    if scenario == "entropy-stuck":
+        return FaultSchedule(
+            scheme="pssp-nt-hardened",
+            events=[
+                FaultEvent(
+                    "rdrand-stuck",
+                    at=0,
+                    count=SELFTEST_DRAWS + rng.randrange(16),
+                    value=rng.getrandbits(64) | 1,
+                )
+            ],
+            expected=("degraded",),
+            description="stuck DRBG from boot: self-test must quarantine rdrand",
+        )
+    if scenario == "tear-transient":
+        # Up to 2 consecutive torn half-writes: with 3 write-verify
+        # rounds (6 half-writes) the publish always repairs in-budget.
+        return FaultSchedule(
+            scheme=rng.choice(("pssp", "pssp-binary")),
+            events=[
+                FaultEvent(
+                    "tls-torn", at=rng.randrange(2), count=1 + rng.randrange(2)
+                )
+            ],
+            expected=("identical",),
+            description="torn shadow-half writes repaired by publish verify",
+        )
+    if scenario == "tear-persistent":
+        return FaultSchedule(
+            scheme=rng.choice(("pssp", "pssp-binary")),
+            events=[FaultEvent("tls-torn", at=0, count=48)],
+            expected=("degraded",),
+            description="every shadow-half write torn: publish must fail closed",
+        )
+    if scenario == "fork-transient":
+        return FaultSchedule(
+            scheme=rng.choice(("pssp", "pssp-binary")),
+            events=[
+                FaultEvent(
+                    "fork-eagain",
+                    at=rng.randrange(2),
+                    count=1 + rng.randrange(FORK_RETRY_LIMIT - 1),
+                )
+            ],
+            expected=("identical",),
+            description="transient fork EAGAIN within the retry budget",
+        )
+    # fork-exhaust
+    return FaultSchedule(
+        scheme=rng.choice(("pssp", "pssp-binary")),
+        events=[
+            FaultEvent(
+                "fork-eagain",
+                at=rng.randrange(2),
+                count=FORK_RETRY_LIMIT + rng.randrange(4),
+            )
+        ],
+        expected=("degraded",),
+        description="fork EAGAIN past the retry budget: wrapper fails closed",
+    )

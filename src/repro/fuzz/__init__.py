@@ -9,7 +9,8 @@ disagreements:
   built under every applicable scheme (compiler passes *and* both
   rewriter paths), run down the fast and slow interpreter loops, and
   checked against the unprotected reference fingerprint, the fast/slow
-  architectural-state contract, and the rewriter layout contract.
+  architectural-state contract, the rewriter layout contract, and the
+  fault-outcome invariant (clause 6, backed by :mod:`repro.faults`).
 * :mod:`repro.fuzz.fuzzer` — the seeded campaign driver: deterministic
   program generation, failure collection, and one-command seed replay.
 * :mod:`repro.fuzz.shrink` — structural minimisation of failing
@@ -26,6 +27,7 @@ from .conformance import (
     ConformanceFailure,
     applicable_schemes,
     check_source,
+    fault_invariant_failures,
     scheme_health_failures,
 )
 from .fuzzer import FuzzFailure, FuzzReport, check_spec, replay_seed, run_fuzz
@@ -37,6 +39,7 @@ __all__ = [
     "ConformanceFailure",
     "applicable_schemes",
     "check_source",
+    "fault_invariant_failures",
     "scheme_health_failures",
     "FuzzFailure",
     "FuzzReport",

@@ -20,6 +20,15 @@ For a generated program the oracle demands:
    fork must refresh the P-SSP shadow pair (polymorphism).  These probes
    make the oracle sensitive to "protection silently disabled" bugs that
    benign-behaviour comparison alone can never see.
+6. **Fault-outcome invariant** — under every canned fault schedule
+   (rdrand starvation, a stuck DRBG, transient fork ``EAGAIN``, torn
+   shadow-pair writes; see
+   :func:`repro.faults.campaign.canned_invariant_cases`) a run must end
+   in one of three auditable outcomes — behaviour identical to its
+   fault-free twin, ``StackSmashDetected``, or an explicit typed
+   degradation — and the canary auditor must never observe a zero,
+   stuck, or unexplained canary.  This is the chaos campaign's invariant
+   replayed deterministically on every fuzz run.
 
 Schemes whose *documented* semantics conflict with a program feature are
 skipped for that program only (see :func:`applicable_schemes`): RAF-SSP
@@ -37,6 +46,7 @@ from ..binfmt.elf import DYNAMIC, STATIC, merge_binaries
 from ..compiler.codegen import compile_source
 from ..core.deploy import build, deploy, get_scheme
 from ..core.rerandomize import check_packed32, check_pair
+from ..errors import CampaignError
 from ..harness.validate import DETECTION_VICTIM
 from ..kernel.kernel import Kernel
 from ..kernel.process import Process
@@ -58,6 +68,7 @@ DEFAULT_FUZZ_SCHEMES: Tuple[str, ...] = (
     "pssp-binary",
     "pssp-binary-static",
     "pssp-nt",
+    "pssp-nt-hardened",
     "pssp-lv",
     "pssp-owf",
     "pssp-gb",
@@ -87,7 +98,7 @@ class ConformanceFailure:
 
     kind: str  #: native-crash | build-error | behaviour-divergence |
     #: spurious-smash | fast-slow-divergence | rewriter-layout |
-    #: missed-detection | spurious-detection | polymorphism
+    #: missed-detection | spurious-detection | polymorphism | fault-outcome
     scheme: str
     path: str  #: "fast" | "slow" | "both" | "-"
     detail: str
@@ -325,10 +336,11 @@ def polymorphism_probe_failures(
 ) -> List[ConformanceFailure]:
     """Fork must re-randomize the shadow pair and keep it bound to ``C``.
 
-    Only meaningful for the P-SSP schemes with a fork-time preload
-    (``pssp`` compiler mode, ``pssp-binary`` packed mode).
+    Only meaningful for the schemes with a fork-time preload (``pssp``
+    compiler mode, ``pssp-binary`` packed mode, and the hardened NT
+    scheme, whose fallback pair is compiler-mode maintained).
     """
-    if scheme not in ("pssp", "pssp-binary"):
+    if scheme not in ("pssp", "pssp-binary", "pssp-nt-hardened"):
         return []
     try:
         kernel = Kernel(seed)
@@ -348,7 +360,7 @@ def polymorphism_probe_failures(
                 "child shadow pair identical to parent's after fork",
             )
         )
-    if scheme == "pssp":
+    if scheme in ("pssp", "pssp-nt-hardened"):
         parent_ok = check_pair(*parent_pair, parent.tls.canary)
         child_ok = check_pair(*child_pair, child.tls.canary)
     else:
@@ -373,4 +385,34 @@ def scheme_health_failures(
     for scheme in schemes:
         failures.extend(detection_probe_failures(scheme, seed=seed))
         failures.extend(polymorphism_probe_failures(scheme, seed=seed))
+    return failures
+
+
+def fault_invariant_failures(*, seed: int = 0) -> List[ConformanceFailure]:
+    """Contract clause 6: replay the canned fault schedules.
+
+    Imported lazily — :mod:`repro.faults.campaign` builds on this module,
+    so a top-level import would cycle.
+    """
+    from ..faults.campaign import canned_invariant_cases, run_canned_case
+
+    failures: List[ConformanceFailure] = []
+    for case in canned_invariant_cases():
+        try:
+            run = run_canned_case(case, seed=seed)
+        except CampaignError as error:
+            failures.append(
+                ConformanceFailure(
+                    "fault-outcome", case.schedule.scheme, "-",
+                    f"{case.name}: infrastructure error: {error}",
+                )
+            )
+            continue
+        for violation in run.violations:
+            failures.append(
+                ConformanceFailure(
+                    "fault-outcome", run.scheme, "slow",
+                    f"{case.name}: {violation}",
+                )
+            )
     return failures

@@ -20,8 +20,14 @@ from .conformance import (
     ConformanceFailure,
     applicable_schemes,
     check_source,
+    fault_invariant_failures,
     scheme_health_failures,
 )
+
+#: Failure kinds that indicate broken infrastructure (a build or the
+#: reference run fell over) rather than a violated contract clause.
+#: The CLI maps "only these" to a distinct exit code.
+INFRA_FAILURE_KINDS = frozenset({"build-error", "native-crash"})
 from .shrink import removed_features, shrink_spec
 
 
@@ -89,6 +95,18 @@ class FuzzReport:
     @property
     def ok(self) -> bool:
         return not self.failures and not self.health_failures
+
+    @property
+    def infra_only(self) -> bool:
+        """True when every recorded failure is an infrastructure error.
+
+        Lets the CLI distinguish "the contract was violated" (exit 1)
+        from "the campaign could not run its checks" (exit 3).
+        """
+        kinds = {f.kind for f in self.health_failures}
+        for failure in self.failures:
+            kinds.update(f.kind for f in failure.failures)
+        return bool(kinds) and kinds <= INFRA_FAILURE_KINDS
 
     def render(self) -> str:
         lines = [
@@ -175,6 +193,7 @@ def run_fuzz(
 
     if health:
         report.health_failures = scheme_health_failures(schemes, seed=base_seed)
+        report.health_failures.extend(fault_invariant_failures(seed=base_seed))
         if report.health_failures and progress:
             progress(f"{len(report.health_failures)} scheme-health failure(s)")
 

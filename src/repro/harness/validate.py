@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..core.deploy import SCHEMES, build, deploy
+from ..errors import CampaignError
 from ..kernel.kernel import Kernel
 
 _CHECK_PROGRAM = """
@@ -119,7 +120,7 @@ def _run_checksum(scheme: str, seed: int) -> int:
     process, _ = deploy(kernel, binary, scheme)
     result = process.run()
     if result.crashed:
-        raise RuntimeError(f"{scheme}: checksum run crashed: {result.crash}")
+        raise CampaignError(f"{scheme}: checksum run crashed: {result.crash}")
     return result.exit_status
 
 

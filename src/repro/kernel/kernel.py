@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional
 from ..binfmt.elf import Binary
 from ..binfmt.loader import load
 from ..crypto.random import EntropySource, terminator_free_word
-from ..errors import KernelError
+from ..errors import KernelError, TransientForkFailure
 from ..machine.cpu import NativeFunction
 from ..machine.memory import (
     ASLR_SLIDE_PAGES,
@@ -49,10 +49,15 @@ class Kernel:
     seed:
         Root seed; every process derives its entropy from this, so a whole
         experiment (attack campaign, benchmark run) replays identically.
+    fault_plane:
+        Optional :class:`~repro.faults.plane.FaultPlane`; when set, every
+        process's devices and this kernel's ``fork`` consult it for
+        scheduled fault injection.
     """
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(self, seed: Optional[int] = None, *, fault_plane=None) -> None:
         self.entropy = EntropySource(seed)
+        self.fault_plane = fault_plane
         self.processes: Dict[int, Process] = {}
         self._next_pid = 100
         #: Total forks performed (the attack-cost metric in §VI-C).
@@ -117,6 +122,7 @@ class Kernel:
             cycle_limit=cycle_limit,
             tsc_base=self._elapse_wall_time(),
             fast=fast,
+            fault_plane=self.fault_plane,
         )
         process.entry = binary.entry
         process.binary = binary
@@ -152,6 +158,10 @@ class Kernel:
             # harnesses fork fresh workers off a parent whose last call
             # returned.)
             raise KernelError(f"cannot fork crashed pid {parent.pid}")
+        if self.fault_plane is not None and self.fault_plane.fork_verdict():
+            raise TransientForkFailure(
+                "fork: resource temporarily unavailable (EAGAIN)"
+            )
         pid = self._next_pid
         self._next_pid += 1
         child = Process(
@@ -167,6 +177,7 @@ class Kernel:
             cycle_limit=parent.cpu.cycle_limit,
             tsc_base=max(parent.cpu.tsc.value, self._elapse_wall_time()),
             fast=parent.cpu.fast,
+            fault_plane=self.fault_plane,
         )
         child.entry = parent.entry
         child.binary = getattr(parent, "binary", None)
@@ -187,8 +198,17 @@ class Kernel:
             child.jmp_bufs = dict(parent.jmp_bufs)
         self.processes[pid] = child
         self.fork_count += 1
-        for hook in parent.fork_hooks:
-            hook(child, parent)
+        # Fork is all-or-nothing: if a hook fails (e.g. the preload's
+        # shadow-pair refresh fails closed), unregister the child so no
+        # retry or caller can observe a half-initialised process carrying
+        # the parent's stale pair.
+        try:
+            for hook in parent.fork_hooks:
+                hook(child, parent)
+        except Exception:
+            self.processes.pop(pid, None)
+            self.fork_count -= 1
+            raise
         return child
 
     # -- threads -------------------------------------------------------------------
@@ -223,6 +243,7 @@ class Kernel:
             cycle_limit=process.cpu.cycle_limit,
             tsc_base=process.cpu.tsc.value,
             fast=process.cpu.fast,
+            fault_plane=self.fault_plane,
         )
         thread.entry = process.entry
         thread.binary = getattr(process, "binary", None)
@@ -242,8 +263,15 @@ class Kernel:
         thread.tls.shadow_c1 = process.tls.shadow_c1
 
         process.threads.append(thread)
-        for hook in process.thread_hooks:
-            hook(thread, process)
+        # Mirror fork's all-or-nothing hook contract: a failed thread hook
+        # (shadow refresh failing closed) must not leave a half-initialised
+        # thread context registered.
+        try:
+            for hook in process.thread_hooks:
+                hook(thread, process)
+        except Exception:
+            process.threads.pop()
+            raise
         return thread
 
     # -- teardown -------------------------------------------------------------------

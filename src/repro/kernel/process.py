@@ -81,8 +81,12 @@ class Process:
         cycle_limit: int = 50_000_000,
         tsc_base: int = 0,
         fast: bool = True,
+        fault_plane=None,
     ) -> None:
         self.kernel = kernel
+        #: Fault-injection plane shared with the owning kernel (None in
+        #: production deployments); the devices below consult it.
+        self.fault_plane = fault_plane
         self.pid = pid
         self.ppid = ppid
         self.name = name
@@ -107,8 +111,8 @@ class Process:
             image,
             natives,
             registers=self.registers,
-            tsc=TimeStampCounter(tsc_base),
-            rdrand=RdRandDevice(entropy),
+            tsc=TimeStampCounter(tsc_base, plane=fault_plane),
+            rdrand=RdRandDevice(entropy, plane=fault_plane),
             cycle_limit=cycle_limit,
             dbi_multiplier=dbi_multiplier,
             fast=fast,
@@ -214,7 +218,14 @@ class Process:
     @property
     def entry(self) -> str:
         """The binary's entry symbol (set by the kernel at spawn)."""
-        return self._entry
+        try:
+            return self._entry
+        except AttributeError:
+            # Typed instead of a bare AttributeError: running a Process
+            # constructed outside Kernel.spawn is harness misuse.
+            raise KernelError(
+                f"pid {self.pid} has no entry symbol (not spawned by a kernel)"
+            ) from None
 
     @entry.setter
     def entry(self, value: str) -> None:

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..crypto.aes import encrypt_block
 from ..errors import ProgramAbort, SegmentationFault, StackSmashDetected
+from ..faults import policy as fault_policy
 from ..isa.costs import AES_HELPER_COST
 from ..isa.registers import ARG_REGS, CALLEE_SAVED
 from ..machine.cpu import CPU, NativeFunction
@@ -330,9 +331,18 @@ def _fork(cpu: CPU) -> int:
     The child resumes right after this call with ``rax = 0``; its result
     is recorded on the parent (``child_results``) so forking servers can
     observe crashes, mirroring ``waitpid`` status collection.
+
+    Cloning goes through :func:`repro.faults.policy.fork_with_retry`:
+    transient EAGAIN from the kernel is absorbed within a bounded budget,
+    and budget exhaustion fails closed (``DegradedError`` abort) instead
+    of running on without a refreshed shadow pair.  A ``None`` child
+    models the raw libc path of surfacing ``-1`` to the program (only the
+    naive chaos mutant takes it).
     """
     parent = cpu.process
-    child = parent.kernel.fork(parent)
+    child = fault_policy.fork_with_retry(parent)
+    if child is None:
+        return (1 << 64) - 1  # -1: EAGAIN surfaced to the program
     child.registers.write("rax", 0)
     result = child.continue_execution()
     if not hasattr(parent, "child_results"):

@@ -24,6 +24,8 @@ layout-identical to SSP (§V-C).
 from __future__ import annotations
 
 from ..core.rerandomize import re_randomize, re_randomize_packed32
+from ..errors import ProtectionError
+from ..faults import policy as fault_policy
 from ..kernel.process import Process
 
 #: Metadata reported by the paper for the real artifact.
@@ -37,21 +39,28 @@ class PSSPPreload:
 
     def __init__(self, mode: str = "compiler") -> None:
         if mode not in ("compiler", "binary"):
-            raise ValueError(f"unknown preload mode {mode!r}")
+            raise ProtectionError(f"unknown preload mode {mode!r}")
         self.mode = mode
 
     # -- the three exported overrides -------------------------------------------
 
     def setup(self, process: Process) -> None:
-        """``setup_p-ssp``: initialise the shadow canary for one thread."""
+        """``setup_p-ssp``: initialise the shadow canary for one thread.
+
+        The pair is two separate TLS words, so the store goes through the
+        verified publish path: write both halves, read back, repair a torn
+        write within a bounded budget, and fail closed
+        (:class:`~repro.errors.DegradedError`) rather than leave a
+        mixed-generation pair observable.
+        """
         tls = process.tls
         if self.mode == "compiler":
             c0, c1 = re_randomize(process.entropy, tls.canary)
-            tls.shadow_c0 = c0
-            tls.shadow_c1 = c1
         else:
-            tls.shadow_c0 = re_randomize_packed32(process.entropy, tls.canary)
-            tls.shadow_c1 = 0
+            c0, c1 = re_randomize_packed32(process.entropy, tls.canary), 0
+        fault_policy.publish_shadow_pair(
+            tls, c0, c1, plane=getattr(process, "fault_plane", None)
+        )
 
     def on_fork(self, child: Process, parent: Process) -> None:
         """Wrapped ``fork``: refresh only the *child's* shadow canary.

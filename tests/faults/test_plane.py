@@ -1,0 +1,139 @@
+"""Fault-plane units: windows, verdicts, ledgers, schedule generation."""
+
+from repro.faults.plane import FaultPlane
+from repro.faults.policy import RDRAND_RETRY_LIMIT
+from repro.faults.schedule import (
+    CHAOS_SCHEMES,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    generate_fault_schedule,
+)
+from repro.workloads.generator import generate_fuzz_program
+
+
+def plane(*events, scheme="pssp"):
+    return FaultPlane(FaultSchedule(scheme=scheme, events=list(events)))
+
+
+class TestFaultEvent:
+    def test_window_covers_half_open_attempt_range(self):
+        event = FaultEvent("rdrand-fail", at=3, count=2)
+        assert not event.covers(2)
+        assert event.covers(3)
+        assert event.covers(4)
+        assert not event.covers(5)
+
+    def test_json_round_trip_preserves_every_field(self):
+        event = FaultEvent(
+            "tls-flip", at=1, count=4, value=0xDEAD, slot="shadow_c1", bit=17
+        )
+        assert FaultEvent.from_json(event.to_json()) == event
+
+    def test_json_defaults_survive_a_sparse_payload(self):
+        event = FaultEvent.from_json({"kind": "fork-eagain"})
+        assert (event.at, event.count, event.value) == (0, 1, 0)
+
+
+class TestFaultSchedule:
+    def test_json_round_trip_is_stable(self):
+        schedule = FaultSchedule(
+            scheme="pssp-nt-hardened",
+            events=[FaultEvent("rdrand-fail", at=8, count=16)],
+            expected=("degraded",),
+            description="starved",
+        )
+        clone = FaultSchedule.from_json(schedule.to_json())
+        assert clone.to_json() == schedule.to_json()
+        assert clone.expected == ("degraded",)
+
+
+class TestRdrandVerdicts:
+    def test_fail_window_fires_on_exact_attempts(self):
+        p = plane(FaultEvent("rdrand-fail", at=1, count=2))
+        verdicts = [p.rdrand_verdict() for _ in range(4)]
+        assert verdicts == [None, ("fail",), ("fail",), None]
+        assert p.rdrand_attempts == 4
+
+    def test_stuck_window_supplies_the_scheduled_value(self):
+        p = plane(FaultEvent("rdrand-stuck", at=0, count=2, value=0x42))
+        assert p.rdrand_verdict() == ("stuck", 0x42)
+        assert p.rdrand_verdict() == ("stuck", 0x42)
+        assert p.rdrand_verdict() is None
+        assert p.delivered_counts() == {"rdrand-stuck": 2}
+
+    def test_exhaustion_event_fires_exactly_at_the_retry_limit(self):
+        p = plane()
+        for streak in range(1, RDRAND_RETRY_LIMIT + 2):
+            p.note_rdrand_failure("rdrand-fail", streak)
+        assert [e.kind for e in p.events] == ["rdrand-exhausted"]
+        assert p.delivered_counts()["rdrand-fail"] == RDRAND_RETRY_LIMIT + 1
+
+    def test_recovery_below_the_limit_is_an_absorption(self):
+        p = plane()
+        p.note_rdrand_recovered(RDRAND_RETRY_LIMIT - 1)
+        assert [kind for kind, _ in p.absorbed] == ["rdrand-fail"]
+        p.note_rdrand_recovered(RDRAND_RETRY_LIMIT)
+        assert len(p.absorbed) == 1  # past the budget is not "absorbed"
+
+
+class TestForkAndTlsVerdicts:
+    def test_fork_window_delivers_then_clears(self):
+        p = plane(FaultEvent("fork-eagain", at=0, count=2))
+        assert [p.fork_verdict() for _ in range(3)] == [True, True, False]
+        assert p.delivered_counts() == {"fork-eagain": 2}
+
+    def test_window_past_the_run_delivers_nothing(self):
+        p = plane(FaultEvent("fork-eagain", at=10, count=4))
+        assert [p.fork_verdict() for _ in range(3)] == [False, False, False]
+        assert p.delivered == []
+
+    def test_tls_write_window_tears_the_scheduled_writes(self):
+        p = plane(FaultEvent("tls-torn", at=1, count=1))
+        assert p.tls_write_verdict() is None
+        assert p.tls_write_verdict() == "torn"
+        assert p.tls_write_verdict() is None
+        assert p.delivered_counts() == {"tls-torn": 1}
+
+
+class TestRdtscObservation:
+    def test_skew_shifts_every_read_and_logs_once(self):
+        p = plane(FaultEvent("rdtsc-skew", value=0x100))
+        assert p.rdtsc_observe(1) == 0x101
+        assert p.rdtsc_observe(2) == 0x102
+        assert p.delivered_counts() == {"rdtsc-skew": 1}
+
+    def test_stuck_window_freezes_only_the_covered_reads(self):
+        p = plane(FaultEvent("rdtsc-stuck", at=1, count=1, value=0x7))
+        assert p.rdtsc_observe(100) == 100
+        assert p.rdtsc_observe(200) == 0x7
+        assert p.rdtsc_observe(300) == 300
+
+
+class TestGeneratedSchedules:
+    def test_same_seed_derives_the_same_schedule(self):
+        for seed in (2018, 2019, 2042):
+            spec, _ = generate_fuzz_program(seed)
+            first = generate_fault_schedule(seed, spec)
+            second = generate_fault_schedule(seed, spec)
+            assert first.to_json() == second.to_json()
+
+    def test_schedules_stay_inside_the_published_taxonomy(self):
+        for seed in range(2018, 2058):
+            spec, _ = generate_fuzz_program(seed)
+            schedule = generate_fault_schedule(seed, spec)
+            assert schedule.scheme in CHAOS_SCHEMES
+            assert schedule.events
+            assert schedule.expected
+            assert set(schedule.expected) <= {"identical", "detected", "degraded"}
+            for event in schedule.events:
+                assert event.kind in FAULT_KINDS
+                if event.kind == "fork-eagain":
+                    assert spec.uses_fork
+
+    def test_seeds_exercise_both_absorption_and_degradation(self):
+        expectations = set()
+        for seed in range(2018, 2078):
+            spec, _ = generate_fuzz_program(seed)
+            expectations.update(generate_fault_schedule(seed, spec).expected)
+        assert {"identical", "degraded", "detected"} <= expectations

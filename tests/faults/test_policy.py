@@ -1,0 +1,156 @@
+"""Degradation policy: absorb within budget or fail closed, typed."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.crypto.random import EntropySource
+from repro.errors import DegradedError, TransientForkFailure
+from repro.faults.plane import FaultPlane
+from repro.faults.policy import (
+    FORK_RETRY_LIMIT,
+    SELFTEST_DRAWS,
+    TLS_PUBLISH_ATTEMPTS,
+    fork_with_retry,
+    publish_shadow_pair,
+    rdrand_selftest,
+    tls_shadow_write,
+)
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.machine.devices import RdRandDevice
+
+
+def plane(*events):
+    return FaultPlane(FaultSchedule(scheme="pssp", events=list(events)))
+
+
+def tls():
+    return SimpleNamespace(canary=0x33, shadow_c0=0x1111, shadow_c1=0x1122)
+
+
+class TestShadowWrites:
+    def test_plain_write_lands_without_a_plane(self):
+        block = tls()
+        assert tls_shadow_write(block, "shadow_c0", 0xAA)
+        assert block.shadow_c0 == 0xAA
+
+    def test_torn_write_leaves_the_old_value_in_place(self):
+        block = tls()
+        p = plane(FaultEvent("tls-torn", at=0, count=1))
+        assert not tls_shadow_write(block, "shadow_c0", 0xAA, p)
+        assert block.shadow_c0 == 0x1111
+        assert tls_shadow_write(block, "shadow_c0", 0xAA, p)
+        assert block.shadow_c0 == 0xAA
+
+
+class TestPublishShadowPair:
+    def test_clean_publish_sets_both_halves(self):
+        block = tls()
+        publish_shadow_pair(block, 0xA0, 0xA1)
+        assert (block.shadow_c0, block.shadow_c1) == (0xA0, 0xA1)
+
+    def test_single_tear_is_repaired_and_recorded_absorbed(self):
+        block = tls()
+        p = plane(FaultEvent("tls-torn", at=0, count=1))
+        publish_shadow_pair(block, 0xA0, 0xA1, plane=p)
+        assert (block.shadow_c0, block.shadow_c1) == (0xA0, 0xA1)
+        assert [kind for kind, _ in p.absorbed] == ["tls-torn"]
+        assert p.events == []
+
+    def test_persistent_tear_fails_closed_with_the_old_pair_intact(self):
+        block = tls()
+        old = (block.shadow_c0, block.shadow_c1)
+        p = plane(FaultEvent("tls-torn", at=0, count=48))
+        with pytest.raises(DegradedError) as excinfo:
+            publish_shadow_pair(block, 0xA0, 0xA1, plane=p)
+        # Fail closed: the previous, internally-consistent pair is still
+        # the observable one — never a mixed-generation half-write.
+        assert (block.shadow_c0, block.shadow_c1) == old
+        assert "fail closed" in excinfo.value.policy
+        assert p.event_kinds() == {"shadow-publish-failed"}
+        assert p.tls_writes == 2 * TLS_PUBLISH_ATTEMPTS
+
+
+class _ForkKernel:
+    """Minimal kernel stand-in exposing the fork/fault_plane surface."""
+
+    def __init__(self, fault_plane=None):
+        self.fault_plane = fault_plane
+        self.children = 0
+
+    def fork(self, parent):
+        if self.fault_plane is not None and self.fault_plane.fork_verdict():
+            raise TransientForkFailure("EAGAIN")
+        self.children += 1
+        return SimpleNamespace(pid=100 + self.children)
+
+
+class TestForkWithRetry:
+    def test_plain_path_forks_once(self):
+        kernel = _ForkKernel()
+        parent = SimpleNamespace(kernel=kernel)
+        assert fork_with_retry(parent).pid == 101
+        assert kernel.children == 1
+
+    def test_transient_eagain_burst_is_absorbed(self):
+        p = plane(FaultEvent("fork-eagain", at=0, count=FORK_RETRY_LIMIT - 1))
+        parent = SimpleNamespace(kernel=_ForkKernel(p))
+        child = fork_with_retry(parent)
+        assert child is not None
+        assert [kind for kind, _ in p.absorbed] == ["fork-eagain"]
+        assert p.events == []
+
+    def test_exhausted_budget_fails_closed_with_an_event(self):
+        p = plane(FaultEvent("fork-eagain", at=0, count=FORK_RETRY_LIMIT))
+        parent = SimpleNamespace(kernel=_ForkKernel(p))
+        with pytest.raises(DegradedError) as excinfo:
+            fork_with_retry(parent)
+        assert "fail closed" in excinfo.value.policy
+        assert p.event_kinds() == {"fork-exhausted"}
+
+
+def _probe_process(p, seed=3):
+    device = RdRandDevice(EntropySource(seed), plane=p)
+    return SimpleNamespace(
+        cpu=SimpleNamespace(rdrand=device),
+        kernel=SimpleNamespace(fault_plane=p),
+    )
+
+
+class TestRdrandSelftest:
+    def test_healthy_device_passes_without_quarantine(self):
+        p = plane()
+        process = _probe_process(p)
+        assert rdrand_selftest(process)
+        assert not process.cpu.rdrand.quarantined
+        assert p.events == []
+
+    def test_device_less_process_trivially_passes(self):
+        assert rdrand_selftest(SimpleNamespace(cpu=SimpleNamespace()))
+
+    def test_stuck_drbg_is_quarantined_with_a_typed_event(self):
+        p = plane(
+            FaultEvent("rdrand-stuck", at=0, count=SELFTEST_DRAWS, value=0x99)
+        )
+        process = _probe_process(p)
+        assert not rdrand_selftest(process)
+        assert process.cpu.rdrand.quarantined
+        assert p.event_kinds() == {"entropy-degraded"}
+
+    def test_failure_heavy_device_is_quarantined(self):
+        p = plane(FaultEvent("rdrand-fail", at=0, count=SELFTEST_DRAWS))
+        process = _probe_process(p)
+        assert not rdrand_selftest(process)
+        assert process.cpu.rdrand.quarantined
+
+    def test_quarantined_reads_fail_but_keep_attempt_alignment(self):
+        """Replay alignment: schedule indices advance even while fenced."""
+        p = plane(
+            FaultEvent("rdrand-stuck", at=0, count=SELFTEST_DRAWS, value=0x99)
+        )
+        process = _probe_process(p)
+        rdrand_selftest(process)
+        before = p.rdrand_attempts
+        value, ok = process.cpu.rdrand.read()
+        assert (value, ok) == (0, False)
+        assert p.rdrand_attempts == before + 1

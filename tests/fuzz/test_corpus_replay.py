@@ -1,14 +1,18 @@
 """Replay the curated regression corpus through the full contract.
 
 Every entry under ``tests/corpus/`` is a program that once exposed a bug
-(or pins a feature combination worth guarding).  Each replay runs the
+(or pins a feature combination worth guarding).  Plain entries run the
 complete conformance contract — every applicable scheme, both
-interpreter paths, rewriter layout checks — so a regression of any past
-failure turns the corpus red before a fuzz campaign is ever needed.
+interpreter paths, rewriter layout checks.  Entries carrying a
+``"faults"`` schedule replay through the chaos campaign instead: the
+fault-outcome invariant must hold, with the canary auditor attached.
 
-To add an entry: shrink a failing seed (``python -m repro fuzz --replay
-SEED`` reports it; campaigns shrink automatically), then store
-``{"description", "seed", "spec": spec.to_json()}`` as JSON here.
+To add a conformance entry: shrink a failing seed (``python -m repro
+fuzz --replay SEED`` reports it; campaigns shrink automatically), then
+store ``{"description", "seed", "spec": spec.to_json()}`` as JSON here.
+For a fault reproducer, add ``"faults": schedule.to_json()`` (and
+``"require_store": true`` when the program is known to execute protected
+prologues).
 """
 
 import json
@@ -16,6 +20,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.faults.campaign import run_chaos_case
+from repro.faults.schedule import FaultSchedule
 from repro.fuzz import check_spec
 from repro.workloads.generator import ProgramSpec, render_program
 
@@ -26,6 +32,10 @@ ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
 def load(path: Path):
     data = json.loads(path.read_text())
     return data, ProgramSpec.from_json(data["spec"])
+
+
+def fault_entries():
+    return [p for p in ENTRIES if "faults" in json.loads(p.read_text())]
 
 
 class TestCorpusHygiene:
@@ -42,6 +52,12 @@ class TestCorpusHygiene:
         source = render_program(spec)
         assert "int main()" in source
         assert ProgramSpec.from_json(spec.to_json()).to_json() == spec.to_json()
+        if "faults" in data:
+            schedule = FaultSchedule.from_json(data["faults"])
+            assert schedule.scheme
+            assert schedule.events
+            assert FaultSchedule.from_json(schedule.to_json()).to_json() \
+                == schedule.to_json()
 
     def test_corpus_covers_the_fragile_features(self):
         specs = [load(path)[1] for path in ENTRIES]
@@ -50,10 +66,28 @@ class TestCorpusHygiene:
         assert any(spec.uses_fork and spec.uses_setjmp for spec in specs)
         assert any(spec.recursion_depth for spec in specs)
 
+    def test_corpus_covers_the_fault_surfaces(self):
+        kinds = set()
+        for path in fault_entries():
+            data = json.loads(path.read_text())
+            for event in FaultSchedule.from_json(data["faults"]).events:
+                kinds.add(event.kind)
+        assert {"rdrand-fail", "fork-eagain", "tls-torn"} <= kinds
+
 
 class TestCorpusConformance:
     @pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
     def test_entry_passes_full_contract(self, path):
         data, spec = load(path)
-        failures = check_spec(spec, seed=data["seed"])
-        assert not failures, [str(f) for f in failures]
+        if "faults" in data:
+            run = run_chaos_case(
+                data["seed"],
+                spec=spec,
+                schedule=FaultSchedule.from_json(data["faults"]),
+                require_store=bool(data.get("require_store", False)),
+                case=path.stem,
+            )
+            assert run.ok, run.render()
+        else:
+            failures = check_spec(spec, seed=data["seed"])
+            assert not failures, [str(f) for f in failures]

@@ -80,7 +80,9 @@ class TestArtifactMetadata:
     def test_bad_mode_rejected(self):
         import pytest
 
-        with pytest.raises(ValueError):
+        from repro.errors import ProtectionError
+
+        with pytest.raises(ProtectionError):
             PSSPPreload("bogus")
 
     def test_binary_mode_interposes_stack_chk(self):
