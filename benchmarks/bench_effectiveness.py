@@ -17,9 +17,21 @@ def test_effectiveness(benchmark, run_once):
 
     by_key = {(r.server, r.scheme): r for r in result.rows}
     for server in ("nginx", "ali"):
-        assert by_key[(server, "ssp")].attack_succeeded
-        assert not by_key[(server, "pssp")].attack_succeeded
+        ssp = by_key[(server, "ssp")]
+        pssp = by_key[(server, "pssp")]
+        assert ssp.attack_succeeded
+        assert not pssp.attack_succeeded
         # SSP falls in the ~1024-trial band the paper quotes.
-        assert by_key[(server, "ssp")].trials < 3 * expected_ssp_trials()
+        assert ssp.trials < 3 * expected_ssp_trials()
+        # Detections come from the telemetry smash counter, not exit
+        # statuses: a successful SSP attack confirms all 8 canary bytes
+        # (those probes survive), every other trial aborts the worker.
+        assert ssp.smashes_detected == ssp.trials - 8
+        # Against P-SSP the attack makes at most a sliver of false
+        # progress, so nearly every trial is a detected smash.
+        assert pssp.trials - 3 <= pssp.smashes_detected <= pssp.trials
+        assert pssp.smashes_detected > 0
     assert result.compat_false_positives == 0
+    # The canary runtime stayed silent across every benign mixed build.
+    assert result.compat_smash_detections == 0
     benchmark.extra_info["report"] = result.render()

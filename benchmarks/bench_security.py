@@ -8,6 +8,7 @@ exhaustive-search equivalence across schemes.
 
 from statistics import mean, stdev
 
+from repro import telemetry
 from repro.attacks.byte_by_byte import byte_by_byte_attack, expected_ssp_trials
 from repro.attacks.exhaustive import survival_probability_montecarlo
 from repro.attacks.oracle import ForkingServer
@@ -26,12 +27,24 @@ int main() { return 0; }
 
 
 def _campaign(scheme, seed, max_trials=6000):
+    """Run one byte-by-byte campaign; return (report, telemetry smashes).
+
+    The smash count comes from the ``canary_smashes_detected_total``
+    counter — the defender's own view of the attack — rather than from
+    worker exit statuses.  Every refuted guess aborts the worker via
+    ``__stack_chk_fail``; a confirmed guess survives, so the counters
+    must satisfy ``smashes == trials - recovered`` exactly.
+    """
     kernel = Kernel(seed)
     binary = build(VICTIM, scheme, name="srv")
     parent, _ = deploy(kernel, binary, scheme)
     server = ForkingServer(kernel, parent)
     frame = frame_map(binary, "handler")
-    return byte_by_byte_attack(server, frame, max_trials=max_trials)
+    before = telemetry.snapshot()
+    report = byte_by_byte_attack(server, frame, max_trials=max_trials)
+    delta = telemetry.delta(before)
+    smashes = int(delta.get("canary_smashes_detected_total", 0) or 0)
+    return report, smashes
 
 
 def test_attack_cost_distribution(benchmark, run_once):
@@ -39,11 +52,15 @@ def test_attack_cost_distribution(benchmark, run_once):
         ssp_trials = []
         pssp_progress = []
         for seed in range(8):
-            ssp = _campaign("ssp", 3000 + seed)
+            ssp, ssp_smashes = _campaign("ssp", 3000 + seed)
             assert ssp.success
+            # Telemetry agrees with the attack ledger: every trial that
+            # did not confirm a byte fired __stack_chk_fail exactly once.
+            assert ssp_smashes == ssp.trials - len(ssp.recovered)
             ssp_trials.append(ssp.trials)
-            pssp = _campaign("pssp", 3000 + seed, max_trials=2500)
+            pssp, pssp_smashes = _campaign("pssp", 3000 + seed, max_trials=2500)
             assert not pssp.success
+            assert pssp_smashes == pssp.trials - len(pssp.recovered)
             pssp_progress.append(len(pssp.recovered))
         return ssp_trials, pssp_progress
 

@@ -27,9 +27,12 @@ Exit codes (``fuzz`` and ``chaos``, consumed by CI):
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from . import telemetry
 from .core.deploy import SCHEMES, build, deploy
 from .harness import figures as _figures
 from .harness import tables as _tables
@@ -129,9 +132,37 @@ int main() { return 0; }
 """
 
 
+def _telemetry_capture_start(path: Optional[str]) -> Dict[str, object]:
+    """Arm telemetry capture for a campaign with ``--telemetry-out``.
+
+    Turns on event-stream sampling (the default keeps it off so the fast
+    path pays nothing) and returns the baseline counter snapshot.
+    """
+    if path is None:
+        return {}
+    telemetry.ring().sample_every = 100
+    return telemetry.snapshot()
+
+
+def _telemetry_capture_write(path: Optional[str], before: Dict[str, object]) -> None:
+    """Write the counter delta + event stream collected since arming."""
+    if path is None:
+        return
+    payload = {
+        "counters": telemetry.delta(before),
+        "events": telemetry.ring().to_json(),
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    telemetry.ring().sample_every = 0
+    print(f"wrote {path}")
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     from .attacks import ForkingServer, byte_by_byte_attack, frame_map
 
+    before = _telemetry_capture_start(args.telemetry_out)
     kernel = Kernel(args.seed)
     binary = build(_ATTACK_VICTIM, args.scheme, name="server")
     parent, _ = deploy(kernel, binary, args.scheme)
@@ -142,6 +173,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     print(f"success:   {report.success}")
     print(f"trials:    {report.trials}")
     print(f"recovered: {report.recovered.hex() or '(nothing)'}")
+    _telemetry_capture_write(args.telemetry_out, before)
     return 0 if not report.success else 1  # exit 1 = defence broken
 
 
@@ -235,6 +267,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               else f"{len(failures)} failure(s)")
         return 0 if not failures else 1
 
+    before = _telemetry_capture_start(args.telemetry_out)
     report = run_fuzz(
         args.budget,
         base_seed=args.seed,
@@ -244,6 +277,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         **({"schemes": schemes} if schemes else {}),
     )
     print(report.render())
+    _telemetry_capture_write(args.telemetry_out, before)
     if args.out and report.failures:
         for path in write_failure_artifacts(report, args.out):
             print(f"wrote {path}")
@@ -278,6 +312,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               else f"{len(run.violations)} violation(s)")
         return EXIT_OK if run.ok else EXIT_VIOLATION
 
+    before = _telemetry_capture_start(args.telemetry_out)
     report = run_campaign(
         args.budget,
         base_seed=args.seed,
@@ -289,13 +324,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         progress=lambda line: print(f"  {line}", flush=True),
     )
     print(report.render())
+    _telemetry_capture_write(args.telemetry_out, before)
     if args.out:
-        import json as _json
-        import os
-
         os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
         with open(args.out, "w", encoding="utf-8") as handle:
-            _json.dump(report.to_json(), handle, indent=2)
+            json.dump(report.to_json(), handle, indent=2)
         print(f"wrote {args.out}")
     if report.violating_runs:
         return EXIT_VIOLATION
@@ -303,6 +336,166 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return EXIT_DEADLINE
     if report.infra_errors:
         return EXIT_INFRASTRUCTURE
+    return EXIT_OK
+
+
+#: Benign workload driven by ``repro stats``: a protected hot function
+#: called repeatedly, so every scheme's prologue/epilogue counters tick.
+_STATS_BENIGN = """
+int work(int n) {
+    char buf[32];
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        buf[i % 16] = i;
+        acc = acc + buf[i % 16];
+    }
+    return acc;
+}
+int main() {
+    int i; int total;
+    total = 0;
+    for (i = 0; i < 40; i = i + 1) { total = total + work(24); }
+    return total & 255;
+}
+"""
+
+#: Smash workload: a deliberate overflow so detection counters tick too.
+_STATS_SMASH = """
+int victim(int n) {
+    char buf[16];
+    int i;
+    for (i = 0; i < 64; i = i + 1) { buf[i] = 65; }
+    return 0;
+}
+int main() { return victim(1); }
+"""
+
+#: Counters surfaced in the default `repro stats` text table.
+_STATS_COLUMNS = (
+    ("machine_instructions_total", "instructions"),
+    ("machine_cycles_total", "cycles"),
+    ("canary_prologue_stores_total", "prologues"),
+    ("canary_epilogue_checks_total", "epilogues"),
+    ("rdrand_draws_total", "rdrand"),
+    ("canary_smashes_detected_total", "smashes"),
+    ("degradations_total", "degraded"),
+)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Per-scheme telemetry report over a benign + a smashing workload."""
+    from .harness.metrics import run_program
+
+    schemes = (
+        args.schemes.split(",") if args.schemes
+        else ["none", "ssp", "pssp", "pssp-nt", "pssp-lv", "pssp-owf"]
+    )
+    unknown = [s for s in schemes if s not in SCHEMES]
+    if unknown:
+        print(f"unknown scheme(s): {', '.join(unknown)}", file=sys.stderr)
+        return EXIT_USAGE
+
+    per_scheme: Dict[str, Dict[str, object]] = {}
+    for scheme in schemes:
+        before = telemetry.snapshot()
+        run_program(_STATS_BENIGN, scheme, name=f"stats-{scheme}", seed=args.seed)
+        if args.smash:
+            run_program(
+                _STATS_SMASH, scheme, name=f"stats-smash-{scheme}", seed=args.seed
+            )
+        per_scheme[scheme] = telemetry.delta(before)
+
+    if args.json:
+        payload = {
+            "schemes": per_scheme,
+            "events": telemetry.ring().to_json(),
+        }
+        text = json.dumps(payload, indent=2)
+    elif args.prom:
+        text = telemetry.registry().render_prometheus()
+    else:
+        lines = [
+            f"{'scheme':10s}" + "".join(f"{label:>14s}" for _, label in _STATS_COLUMNS)
+        ]
+        for scheme, delta in per_scheme.items():
+            cells = []
+            for counter_name, _ in _STATS_COLUMNS:
+                value = delta.get(counter_name, 0)
+                cells.append(f"{value:>14,.0f}" if isinstance(value, float)
+                             else f"{value:>14,d}")
+            lines.append(f"{scheme:10s}" + "".join(cells))
+        text = "\n".join(lines)
+
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return EXIT_OK
+
+
+#: The `repro profile` demo: a P-SSP call tree with distinct hot spots.
+_PROFILE_DEMO = """
+int leaf_sum(int n) {
+    char buf[24];
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        buf[i % 8] = i;
+        acc = acc + buf[i % 8];
+    }
+    return acc;
+}
+int mid_mix(int n) {
+    char scratch[40];
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        scratch[i % 16] = i;
+        acc = acc + leaf_sum(6);
+    }
+    return acc;
+}
+int main() {
+    int i; int total;
+    total = 0;
+    for (i = 0; i < 30; i = i + 1) { total = total + mid_mix(8); }
+    return total & 255;
+}
+"""
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-function cycle attribution + Chrome trace-event export."""
+    from .telemetry.profile import Profiler
+
+    source = _PROFILE_DEMO
+    if args.source:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+
+    kernel = Kernel(args.seed)
+    binary = build(source, args.scheme, name="profile")
+    process, _ = deploy(kernel, binary, args.scheme)
+    profiler = Profiler()
+    process.cpu.profiler = profiler
+    result = process.run()
+    process.cpu.profiler = None
+
+    print(f"scheme: {args.scheme}  "
+          f"cycles: {result.cycles:,.0f}  "
+          f"instructions: {result.instructions:,d}  "
+          f"{'CRASHED' if result.crashed else 'exit ' + str(result.exit_status)}")
+    print(profiler.render(limit=args.limit))
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(profiler.chrome_trace(process_name=f"repro-{args.scheme}"),
+                      handle, indent=2)
+        print(f"wrote {args.out} (load in chrome://tracing or Perfetto)")
     return EXIT_OK
 
 
@@ -341,6 +534,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--scheme", default="ssp", choices=sorted(SCHEMES))
     attack.add_argument("--trials", type=int, default=6000)
     attack.add_argument("--seed", type=int, default=20180625)
+    attack.add_argument("--telemetry-out", default=None, metavar="FILE",
+                        help="write telemetry counters + event stream as JSON")
 
     eff = sub.add_parser("effectiveness", help="regenerate §VI-C")
     eff.add_argument("--trials", type=int, default=4000)
@@ -380,6 +575,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the detection/polymorphism probes")
     fuzz.add_argument("--out", default=None, metavar="DIR",
                       help="write failing programs as JSON artifacts")
+    fuzz.add_argument("--telemetry-out", default=None, metavar="FILE",
+                      help="write telemetry counters + event stream as JSON")
 
     chaos = sub.add_parser(
         "chaos",
@@ -407,6 +604,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip cases already in the checkpoint file")
     chaos.add_argument("--out", default=None, metavar="FILE",
                        help="write the full campaign report as JSON")
+    chaos.add_argument("--telemetry-out", default=None, metavar="FILE",
+                       help="write telemetry counters + event stream as JSON")
+
+    stats = sub.add_parser(
+        "stats",
+        help="per-scheme telemetry counters (text, --json, or --prom)",
+    )
+    stats.add_argument("--schemes", default=None,
+                       help="comma-separated scheme subset (default: core six)")
+    stats.add_argument("--seed", type=int, default=97)
+    stats.add_argument("--smash", action="store_true",
+                       help="also run a smashing workload so detection "
+                            "counters tick")
+    stats.add_argument("--json", action="store_true",
+                       help="emit per-scheme deltas + events as JSON")
+    stats.add_argument("--prom", action="store_true",
+                       help="emit the registry in Prometheus text format")
+    stats.add_argument("--out", default=None, metavar="FILE",
+                       help="write the report to a file instead of stdout")
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-function cycle attribution + Chrome trace-event JSON",
+    )
+    profile.add_argument("--scheme", default="pssp", choices=sorted(SCHEMES))
+    profile.add_argument("--seed", type=int, default=97)
+    profile.add_argument("--source", default=None, metavar="FILE",
+                         help="profile this C source instead of the demo")
+    profile.add_argument("--limit", type=int, default=20,
+                         help="rows in the attribution table")
+    profile.add_argument("--out", default=None, metavar="FILE",
+                         help="write a Chrome trace-event JSON file")
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None)
@@ -426,6 +655,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "fuzz": _cmd_fuzz,
     "chaos": _cmd_chaos,
+    "stats": _cmd_stats,
+    "profile": _cmd_profile,
     "report": _cmd_report,
 }
 

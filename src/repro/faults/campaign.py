@@ -37,6 +37,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..core.deploy import build, deploy
 from ..errors import CampaignError, DegradedError
 from ..fuzz.conformance import FUZZ_CYCLE_LIMIT, _fingerprint
@@ -512,8 +513,18 @@ def run_campaign(
                 last_error = str(error)
                 continue
             report.runs.append(run)
-            if not run.ok and progress:
-                progress(f"seed {seed}: {len(run.violations)} violation(s)")
+            telemetry.count("chaos_cases_total", help="chaos cases completed")
+            telemetry.count(
+                f"chaos_outcome_{run.outcome.replace('-', '_')}_total",
+                help="chaos cases by outcome",
+            )
+            if not run.ok:
+                telemetry.count(
+                    "chaos_violations_total", len(run.violations),
+                    help="chaos invariant violations",
+                )
+                if progress:
+                    progress(f"seed {seed}: {len(run.violations)} violation(s)")
             break
         else:
             report.infra_errors.append((seed, last_error))

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from .policy import RDRAND_RETRY_LIMIT
 from .schedule import FaultSchedule
 
@@ -57,12 +58,23 @@ class FaultPlane:
 
     def record_delivered(self, kind: str, detail: str = "") -> None:
         self.delivered.append((kind, detail))
+        telemetry.count(
+            "faults_delivered_total", help="scheduled faults actually injected"
+        )
 
     def record_absorbed(self, kind: str, detail: str = "") -> None:
         self.absorbed.append((kind, detail))
+        telemetry.count(
+            "faults_absorbed_total",
+            help="faults retried away with behaviour unchanged",
+        )
 
     def record_event(self, kind: str, detail: str = "") -> None:
         self.events.append(DegradationEvent(kind, detail))
+        telemetry.count(
+            "fault_degradation_events_total",
+            help="explicit degradation events on the plane ledger",
+        )
 
     def event_kinds(self) -> "set[str]":
         return {event.kind for event in self.events}

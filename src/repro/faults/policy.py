@@ -14,6 +14,7 @@ pay nothing for the chaos machinery.
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..errors import DegradedError, TransientForkFailure
 
 #: Prologue/self-test budget: consecutive ``rdrand`` CF=0 results before
@@ -79,6 +80,8 @@ def publish_shadow_pair(tls, c0: int, c1: int, *, plane=None) -> None:
             "shadow-publish-failed",
             f"pair still torn after {TLS_PUBLISH_ATTEMPTS} attempts",
         )
+    telemetry.count("degradations_total", help="DegradedError fail-closed aborts")
+    telemetry.event("degradation", reason="shadow-publish-failed")
     raise DegradedError(
         "shadow canary pair publish remained torn",
         policy=f"fail closed after {TLS_PUBLISH_ATTEMPTS} write-verify rounds",
@@ -116,6 +119,8 @@ def fork_with_retry(parent):
         plane.record_event(
             "fork-exhausted", f"{FORK_RETRY_LIMIT} consecutive EAGAIN"
         )
+    telemetry.count("degradations_total", help="DegradedError fail-closed aborts")
+    telemetry.event("degradation", reason="fork-exhausted")
     raise DegradedError(
         f"fork still EAGAIN after {FORK_RETRY_LIMIT} attempts",
         policy="fail closed instead of running without a fresh shadow pair",
@@ -141,6 +146,14 @@ def rdrand_selftest(process) -> bool:
     healthy = len(distinct) >= SELFTEST_MIN_DISTINCT and failures <= SELFTEST_DRAWS // 2
     if not healthy:
         device.quarantined = True
+        telemetry.count(
+            "rdrand_quarantines_total", help="devices quarantined by self-test"
+        )
+        telemetry.event(
+            "rdrand-quarantine",
+            distinct=len(distinct),
+            failures=failures,
+        )
         plane = getattr(process.kernel, "fault_plane", None)
         if plane is not None:
             plane.record_event(

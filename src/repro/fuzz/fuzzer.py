@@ -13,6 +13,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from .. import telemetry
 from ..workloads.generator import ProgramSpec, generate_fuzz_program, render_program
 from .conformance import (
     DEFAULT_FUZZ_SCHEMES,
@@ -215,11 +216,20 @@ def run_fuzz(
         )
         report.programs_checked += 1
         report.runs += 2 * len(selected)
+        telemetry.count("fuzz_programs_total", help="fuzz programs checked")
+        telemetry.count(
+            "fuzz_runs_total", 2 * len(selected),
+            help="fuzz executions (fast+slow per scheme)",
+        )
         if failures:
             failure = FuzzFailure(seed, spec, source, failures)
             if shrink:
                 _shrink_failure(failure, schemes, cycle_limit, max_shrink_checks)
             report.failures.append(failure)
+            telemetry.count(
+                "fuzz_failures_total", len(failures),
+                help="conformance divergences found",
+            )
             if progress:
                 progress(f"seed {seed}: {len(failures)} failure(s)")
         elif progress and (index + 1) % 25 == 0:

@@ -2,15 +2,23 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
+from .. import telemetry
 from ..binfmt.elf import Binary
 from ..core.deploy import build, deploy
 from ..kernel.kernel import Kernel
 
 #: Simulated clock for cycle→time conversions (i7-4770K-class, 3.5 GHz).
+#: The single source of truth: benchmarks and the telemetry profiler
+#: import this constant rather than re-declaring the frequency.
 CLOCK_HZ = 3.5e9
+
+
+def _counter(snapshot: Dict[str, object], name: str) -> int:
+    value = snapshot.get(name, 0)
+    return int(value) if isinstance(value, (int, float)) else 0
 
 
 @dataclass
@@ -24,6 +32,15 @@ class RunMetrics:
     exit_status: int
     crashed: bool
     text_bytes: int
+    #: Smash detections (__stack_chk_fail firings) during the run, from
+    #: the telemetry delta — lets effectiveness tables report detections
+    #: directly instead of inferring them from exit status alone.
+    smashes_detected: int = 0
+    #: Fail-closed DegradedError aborts during the run.
+    degradations: int = 0
+    #: Full telemetry counter/histogram delta for the run (empty when
+    #: telemetry is disabled).
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -40,10 +57,12 @@ def run_program(
     cycle_limit: int = 50_000_000,
 ) -> RunMetrics:
     """Build + run one program, returning its metrics."""
+    before = telemetry.snapshot() if telemetry.enabled() else {}
     kernel = Kernel(seed)
     binary = build(source, scheme, name=name)
     process, _ = deploy(kernel, binary, scheme, cycle_limit=cycle_limit)
     result = process.run(entry)
+    delta = telemetry.delta(before) if telemetry.enabled() else {}
     return RunMetrics(
         program=name,
         scheme=scheme,
@@ -52,6 +71,9 @@ def run_program(
         exit_status=result.exit_status,
         crashed=result.crashed,
         text_bytes=binary.text_size(),
+        smashes_detected=_counter(delta, "canary_smashes_detected_total"),
+        degradations=_counter(delta, "degradations_total"),
+        telemetry=delta,
     )
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..attacks.byte_by_byte import byte_by_byte_attack
 from ..attacks.correctness import probe_fork_correctness
 from ..attacks.oracle import ForkingServer
@@ -429,6 +430,9 @@ class EffectivenessRow:
     scheme: str
     attack_succeeded: bool
     trials: int
+    #: Refuted-probe detections during the attack, from the telemetry
+    #: smash counter (not inferred from worker exit statuses).
+    smashes_detected: int = 0
 
 
 @dataclass
@@ -436,16 +440,25 @@ class EffectivenessReport:
     rows: List[EffectivenessRow]
     compat_false_positives: int
     compat_runs: int
+    #: Telemetry-counted __stack_chk_fail firings across the benign
+    #: compatibility runs; nonzero would mean the canary runtime itself
+    #: (not a memory bug) aborted a legitimate mixed build.
+    compat_smash_detections: int = 0
 
     def render(self) -> str:
-        lines = [f"{'server':8s} {'scheme':8s} {'attack ok':>10s} {'trials':>8s}"]
+        lines = [
+            f"{'server':8s} {'scheme':8s} {'attack ok':>10s} {'trials':>8s} "
+            f"{'detected':>9s}"
+        ]
         for row in self.rows:
             lines.append(
                 f"{row.server:8s} {row.scheme:8s} "
-                f"{str(row.attack_succeeded):>10s} {row.trials:>8d}"
+                f"{str(row.attack_succeeded):>10s} {row.trials:>8d} "
+                f"{row.smashes_detected:>9d}"
             )
         lines.append(
             f"compatibility: {self.compat_false_positives} false positives "
+            f"({self.compat_smash_detections} canary aborts) "
             f"in {self.compat_runs} mixed-build runs"
         )
         return "\n".join(lines)
@@ -482,9 +495,14 @@ def effectiveness(
             parent, _ = deploy(kernel, binary, scheme)
             server = ForkingServer(kernel, parent)
             frame = frame_map(binary, "handler")
+            before = telemetry.snapshot()
             report = byte_by_byte_attack(server, frame, max_trials=max_trials)
+            delta = telemetry.delta(before)
+            smashes = int(delta.get("canary_smashes_detected_total", 0) or 0)
             rows.append(
-                EffectivenessRow(server_name, scheme, report.success, report.trials)
+                EffectivenessRow(
+                    server_name, scheme, report.success, report.trials, smashes
+                )
             )
 
     # Compatibility: P-SSP-compiled program calling SSP-compiled "library"
@@ -492,6 +510,7 @@ def effectiveness(
     # claim: mixtures behave normally, zero false positives.
     false_positives = 0
     runs = 0
+    compat_before = telemetry.snapshot()
     mixed_pairs = (("pssp", "ssp"), ("ssp", "pssp"))
     for main_scheme, lib_scheme in mixed_pairs:
         for round_index in range(compat_runs):
@@ -509,7 +528,11 @@ def effectiveness(
             runs += 1
             if result.crashed:
                 false_positives += 1
-    return EffectivenessReport(rows, false_positives, runs)
+    compat_delta = telemetry.delta(compat_before)
+    compat_smashes = int(
+        compat_delta.get("canary_smashes_detected_total", 0) or 0
+    )
+    return EffectivenessReport(rows, false_positives, runs, compat_smashes)
 
 
 _COMPAT_MAIN = """

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from .. import telemetry
 from ..binfmt.elf import Binary
 from ..binfmt.loader import load
 from ..crypto.random import EntropySource, terminator_free_word
@@ -130,6 +131,7 @@ class Kernel:
 
         # The dynamic loader draws the stack guard before anything runs.
         process.tls.canary = terminator_free_word(process.entropy)
+        telemetry.count("kernel_spawns_total", help="processes created (execve)")
 
         if run_constructors:
             for source in (*preloads, binary):
@@ -209,6 +211,9 @@ class Kernel:
             self.processes.pop(pid, None)
             self.fork_count -= 1
             raise
+        # Counted only after the hooks commit: the counter is monotonic,
+        # so it must track forks that stayed registered (== fork_count).
+        telemetry.count("kernel_forks_total", help="successful forks")
         return child
 
     # -- threads -------------------------------------------------------------------
@@ -272,6 +277,7 @@ class Kernel:
         except Exception:
             process.threads.pop()
             raise
+        telemetry.count("kernel_threads_total", help="threads created")
         return thread
 
     # -- teardown -------------------------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from .. import telemetry
 from ..crypto.random import EntropySource
 from ..errors import KernelError, MachineFault
 from ..isa.registers import RegisterFile
@@ -163,6 +164,7 @@ class Process:
         self.state = RUNNING
         start_cycles = self.cpu.cycles
         start_instructions = self.cpu.instructions_executed
+        telemetry.count("process_runs_total", help="process entry invocations")
         try:
             status = self.cpu.call_function(target, args)
             self.state = EXITED
@@ -170,6 +172,9 @@ class Process:
         except MachineFault as fault:
             self.state = CRASHED
             self.crash = fault
+            telemetry.count(
+                "process_crashes_total", help="runs ended by a machine fault"
+            )
         return ProcessResult(
             self.state,
             self.exit_status,
@@ -198,6 +203,7 @@ class Process:
         self.state = RUNNING
         start_cycles = self.cpu.cycles
         start_instructions = self.cpu.instructions_executed
+        telemetry.count("process_runs_total", help="process entry invocations")
         try:
             self.cpu._run_loop()
             self.state = EXITED
@@ -205,6 +211,9 @@ class Process:
         except MachineFault as fault:
             self.state = CRASHED
             self.crash = fault
+            telemetry.count(
+                "process_crashes_total", help="runs ended by a machine fault"
+            )
         return ProcessResult(
             self.state,
             self.exit_status,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from .. import telemetry
 from ..crypto.aes import encrypt_block
 from ..errors import ProgramAbort, SegmentationFault, StackSmashDetected
 from ..faults import policy as fault_policy
@@ -450,11 +451,19 @@ def _longjmp(cpu: CPU) -> int:
 
 def _stack_chk_fail(cpu: CPU) -> int:
     name, _ = cpu.registers.rip
+    telemetry.count(
+        "canary_smashes_detected_total", help="__stack_chk_fail firings"
+    )
+    telemetry.event("smash-detected", function=name)
     raise StackSmashDetected(function=name)
 
 
 def _fortify_fail(cpu: CPU) -> int:
     name, _ = cpu.registers.rip
+    telemetry.count(
+        "canary_smashes_detected_total", help="__stack_chk_fail firings"
+    )
+    telemetry.event("smash-detected", function=name, detail="fortify_fail")
     raise StackSmashDetected(function=name, detail="fortify_fail")
 
 

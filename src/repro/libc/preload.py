@@ -23,6 +23,7 @@ layout-identical to SSP (§V-C).
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..core.rerandomize import re_randomize, re_randomize_packed32
 from ..errors import ProtectionError
 from ..faults import policy as fault_policy
@@ -61,6 +62,10 @@ class PSSPPreload:
         fault_policy.publish_shadow_pair(
             tls, c0, c1, plane=getattr(process, "fault_plane", None)
         )
+        telemetry.count(
+            "shadow_refreshes_total", help="TLS shadow pair publishes"
+        )
+        telemetry.event("shadow-refresh", pid=process.pid, mode=self.mode)
 
     def on_fork(self, child: Process, parent: Process) -> None:
         """Wrapped ``fork``: refresh only the *child's* shadow canary.
@@ -69,6 +74,13 @@ class PSSPPreload:
         child inherited from the parent still verify — no consistency
         walk needed (contrast DynaGuard/DCR).
         """
+        telemetry.count(
+            "fork_rerandomizations_total",
+            help="child shadow pairs refreshed after fork",
+        )
+        telemetry.event(
+            "fork-rerandomize", child=child.pid, parent=parent.pid
+        )
         self.setup(child)
 
     def on_thread(self, thread: Process, process: Process) -> None:

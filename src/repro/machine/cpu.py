@@ -19,9 +19,11 @@ set ``zf``/``sf`` from their result, which is what the canary-check
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import (
     CpuLimitExceeded,
     DivisionFault,
@@ -112,14 +114,48 @@ class CPU:
         self.instructions_executed = 0
         self.running = False
         self.exit_status = 0
-        #: Optional per-instruction trace hook for tests/debugging.
-        self.trace: Optional[Callable[[str, int, Instruction], None]] = None
+        self._trace: Optional[Callable[[str, int, Instruction], None]] = None
+        self._trace_warned = False
+        #: Optional telemetry Profiler receiving enter/close at function
+        #: switches (one ``is not None`` check per switch when absent).
+        self.profiler = None
         self._current: Optional[Function] = None
         #: Decode cache: function name -> DecodedFunction, valid for one
-        #: image generation and one decoder binding (see _decoded).
+        #: image generation, one decoder binding, and one telemetry
+        #: generation (see _decoded).
         self._decoder: Optional[FunctionDecoder] = None
         self._decode_cache: Dict[str, DecodedFunction] = {}
         self._decode_generation: Optional[int] = None
+        self._decode_telemetry_generation: int = -1
+        #: Canary group-leader maps for the slow loop, keyed by function
+        #: name and invalidated on object identity (mirrors _decoded).
+        self._marker_cache: Dict[str, Tuple[Function, Dict[int, str]]] = {}
+
+    @property
+    def trace(self) -> Optional[Callable[[str, int, Instruction], None]]:
+        """Optional per-instruction hook for tests/debugging.
+
+        Installing a hook forces the slow interpreter loop — it observes
+        every step.  For always-on observation that keeps the fast path,
+        use the sampled telemetry event stream instead (see
+        docs/observability.md).
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(
+        self, hook: Optional[Callable[[str, int, Instruction], None]]
+    ) -> None:
+        if hook is not None and self.fast and not self._trace_warned:
+            self._trace_warned = True
+            warnings.warn(
+                "installing a cpu.trace hook forces the slow interpreter "
+                "loop; for low-overhead observation use the sampled "
+                "telemetry event stream (repro.telemetry) instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._trace = hook
 
     # ------------------------------------------------------------------
     # operand access
@@ -289,28 +325,73 @@ class CPU:
         """Execute until ``running`` drops; picks the fast or slow path.
 
         The trace hook observes every step, so tracing always uses the
-        slow path — accounting is identical either way.
+        slow path — accounting is identical either way.  Telemetry sees
+        one aggregate flush per invocation (the exact cycle/instruction
+        deltas the loop computed anyway), never a per-instruction call.
         """
-        if self.fast and self.trace is None:
-            self._run_loop_fast()
-        else:
-            self._run_loop_slow()
+        start_cycles = self.cycles
+        start_instructions = self.instructions_executed
+        try:
+            if self.fast and self._trace is None:
+                self._run_loop_fast()
+            else:
+                self._run_loop_slow()
+        finally:
+            telemetry.machine_flush(
+                self.cycles - start_cycles,
+                self.instructions_executed - start_instructions,
+            )
+
+    def _canary_markers(self, function: Function) -> Dict[int, str]:
+        """Group-leader map for ``function``, cached per object identity."""
+        cached = self._marker_cache.get(function.name)
+        if cached is not None and cached[0] is function:
+            return cached[1]
+        markers = telemetry.canary_markers(function)
+        self._marker_cache[function.name] = (function, markers)
+        return markers
 
     def _run_loop_slow(self) -> None:
-        """The original interpret-every-step loop (differential oracle)."""
-        while self.running:
-            function = self._current
-            name, index = self.registers.rip
-            assert function is not None and function.name == name
-            if index >= len(function.body):
-                raise InvalidJump(f"{name}: execution ran off the end")
-            instruction = function.body[index]
-            if self.trace is not None:
-                self.trace(name, index, instruction)
-            self.registers.rip = (name, index + 1)
-            self.charge(instruction_cost(instruction))
-            self.instructions_executed += 1
-            self._dispatch(instruction)
+        """The original interpret-every-step loop (differential oracle).
+
+        Canary counting consults the same group-leader map the decoder
+        wraps steps from, after the charge/retire point the fast path's
+        wrapped closures run at — so both paths count identically, by
+        construction, including on a cycle-limit trip.
+        """
+        hooks = telemetry.canary_hooks()
+        profiler = self.profiler
+        profiled: Optional[Function] = None
+        marked: Optional[Function] = None
+        markers: Dict[int, str] = {}
+        try:
+            while self.running:
+                function = self._current
+                name, index = self.registers.rip
+                assert function is not None and function.name == name
+                if index >= len(function.body):
+                    raise InvalidJump(f"{name}: execution ran off the end")
+                instruction = function.body[index]
+                if self._trace is not None:
+                    self._trace(name, index, instruction)
+                if profiler is not None and function is not profiled:
+                    profiled = function
+                    profiler.enter(name, self.cycles)
+                self.registers.rip = (name, index + 1)
+                self.charge(instruction_cost(instruction))
+                self.instructions_executed += 1
+                if hooks is not None:
+                    if function is not marked:
+                        marked = function
+                        markers = self._canary_markers(function)
+                    if markers:
+                        marker = markers.get(index)
+                        if marker is not None:
+                            hooks.hit(marker, name, index)
+                self._dispatch(instruction)
+        finally:
+            if profiler is not None:
+                profiler.close(self.cycles)
 
     # -- decode-cache fast path ------------------------------------------
 
@@ -341,6 +422,13 @@ class CPU:
         if generation != self._decode_generation:
             self._decode_cache.clear()
             self._decode_generation = generation
+        telemetry_generation = telemetry.generation()
+        if telemetry_generation != self._decode_telemetry_generation:
+            # Telemetry flipped state: cached steps may hold stale (or
+            # missing) canary-leader wrappers — re-decode against the
+            # current hooks.
+            self._decode_cache.clear()
+            self._decode_telemetry_generation = telemetry_generation
         decoded = self._decode_cache.get(function.name)
         if decoded is None or decoded.function is not function:
             decoded = decoder.decode(function)
@@ -371,6 +459,7 @@ class CPU:
         cycle_total = self.cycles
         pending_ticks = 0
         pending_instructions = 0
+        profiler = self.profiler
         try:
             while self.running:
                 function = self._current
@@ -378,6 +467,8 @@ class CPU:
                 decoded = self._decoded(function)
                 steps = decoded.steps
                 name = function.name
+                if profiler is not None:
+                    profiler.enter(name, cycle_total)
                 index = registers.rip[1]
                 count = len(steps)
                 while True:
@@ -427,6 +518,8 @@ class CPU:
             self.cycles = cycle_total
             tsc.advance(pending_ticks)
             self.instructions_executed += pending_instructions
+            if profiler is not None:
+                profiler.close(cycle_total)
 
     # ------------------------------------------------------------------
     # instruction semantics

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import IllegalInstruction, InvalidJump
 from ..isa.costs import step_cost
 from ..isa.instructions import (
@@ -149,6 +150,18 @@ class FunctionDecoder:
                 compiled = self._generic(instruction)
             execute, kind = compiled
             steps.append((execute, cycles, ticks, kind, (name, index + 1)))
+        hooks = telemetry.canary_hooks()
+        if hooks is not None:
+            # Telemetry: wrap only canary group-leader steps, so the fast
+            # loop pays nothing on any other step.  The CPU's decode cache
+            # watches the telemetry generation, re-decoding these away
+            # when telemetry is disabled.
+            for index, marker in telemetry.canary_markers(function).items():
+                execute, cycles, ticks, kind, next_rip = steps[index]
+                steps[index] = (
+                    hooks.wrap(execute, marker, name, index),
+                    cycles, ticks, kind, next_rip,
+                )
         return DecodedFunction(function, steps)
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ its fault-free reference and replays bit-identically.
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..crypto.random import EntropySource
 
 _WORD_MASK = (1 << 64) - 1
@@ -88,6 +89,10 @@ class RdRandDevice:
         self.failure_streak += 1
         if self.plane is not None:
             self.plane.note_rdrand_failure(kind, self.failure_streak)
+        telemetry.count(
+            "rdrand_failures_total", help="rdrand CF=0 results (all causes)"
+        )
+        telemetry.event("rdrand-retry", cause=kind, streak=self.failure_streak)
         return 0, False
 
     def _end_streak(self) -> None:
@@ -95,6 +100,10 @@ class RdRandDevice:
             self.recovered_streaks += 1
             if self.plane is not None:
                 self.plane.note_rdrand_recovered(self.failure_streak)
+            telemetry.count(
+                "rdrand_recovered_streaks_total",
+                help="CF=0 streaks ended by a successful read",
+            )
             self.failure_streak = 0
 
     def read(self) -> "tuple[int, bool]":
@@ -110,9 +119,19 @@ class RdRandDevice:
             # Stuck DRBG: CF=1, schedule-supplied output, no entropy drawn.
             self._end_streak()
             self.draws += 1
+            telemetry.count(
+                "rdrand_draws_total", help="successful rdrand draws (CF=1)"
+            )
             return verdict[1] & _WORD_MASK, True
         if self.failure_rate and self.entropy.randrange(10**6) < self.failure_rate * 10**6:
+            telemetry.count(
+                "rdrand_failures_total", help="rdrand CF=0 results (all causes)"
+            )
             return 0, False
         self._end_streak()
         self.draws += 1
+        telemetry.count(
+            "rdrand_draws_total", help="successful rdrand draws (CF=1)"
+        )
+        telemetry.sampled_event("rdrand-draw", draw=self.draws)
         return self.entropy.word(64), True

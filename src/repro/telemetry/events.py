@@ -1,0 +1,113 @@
+"""Canary lifecycle event stream: a sampling-capable ring buffer.
+
+The existing ``cpu.trace`` hook observes *every* step — and therefore
+forces the slow interpreter loop.  This ring is the supported
+alternative: rare lifecycle events (smash detection, degradation,
+quarantine, shadow refresh, fork re-randomization) are recorded
+unconditionally; high-frequency events (per-prologue stores, per-check
+epilogues, rdrand draws) go through :meth:`EventRing.emit_sampled`,
+which keeps every Nth occurrence.  Sampling defaults to **off**
+(``sample_every = 0``) so the fast path pays only one attribute compare
+per canary group leader; ``repro profile``/``repro stats`` and the
+``--telemetry-out`` campaign flags turn it on for their run.
+
+The buffer is a bounded ring: once ``capacity`` events are held, the
+oldest are evicted and counted in ``dropped`` — emission cost stays O(1)
+and memory stays bounded no matter how long a campaign runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Canonical lifecycle event kinds (docs/observability.md lists these).
+EVENT_KINDS = (
+    "prologue-store",      # canary written into a frame (sampled)
+    "epilogue-check",      # canary verified before return (sampled)
+    "shadow-refresh",      # TLS shadow pair re-published
+    "rdrand-draw",         # successful hardware entropy draw (sampled)
+    "rdrand-retry",        # CF=0 draw absorbed by a retry loop
+    "rdrand-quarantine",   # self-test quarantined the device
+    "fork-rerandomize",    # child shadow pair refreshed after fork
+    "smash-detected",      # __stack_chk_fail fired
+    "degradation",         # fail-closed DegradedError surfaced
+)
+
+
+@dataclass
+class Event:
+    """One recorded lifecycle event."""
+
+    seq: int
+    kind: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"seq": self.seq, "kind": self.kind, **self.fields}
+
+
+class EventRing:
+    """Bounded event buffer with optional 1-in-N sampling."""
+
+    __slots__ = ("capacity", "sample_every", "dropped", "sampled_out",
+                 "_buffer", "_next_seq", "_sample_counter")
+
+    def __init__(self, capacity: int = 512, sample_every: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        #: 0 = high-frequency events skipped entirely; N>0 = keep 1-in-N.
+        self.sample_every = sample_every
+        self.dropped = 0
+        self.sampled_out = 0
+        self._buffer: List[Event] = []
+        self._next_seq = 0
+        self._sample_counter = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Record one event unconditionally (rare lifecycle events)."""
+        if len(self._buffer) >= self.capacity:
+            del self._buffer[0]
+            self.dropped += 1
+        self._buffer.append(Event(self._next_seq, kind, fields))
+        self._next_seq += 1
+
+    def emit_sampled(self, kind: str, **fields: object) -> None:
+        """Record every ``sample_every``-th call (high-frequency events)."""
+        if self.sample_every <= 0:
+            self.sampled_out += 1
+            return
+        self._sample_counter += 1
+        if self._sample_counter % self.sample_every:
+            self.sampled_out += 1
+            return
+        self.emit(kind, **fields)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.dropped = 0
+        self.sampled_out = 0
+        self._next_seq = 0
+        self._sample_counter = 0
+
+    def events(self) -> List[Event]:
+        return list(self._buffer)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "sample_every": self.sample_every,
+            "dropped": self.dropped,
+            "sampled_out": self.sampled_out,
+            "events": [event.to_json() for event in self._buffer],
+        }
+
+
+#: The process-wide default ring, shared with the default registry.
+_DEFAULT = EventRing()
+
+
+def ring() -> EventRing:
+    """The process-wide default event ring."""
+    return _DEFAULT

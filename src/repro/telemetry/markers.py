@@ -1,0 +1,82 @@
+"""Canary group-leader detection from instruction provenance notes.
+
+Protection passes tag every instruction they emit with a ``note``
+("pssp-prologue", "dcr-epilogue", ...).  Telemetry counts *dynamic*
+prologue stores and epilogue checks, but instrumenting every tagged
+instruction would (a) cost fast-path time on each of the 4-15
+instructions per region and (b) over-count regions that mix several
+notes (the hardened NT prologue interleaves "pssp-nt-hardened",
+"…-hardened-c0", "…-fallback", "…-fallback-c0" in one region; the
+binary rewriter splices "pssp-binary-prologue" into an "ssp-prologue"
+region).
+
+So each maximal run of same-group tagged instructions is one *region*
+and only its first instruction — the **group leader** — is counted.
+Every scheme enters its regions from the top (internal retry loops jump
+back *past* the leader), so the leader executes exactly once per dynamic
+prologue/epilogue, and both interpreter paths count the same leaders:
+the fast path wraps the leader's step closure at decode time, the slow
+path consults the same map per function.  That shared map is what makes
+the fast/slow canary counters bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: note -> (category, region group).  A new region starts whenever the
+#: (category, group) pair changes between adjacent instructions; notes
+#: rewritten into a host scheme's region (pssp-binary, the inline
+#: ablation) share the host's group so the splice stays one region.
+NOTE_GROUPS: Dict[str, Tuple[str, str]] = {
+    # prologues -----------------------------------------------------------
+    "ssp-prologue": ("prologue", "ssp"),
+    "pssp-binary-prologue": ("prologue", "ssp"),
+    "inline-prologue": ("prologue", "ssp"),
+    "pssp-prologue": ("prologue", "pssp"),
+    "pssp-nt-prologue": ("prologue", "pssp-nt"),
+    "pssp-nt-hardened": ("prologue", "pssp-nt-hardened"),
+    "pssp-nt-hardened-c0": ("prologue", "pssp-nt-hardened"),
+    "pssp-nt-fallback": ("prologue", "pssp-nt-hardened"),
+    "pssp-nt-fallback-c0": ("prologue", "pssp-nt-hardened"),
+    "pssp-lv-prologue": ("prologue", "pssp-lv"),
+    "pssp-owf-prologue": ("prologue", "pssp-owf"),
+    "dynaguard-prologue": ("prologue", "dynaguard"),
+    "dcr-prologue": ("prologue", "dcr"),
+    # epilogues -----------------------------------------------------------
+    "ssp-epilogue": ("epilogue", "ssp"),
+    "pssp-binary-epilogue": ("epilogue", "ssp"),
+    "inline-epilogue": ("epilogue", "ssp"),
+    "pssp-epilogue": ("epilogue", "pssp"),
+    "pssp-lv-epilogue": ("epilogue", "pssp-lv"),
+    "pssp-lv-postwrite": ("epilogue", "pssp-lv-postwrite"),
+    "pssp-owf-epilogue": ("epilogue", "pssp-owf"),
+    "dynaguard-epilogue": ("epilogue", "dynaguard"),
+    "dcr-epilogue": ("epilogue", "dcr"),
+}
+
+PROLOGUE_NOTES = frozenset(
+    note for note, (category, _) in NOTE_GROUPS.items() if category == "prologue"
+)
+EPILOGUE_NOTES = frozenset(
+    note for note, (category, _) in NOTE_GROUPS.items() if category == "epilogue"
+)
+
+
+def canary_markers(function) -> Dict[int, str]:
+    """Map group-leader indices to ``"prologue"`` / ``"epilogue"``.
+
+    ``function`` needs only a ``body`` of instructions carrying ``note``
+    attributes (duck-typed so rewritten clones work too).
+    """
+    markers: Dict[int, str] = {}
+    previous: Tuple[str, str] = ("", "")
+    for index, instruction in enumerate(function.body):
+        entry = NOTE_GROUPS.get(getattr(instruction, "note", ""))
+        if entry is None:
+            previous = ("", "")
+            continue
+        if entry != previous:
+            markers[index] = entry[0]
+        previous = entry
+    return markers

@@ -1,0 +1,159 @@
+"""Per-function cycle attribution from the fast path's batch accounting.
+
+The fast loop already tracks cycles in a local accumulator and breaks
+out of its inner step walk exactly when control leaves the current
+function — so function-switch boundaries are natural, free attribution
+points.  A :class:`Profiler` attached to ``cpu.profiler`` receives one
+``enter`` per switch (and a final ``close``), records a *segment*
+``(function, start_cycle, end_cycle)``, and aggregates per-function
+totals.  Cost when attached: one closure call per function switch; cost
+when not attached: a single ``is not None`` check per switch.  The slow
+oracle path feeds the same callbacks, so attribution is path-agnostic.
+
+Native helper cycles charged inside a SYNC step are attributed to the
+*calling* function's segment (the accumulator resync lands there) —
+matching how a sampling profiler attributes leaf libc time to callers.
+
+Export formats:
+
+* :meth:`Profiler.attribution` — per-function cycles/segments table;
+* :meth:`Profiler.chrome_trace` — Chrome trace-event JSON ("X" complete
+  events, microsecond timestamps derived from the simulated clock) for
+  ``chrome://tracing`` / Perfetto.
+
+Simulated-time conversion uses the single clock constant
+:data:`repro.harness.metrics.CLOCK_HZ` (imported lazily to keep the
+machine → telemetry import path free of the harness layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def _clock_hz() -> float:
+    from ..harness.metrics import CLOCK_HZ
+
+    return CLOCK_HZ
+
+
+class Profiler:
+    """Collects function segments from a CPU's run loops."""
+
+    __slots__ = ("segments", "totals", "_open_name", "_open_start")
+
+    def __init__(self) -> None:
+        #: Closed segments: (function, start_cycle, end_cycle).
+        self.segments: List[Tuple[str, float, float]] = []
+        #: Aggregate cycles per function.
+        self.totals: Dict[str, float] = {}
+        self._open_name: Optional[str] = None
+        self._open_start = 0.0
+
+    # -- CPU-facing callbacks -------------------------------------------
+
+    def enter(self, name: str, cycle: float) -> None:
+        """Control entered ``name`` at ``cycle``; closes the open segment."""
+        if self._open_name is not None:
+            self._close_segment(cycle)
+        self._open_name = name
+        self._open_start = cycle
+
+    def close(self, cycle: float) -> None:
+        """Run loop unwound (return, fault, or limit) at ``cycle``."""
+        if self._open_name is not None:
+            self._close_segment(cycle)
+            self._open_name = None
+
+    def _close_segment(self, cycle: float) -> None:
+        name = self._open_name
+        assert name is not None
+        self.segments.append((name, self._open_start, cycle))
+        self.totals[name] = self.totals.get(name, 0.0) + (cycle - self._open_start)
+
+    # -- reports ---------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(end - start for _, start, end in self.segments)
+
+    def attribution(self) -> List[Dict[str, object]]:
+        """Per-function rows, hottest first."""
+        counts: Dict[str, int] = {}
+        for name, _, _ in self.segments:
+            counts[name] = counts.get(name, 0) + 1
+        total = self.total_cycles or 1.0
+        clock = _clock_hz()
+        return [
+            {
+                "function": name,
+                "cycles": cycles,
+                "segments": counts[name],
+                "percent": cycles / total * 100.0,
+                "seconds": cycles / clock,
+            }
+            for name, cycles in sorted(
+                self.totals.items(), key=lambda item: -item[1]
+            )
+        ]
+
+    def chrome_trace(
+        self, *, pid: int = 1, tid: int = 1, process_name: str = "repro"
+    ) -> Dict[str, object]:
+        """Chrome trace-event JSON (the ``traceEvents`` object form).
+
+        Timestamps are microseconds of simulated time:
+        ``ts = cycles / CLOCK_HZ * 1e6``.
+        """
+        scale = 1e6 / _clock_hz()
+        trace_events: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": process_name},
+            }
+        ]
+        for name, start, end in self.segments:
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": "simulated",
+                    "ph": "X",
+                    "ts": start * scale,
+                    "dur": (end - start) * scale,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock_hz": _clock_hz(),
+                "total_cycles": self.total_cycles,
+            },
+        }
+
+    def render(self, limit: int = 20) -> str:
+        """Terminal attribution table."""
+        rows = self.attribution()
+        lines = [
+            f"{'function':24s} {'cycles':>14s} {'segments':>9s} "
+            f"{'%':>6s} {'sim time':>10s}"
+        ]
+        for row in rows[:limit]:
+            lines.append(
+                f"{str(row['function']):24s} {row['cycles']:>14,.0f} "
+                f"{row['segments']:>9d} {row['percent']:>5.1f}% "
+                f"{row['seconds'] * 1e6:>8.2f}us"
+            )
+        if len(rows) > limit:
+            lines.append(f"... {len(rows) - limit} more function(s)")
+        lines.append(
+            f"{'total':24s} {self.total_cycles:>14,.0f} "
+            f"{len(self.segments):>9d} {100.0:>5.1f}% "
+            f"{self.total_cycles / _clock_hz() * 1e6:>8.2f}us"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,304 @@
+"""Typed instrument registry: counters, gauges, histograms, span timers.
+
+One process-wide :class:`Registry` (reachable via :func:`registry`) holds
+every instrument by name.  Recording is designed around the interpreter
+fast path's constraint: the hot loop never calls into this module per
+instruction — subsystems accumulate locally (the CPU's batched
+cycle/instruction accounting, the decode-time canary group leaders) and
+flush aggregate deltas at batch boundaries.  Instruments therefore stay
+plain Python objects with attribute arithmetic, no locks, no callbacks.
+
+Instrument taxonomy (documented in docs/observability.md):
+
+* :class:`Counter`   — monotonic; ``add`` rejects negative deltas.
+* :class:`Gauge`     — last-write-wins level (``set``/``add``).
+* :class:`Histogram` — fixed upper-bound buckets chosen at creation;
+  ``observe`` is O(buckets) with no allocation.
+* :class:`SpanTimer` — context manager observing durations into a
+  histogram; the clock is pluggable so spans can measure host seconds
+  (default) or simulated cycles.
+
+Enable/disable is global and **generational**: every state flip bumps
+``Registry.generation``, which the CPU's decode cache watches so stale
+telemetry wrappers are re-decoded away instead of checked per step.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram upper bounds: wide log-spaced cycle-ish buckets.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+)
+
+
+class Counter:
+    """A monotonically increasing value (int or float)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def add(self, delta: Number = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name}: negative add {delta!r}")
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """A level that may move in either direction."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, delta: Number) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus-style cumulative exposition).
+
+    ``bounds`` are ascending upper bounds; observations above the last
+    bound land in the implicit +Inf bucket.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: bounds must ascend")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.total: float = 0.0
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class SpanTimer:
+    """Times a ``with`` block into a histogram via a pluggable clock."""
+
+    __slots__ = ("histogram", "clock", "_start", "last")
+
+    def __init__(
+        self, histogram: Histogram, clock: Callable[[], float]
+    ) -> None:
+        self.histogram = histogram
+        self.clock = clock
+        self._start: Optional[float] = None
+        #: Duration of the most recent completed span.
+        self.last: Optional[float] = None
+
+    def __enter__(self) -> "SpanTimer":
+        self._start = self.clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.last = self.clock() - self._start
+        self.histogram.observe(self.last)
+        self._start = None
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class Registry:
+    """All instruments of one process, plus the global enable switch."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self.enabled = True
+        #: Bumped on every enable/disable/reset so decode-time telemetry
+        #: wrappers (bound when a function was lowered) can be invalidated
+        #: with one integer compare instead of per-step checks.
+        self.generation = 0
+
+    # -- instrument creation / lookup ------------------------------------
+
+    def _get(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise ValueError(
+                f"instrument {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, bounds, help), "histogram")
+
+    def span(
+        self,
+        name: str,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> SpanTimer:
+        return SpanTimer(
+            self.histogram(name, bounds), clock or time.perf_counter
+        )
+
+    def instruments(self) -> List[Instrument]:
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
+    # -- state -----------------------------------------------------------
+
+    def enable(self) -> None:
+        if not self.enabled:
+            self.enabled = True
+            self.generation += 1
+
+    def disable(self) -> None:
+        if self.enabled:
+            self.enabled = False
+            self.generation += 1
+
+    def reset(self) -> None:
+        """Zero every instrument (structure kept, values dropped)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+        self.generation += 1
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def delta(self, before: Dict[str, object]) -> Dict[str, object]:
+        """Difference of the current state against a prior snapshot.
+
+        Counters/gauges subtract; histograms subtract counts and sums.
+        Instruments created since ``before`` report their full value.
+        """
+        result: Dict[str, object] = {}
+        for name, value in self.snapshot().items():
+            prior = before.get(name)
+            if isinstance(value, dict):
+                prior_counts = prior["counts"] if isinstance(prior, dict) else None
+                result[name] = {
+                    "bounds": value["bounds"],
+                    "counts": [
+                        c - (prior_counts[i] if prior_counts else 0)
+                        for i, c in enumerate(value["counts"])
+                    ],
+                    "sum": value["sum"]
+                    - (prior["sum"] if isinstance(prior, dict) else 0.0),
+                    "count": value["count"]
+                    - (prior["count"] if isinstance(prior, dict) else 0),
+                }
+            else:
+                result[name] = value - (prior if isinstance(prior, (int, float)) else 0)
+        return result
+
+    def to_json(self) -> Dict[str, object]:
+        return {"enabled": self.enabled, "instruments": self.snapshot()}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (counters/gauges/histograms)."""
+        lines: List[str] = []
+        for instrument in self.instruments():
+            name = instrument.name
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for bound, count in zip(instrument.bounds, instrument.counts):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{bound:g}"}} {cumulative}'
+                    )
+                cumulative += instrument.counts[-1]
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{name}_sum {instrument.total:g}")
+                lines.append(f"{name}_count {instrument.count}")
+            else:
+                lines.append(f"{name} {instrument.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-wide default registry (see module docstring).
+_DEFAULT = Registry()
+
+
+def registry() -> Registry:
+    """The process-wide default registry."""
+    return _DEFAULT

@@ -23,7 +23,10 @@ from ..core.deploy import build, deploy
 from ..crypto.random import EntropySource
 from ..kernel.kernel import Kernel
 
-#: Simulated CPU clock (i7-4770K-class), cycles per millisecond.
+#: Simulated CPU clock (i7-4770K-class), cycles per millisecond.  Must
+#: equal ``repro.harness.metrics.CLOCK_HZ / 1e3`` — kept as a literal
+#: because importing the harness package from workloads would be
+#: circular; ``tests/harness/test_metrics.py`` pins the two together.
 CYCLES_PER_MS = 3_500_000.0
 
 APACHE_SOURCE = """

@@ -72,6 +72,70 @@ class TestCli:
             main([])
 
 
+class TestTelemetryCommands:
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--schemes", "none,pssp"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme" in out and "pssp" in out and "prologues" in out
+
+    def test_stats_unknown_scheme_is_usage_error(self, capsys):
+        assert main(["stats", "--schemes", "rot13"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_stats_json_with_smash(self, capsys):
+        import json
+
+        assert main(["stats", "--schemes", "pssp", "--smash", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        delta = payload["schemes"]["pssp"]
+        assert delta["canary_smashes_detected_total"] == 1
+        assert delta["canary_prologue_stores_total"] > 0
+        assert "events" in payload
+
+    def test_stats_prometheus(self, capsys):
+        assert main(["stats", "--schemes", "pssp", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE machine_instructions_total counter" in out
+
+    def test_stats_out_file(self, tmp_path, capsys):
+        target = tmp_path / "stats.txt"
+        assert main(["stats", "--schemes", "none", "--out", str(target)]) == 0
+        assert "scheme" in target.read_text()
+
+    def test_profile_table(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "mid_mix" in out and "leaf_sum" in out and "total" in out
+
+    def test_profile_chrome_trace_out(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(["profile", "--out", str(target)]) == 0
+        trace = json.loads(target.read_text())
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"
+        complete = [event for event in events if event["ph"] == "X"]
+        assert complete
+        assert all(
+            {"name", "ts", "dur", "pid", "tid"} <= set(event)
+            for event in complete
+        )
+        assert trace["otherData"]["total_cycles"] > 0
+
+    def test_attack_telemetry_out(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "attack-telemetry.json"
+        assert main([
+            "attack", "--scheme", "pssp", "--trials", "300",
+            "--telemetry-out", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["counters"]["canary_smashes_detected_total"] > 0
+        assert payload["events"]["sample_every"] == 100
+
+
 class TestReport:
     @pytest.fixture(scope="class")
     def report_text(self):

@@ -47,6 +47,30 @@ class TestRunProgram:
         metrics = run_program(SIMPLE, "none")
         assert metrics.seconds == pytest.approx(metrics.cycles / CLOCK_HZ)
 
+    def test_clock_hz_is_the_single_source(self):
+        # The workloads layer keeps a per-millisecond literal (importing
+        # the harness there would be circular); pin it to CLOCK_HZ so
+        # the two clocks cannot drift apart.
+        from repro.workloads.webserver import CYCLES_PER_MS
+
+        assert CYCLES_PER_MS == CLOCK_HZ / 1e3
+
+    def test_smash_detections_come_from_telemetry(self):
+        smashing = """
+        int victim() {
+            char buf[16];
+            int i;
+            for (i = 0; i < 64; i = i + 1) { buf[i] = 65; }
+            return 0;
+        }
+        int main() { return victim(); }
+        """
+        metrics = run_program(smashing, "pssp", name="smash")
+        assert metrics.crashed
+        assert metrics.smashes_detected == 1
+        assert metrics.degradations == 0
+        assert metrics.telemetry["canary_prologue_stores_total"] > 0
+
     def test_scheme_ordering(self):
         none = run_program(PROTECTED, "none")
         ssp = run_program(PROTECTED, "ssp")

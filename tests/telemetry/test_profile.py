@@ -1,0 +1,135 @@
+"""Profiler semantics and the Chrome trace-event export."""
+
+import pytest
+
+from repro import telemetry
+from repro.core.deploy import build, deploy
+from repro.harness.metrics import CLOCK_HZ
+from repro.kernel.kernel import Kernel
+from repro.telemetry.profile import Profiler
+
+SOURCE = """
+int leaf(int n) {
+    char buf[16];
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) { buf[i % 8] = i; acc = acc + i; }
+    return acc;
+}
+int mid(int n) {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) { acc = acc + leaf(5); }
+    return acc;
+}
+int main() { return mid(6) & 255; }
+"""
+
+
+class TestProfilerUnit:
+    def test_segments_and_totals(self):
+        profiler = Profiler()
+        profiler.enter("main", 0)
+        profiler.enter("leaf", 100)
+        profiler.enter("main", 160)
+        profiler.close(200)
+        assert profiler.segments == [
+            ("main", 0, 100), ("leaf", 100, 160), ("main", 160, 200),
+        ]
+        assert profiler.totals == {"main": 140.0, "leaf": 60.0}
+        assert profiler.total_cycles == 200
+
+    def test_close_without_open_segment_is_noop(self):
+        profiler = Profiler()
+        profiler.close(50)
+        assert profiler.segments == []
+
+    def test_attribution_hottest_first(self):
+        profiler = Profiler()
+        profiler.enter("a", 0)
+        profiler.enter("b", 10)
+        profiler.close(100)
+        rows = profiler.attribution()
+        assert [row["function"] for row in rows] == ["b", "a"]
+        assert rows[0]["cycles"] == 90 and rows[0]["segments"] == 1
+        assert sum(row["percent"] for row in rows) == pytest.approx(100.0)
+        assert rows[0]["seconds"] == pytest.approx(90 / CLOCK_HZ)
+
+    def test_chrome_trace_structure(self):
+        profiler = Profiler()
+        profiler.enter("main", 0)
+        profiler.close(1000)
+        trace = profiler.chrome_trace(process_name="unit")
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"] == {"name": "unit"}
+        complete = events[1:]
+        assert [event["ph"] for event in complete] == ["X"]
+        scale = 1e6 / CLOCK_HZ
+        assert complete[0]["ts"] == 0.0
+        assert complete[0]["dur"] == pytest.approx(1000 * scale)
+        assert trace["otherData"]["clock_hz"] == CLOCK_HZ
+        assert trace["otherData"]["total_cycles"] == 1000
+
+    def test_render_mentions_every_function(self):
+        profiler = Profiler()
+        profiler.enter("alpha", 0)
+        profiler.enter("beta", 10)
+        profiler.close(20)
+        table = profiler.render()
+        assert "alpha" in table and "beta" in table and "total" in table
+
+
+def _profiled_run(fast):
+    kernel = Kernel(23)
+    binary = build(SOURCE, "pssp", name="profiled")
+    process, _ = deploy(kernel, binary, "pssp", fast=fast)
+    profiler = Profiler()
+    process.cpu.profiler = profiler
+    result = process.run()
+    assert result.state == "exited"
+    return profiler
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_live_run_attribution_covers_the_whole_run(fast):
+    profiler = _profiled_run(fast)
+    names = set(profiler.totals)
+    assert {"main", "mid", "leaf"} <= names
+    # Segments partition the run: per-function totals sum to the total.
+    assert sum(profiler.totals.values()) == pytest.approx(
+        profiler.total_cycles
+    )
+    assert profiler.total_cycles > 0
+
+
+def test_fast_and_slow_attribution_agree():
+    fast = _profiled_run(True)
+    slow = _profiled_run(False)
+    assert fast.totals == slow.totals
+    assert fast.segments == slow.segments
+
+
+def test_profiler_does_not_perturb_accounting():
+    kernel = Kernel(23)
+    binary = build(SOURCE, "pssp", name="profiled")
+    process, _ = deploy(kernel, binary, "pssp", fast=True)
+    reference = process.run()
+
+    kernel = Kernel(23)
+    binary = build(SOURCE, "pssp", name="profiled")
+    process, _ = deploy(kernel, binary, "pssp", fast=True)
+    process.cpu.profiler = Profiler()
+    profiled = process.run()
+
+    assert profiled.cycles == reference.cycles
+    assert profiled.exit_status == reference.exit_status
+
+
+def test_clock_constant_is_the_single_source():
+    # The profiler's seconds conversion and the benchmark layer's wall
+    # clock must share one constant (satellite: CLOCK_HZ single source).
+    from repro.telemetry.profile import _clock_hz
+
+    assert _clock_hz() == CLOCK_HZ
+    assert telemetry  # imported without pulling the harness eagerly

@@ -1,0 +1,217 @@
+"""Instrument semantics: counters, gauges, histograms, spans, the ring."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.events import EventRing
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    SpanTimer,
+)
+
+
+class TestCounter:
+    def test_monotonic_add(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_negative_add_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="negative"):
+            counter.add(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.add(7)
+        counter.reset()
+        assert counter.snapshot() == 0
+
+
+class TestGauge:
+    def test_set_and_add_both_directions(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError, match="ascend"):
+            Histogram("h", bounds=(10.0, 1.0))
+        with pytest.raises(ValueError, match="ascend"):
+            Histogram("h", bounds=())
+
+    def test_bucket_placement_including_inf(self):
+        histogram = Histogram("h", bounds=(10.0, 100.0))
+        histogram.observe(5)      # <= 10
+        histogram.observe(10)     # <= 10 (upper bounds are inclusive)
+        histogram.observe(50)     # <= 100
+        histogram.observe(1000)   # +Inf
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.total == 1065
+
+    def test_reset(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        histogram.observe(2)
+        histogram.reset()
+        assert histogram.snapshot() == {
+            "bounds": [1.0], "counts": [0, 0], "sum": 0.0, "count": 0,
+        }
+
+
+class TestSpanTimer:
+    def test_pluggable_clock(self):
+        histogram = Histogram("h", bounds=(10.0, 100.0))
+        ticks = iter([100.0, 140.0])
+        timer = SpanTimer(histogram, clock=lambda: next(ticks))
+        with timer:
+            pass
+        assert timer.last == 40.0
+        assert histogram.count == 1
+        assert histogram.counts == [0, 1, 0]
+
+
+class TestRegistry:
+    def test_lookup_returns_same_instrument(self):
+        registry = Registry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_and_delta(self):
+        registry = Registry()
+        registry.counter("a").add(2)
+        registry.histogram("h", bounds=(10.0,)).observe(3)
+        before = registry.snapshot()
+        registry.counter("a").add(5)
+        registry.counter("new").add(1)
+        registry.histogram("h", bounds=(10.0,)).observe(100)
+        delta = registry.delta(before)
+        assert delta["a"] == 5
+        assert delta["new"] == 1  # created after the snapshot: full value
+        assert delta["h"] == {
+            "bounds": [10.0], "counts": [0, 1], "sum": 100.0, "count": 1,
+        }
+
+    def test_generation_bumps_only_on_state_flips(self):
+        registry = Registry()
+        start = registry.generation
+        registry.enable()           # already enabled: no bump
+        assert registry.generation == start
+        registry.disable()
+        registry.disable()          # already disabled: no bump
+        registry.enable()
+        registry.reset()
+        assert registry.generation == start + 3
+
+    def test_reset_zeroes_but_keeps_structure(self):
+        registry = Registry()
+        registry.counter("a", "kept help").add(9)
+        registry.reset()
+        assert registry.counter("a").value == 0
+        assert registry.counter("a").help == "kept help"
+
+    def test_render_prometheus(self):
+        registry = Registry()
+        registry.counter("hits", "hits observed").add(3)
+        histogram = registry.histogram("lat", bounds=(10.0, 100.0))
+        histogram.observe(5)
+        histogram.observe(50)
+        histogram.observe(500)
+        text = registry.render_prometheus()
+        assert "# HELP hits hits observed" in text
+        assert "# TYPE hits counter" in text
+        assert "hits 3" in text
+        # Buckets are cumulative, with the implicit +Inf last.
+        assert 'lat_bucket{le="10"} 1' in text
+        assert 'lat_bucket{le="100"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 555" in text
+        assert "lat_count 3" in text
+
+
+class TestEventRing:
+    def test_bounded_with_drop_accounting(self):
+        ring = EventRing(capacity=3)
+        for index in range(5):
+            ring.emit("smash-detected", index=index)
+        events = ring.events()
+        assert len(events) == 3
+        assert ring.dropped == 2
+        # Oldest evicted; sequence numbers keep counting.
+        assert [event.seq for event in events] == [2, 3, 4]
+
+    def test_sampling_defaults_off(self):
+        ring = EventRing()
+        ring.emit_sampled("prologue-store")
+        assert ring.events() == []
+        assert ring.sampled_out == 1
+
+    def test_sampling_keeps_one_in_n(self):
+        ring = EventRing(sample_every=3)
+        for _ in range(9):
+            ring.emit_sampled("prologue-store")
+        assert len(ring.events()) == 3
+        assert ring.sampled_out == 6
+
+    def test_clear(self):
+        ring = EventRing(sample_every=1)
+        ring.emit("degradation")
+        ring.emit_sampled("rdrand-draw")
+        ring.clear()
+        assert ring.events() == []
+        assert ring.dropped == 0 and ring.sampled_out == 0
+
+    def test_to_json_shape(self):
+        ring = EventRing()
+        ring.emit("shadow-refresh", pid=4)
+        payload = ring.to_json()
+        assert payload["events"] == [
+            {"seq": 0, "kind": "shadow-refresh", "pid": 4}
+        ]
+        assert payload["capacity"] == 512
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+
+class TestModuleHelpers:
+    def test_count_noop_while_disabled(self):
+        before = telemetry.snapshot()
+        telemetry.disable()
+        try:
+            telemetry.count("canary_smashes_detected_total")
+        finally:
+            telemetry.enable()
+        assert telemetry.delta(before).get(
+            "canary_smashes_detected_total", 0
+        ) == 0
+
+    def test_event_noop_while_disabled(self):
+        held = len(telemetry.ring().events())
+        telemetry.disable()
+        try:
+            telemetry.event("degradation", reason="test")
+        finally:
+            telemetry.enable()
+        assert len(telemetry.ring().events()) == held
+
+    def test_canary_hooks_none_while_disabled(self):
+        telemetry.disable()
+        try:
+            assert telemetry.canary_hooks() is None
+        finally:
+            telemetry.enable()
+        assert telemetry.canary_hooks() is not None
