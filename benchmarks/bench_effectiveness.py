@@ -8,10 +8,13 @@ positives.
 
 from repro.attacks.byte_by_byte import expected_ssp_trials
 from repro.harness.tables import effectiveness
+from repro.parallel import default_jobs
 
 
 def test_effectiveness(benchmark, run_once):
-    result = run_once(lambda: effectiveness(max_trials=4000, compat_runs=3))
+    result = run_once(lambda: effectiveness(
+        max_trials=4000, compat_runs=3, jobs=default_jobs()
+    ))
     print("\n=== §VI-C effectiveness (measured) ===")
     print(result.render())
 

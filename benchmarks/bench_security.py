@@ -8,13 +8,10 @@ exhaustive-search equivalence across schemes.
 
 from statistics import mean, stdev
 
-from repro import telemetry
-from repro.attacks.byte_by_byte import byte_by_byte_attack, expected_ssp_trials
+from repro.attacks.byte_by_byte import expected_ssp_trials
 from repro.attacks.exhaustive import survival_probability_montecarlo
-from repro.attacks.oracle import ForkingServer
-from repro.attacks.payloads import frame_map
-from repro.core.deploy import build, deploy
-from repro.kernel.kernel import Kernel
+from repro.attacks.trials import attack_campaign
+from repro.parallel import default_jobs
 
 VICTIM = """
 int handler(int n) {
@@ -26,42 +23,37 @@ int main() { return 0; }
 """
 
 
-def _campaign(scheme, seed, max_trials=6000):
-    """Run one byte-by-byte campaign; return (report, telemetry smashes).
-
-    The smash count comes from the ``canary_smashes_detected_total``
-    counter — the defender's own view of the attack — rather than from
-    worker exit statuses.  Every refuted guess aborts the worker via
-    ``__stack_chk_fail``; a confirmed guess survives, so the counters
-    must satisfy ``smashes == trials - recovered`` exactly.
-    """
-    kernel = Kernel(seed)
-    binary = build(VICTIM, scheme, name="srv")
-    parent, _ = deploy(kernel, binary, scheme)
-    server = ForkingServer(kernel, parent)
-    frame = frame_map(binary, "handler")
-    before = telemetry.snapshot()
-    report = byte_by_byte_attack(server, frame, max_trials=max_trials)
-    delta = telemetry.delta(before)
-    smashes = int(delta.get("canary_smashes_detected_total", 0) or 0)
-    return report, smashes
-
-
 def test_attack_cost_distribution(benchmark, run_once):
+    # Two 8-seed campaigns, sharded across ``REPRO_JOBS`` workers (the
+    # seed-ordered merge keeps the numbers identical to a serial run).
+    # The smash counts come from the ``canary_smashes_detected_total``
+    # counter — the defender's own view of the attack — rather than
+    # from worker exit statuses.  Every refuted guess aborts the worker
+    # via ``__stack_chk_fail``; a confirmed guess survives, so the
+    # counters must satisfy ``smashes == trials - recovered`` exactly.
     def measure():
+        jobs = default_jobs()
+        ssp_report = attack_campaign(
+            "ssp", base_seed=3000, repeats=8, max_trials=6000,
+            source=VICTIM, jobs=jobs,
+        )
+        pssp_report = attack_campaign(
+            "pssp", base_seed=3000, repeats=8, max_trials=2500,
+            source=VICTIM, jobs=jobs,
+        )
+        assert not ssp_report.lost and not pssp_report.lost
         ssp_trials = []
         pssp_progress = []
-        for seed in range(8):
-            ssp, ssp_smashes = _campaign("ssp", 3000 + seed)
+        for ssp in ssp_report.trials:
             assert ssp.success
             # Telemetry agrees with the attack ledger: every trial that
             # did not confirm a byte fired __stack_chk_fail exactly once.
-            assert ssp_smashes == ssp.trials - len(ssp.recovered)
+            assert ssp.smashes == ssp.trials - ssp.recovered_bytes
             ssp_trials.append(ssp.trials)
-            pssp, pssp_smashes = _campaign("pssp", 3000 + seed, max_trials=2500)
+        for pssp in pssp_report.trials:
             assert not pssp.success
-            assert pssp_smashes == pssp.trials - len(pssp.recovered)
-            pssp_progress.append(len(pssp.recovered))
+            assert pssp.smashes == pssp.trials - pssp.recovered_bytes
+            pssp_progress.append(pssp.recovered_bytes)
         return ssp_trials, pssp_progress
 
     ssp_trials, pssp_progress = run_once(measure)

@@ -18,8 +18,18 @@ from .leak import CanarySniffer, LeakReport, leak_and_replay
 from .oracle import ForkingServer, Response, ThreadedServer
 from .payloads import FrameMap, PayloadBuilder, frame_map
 from .recon import ReconReport, blind_byte_by_byte, find_canary_start
+from .trials import (
+    AttackCampaignReport,
+    AttackTrial,
+    attack_campaign,
+    run_attack_trial,
+)
 
 __all__ = [
+    "AttackCampaignReport",
+    "AttackTrial",
+    "attack_campaign",
+    "run_attack_trial",
     "ByteByByteReport",
     "CORRECTNESS_PROBE_SOURCE",
     "CanarySniffer",

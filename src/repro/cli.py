@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from . import telemetry
 from .core.deploy import SCHEMES, build, deploy
+from .parallel import add_jobs_argument, resolve_jobs
 from .harness import figures as _figures
 from .harness import tables as _tables
 from .harness.report import generate_report
@@ -159,8 +160,38 @@ def _telemetry_capture_write(path: Optional[str], before: Dict[str, object]) -> 
     print(f"wrote {path}")
 
 
+def _campaign_jobs(args: argparse.Namespace):
+    """Resolve ``--jobs`` for a campaign command.
+
+    Returns ``(jobs, None)`` on success or ``(None, EXIT_USAGE)`` when
+    the flag or the ``REPRO_JOBS`` environment default is invalid.
+    """
+    try:
+        return resolve_jobs(args.jobs), None
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return None, EXIT_USAGE
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     from .attacks import ForkingServer, byte_by_byte_attack, frame_map
+    from .attacks.trials import attack_campaign
+
+    jobs, usage = _campaign_jobs(args)
+    if usage is not None:
+        return usage
+
+    if args.repeats > 1:
+        before = _telemetry_capture_start(args.telemetry_out)
+        report = attack_campaign(
+            args.scheme, base_seed=args.seed, repeats=args.repeats,
+            max_trials=args.trials, source=_ATTACK_VICTIM, jobs=jobs,
+        )
+        print(report.render())
+        _telemetry_capture_write(args.telemetry_out, before)
+        if report.lost:
+            return EXIT_INFRASTRUCTURE
+        return EXIT_OK if not report.successes else EXIT_VIOLATION
 
     before = _telemetry_capture_start(args.telemetry_out)
     kernel = Kernel(args.seed)
@@ -178,7 +209,10 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_effectiveness(args: argparse.Namespace) -> int:
-    print(_tables.effectiveness(max_trials=args.trials).render())
+    jobs, usage = _campaign_jobs(args)
+    if usage is not None:
+        return usage
+    print(_tables.effectiveness(max_trials=args.trials, jobs=jobs).render())
     return 0
 
 
@@ -267,6 +301,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               else f"{len(failures)} failure(s)")
         return 0 if not failures else 1
 
+    jobs, usage = _campaign_jobs(args)
+    if usage is not None:
+        return usage
     before = _telemetry_capture_start(args.telemetry_out)
     report = run_fuzz(
         args.budget,
@@ -274,6 +311,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         health=not args.no_health,
         progress=lambda line: print(f"  {line}", flush=True),
+        jobs=jobs,
         **({"schemes": schemes} if schemes else {}),
     )
     print(report.render())
@@ -312,6 +350,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               else f"{len(run.violations)} violation(s)")
         return EXIT_OK if run.ok else EXIT_VIOLATION
 
+    jobs, usage = _campaign_jobs(args)
+    if usage is not None:
+        return usage
     before = _telemetry_capture_start(args.telemetry_out)
     report = run_campaign(
         args.budget,
@@ -322,6 +363,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         resume=args.resume,
         schemes=tuple(args.schemes.split(",")) if args.schemes else None,
         progress=lambda line: print(f"  {line}", flush=True),
+        jobs=jobs,
     )
     print(report.render())
     _telemetry_capture_write(args.telemetry_out, before)
@@ -534,11 +576,16 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--scheme", default="ssp", choices=sorted(SCHEMES))
     attack.add_argument("--trials", type=int, default=6000)
     attack.add_argument("--seed", type=int, default=20180625)
+    attack.add_argument("--repeats", type=int, default=1,
+                        help="independent seeded campaigns (seed+i); "
+                             ">1 prints the cost distribution")
+    add_jobs_argument(attack)
     attack.add_argument("--telemetry-out", default=None, metavar="FILE",
                         help="write telemetry counters + event stream as JSON")
 
     eff = sub.add_parser("effectiveness", help="regenerate §VI-C")
     eff.add_argument("--trials", type=int, default=4000)
+    add_jobs_argument(eff)
 
     sweep = sub.add_parser("sweep", help="run a parameter sweep")
     sweep.add_argument("kind", choices=("density", "width"))
@@ -575,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the detection/polymorphism probes")
     fuzz.add_argument("--out", default=None, metavar="DIR",
                       help="write failing programs as JSON artifacts")
+    add_jobs_argument(fuzz)
     fuzz.add_argument("--telemetry-out", default=None, metavar="FILE",
                       help="write telemetry counters + event stream as JSON")
 
@@ -604,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip cases already in the checkpoint file")
     chaos.add_argument("--out", default=None, metavar="FILE",
                        help="write the full campaign report as JSON")
+    add_jobs_argument(chaos)
     chaos.add_argument("--telemetry-out", default=None, metavar="FILE",
                        help="write telemetry counters + event stream as JSON")
 

@@ -38,6 +38,7 @@ from ..kernel.kernel import Kernel
 from ..kernel.process import Process
 from ..libc.builtins import build_natives
 from ..libc.glibc_sim import build_static_glibc
+from ..parallel.buildcache import build_cache
 from .baselines import DCRRuntime, DynaGuardRuntime
 from .schemes import (
     GlobalBufferRuntime,
@@ -127,9 +128,7 @@ def get_scheme(name: str) -> SchemeSpec:
         ) from None
 
 
-def build(source: str, scheme: str = "pssp", *, name: str = "a.out") -> Binary:
-    """Compile MiniC source under ``scheme`` (including rewriting paths)."""
-    spec = get_scheme(scheme)
+def _build_uncached(source: str, spec: SchemeSpec, name: str) -> Binary:
     link_type = STATIC if spec.static_link else DYNAMIC
     binary = compile_source(source, protection=spec.pass_name, name=name,
                             link_type=link_type)
@@ -139,6 +138,30 @@ def build(source: str, scheme: str = "pssp", *, name: str = "a.out") -> Binary:
         binary = spec.rewrite(binary)
     binary.protection = spec.name if spec.name != "none" else ""
     return binary
+
+
+def build(
+    source: str, scheme: str = "pssp", *, name: str = "a.out",
+    cache: Optional[bool] = None,
+) -> Binary:
+    """Compile MiniC source under ``scheme`` (including rewriting paths).
+
+    Builds are deterministic, so the result is served through the
+    content-addressed :mod:`repro.parallel.buildcache` keyed by
+    ``(source, scheme toolchain fingerprint, name)`` — campaigns that
+    rebuild one program per interpreter path, per reference/faulted
+    twin, or per shrink candidate reuse a single compile.  Pass
+    ``cache=False`` to force a fresh compile (the cache itself hands
+    out private clones either way, so hits are unobservable except in
+    speed).
+    """
+    spec = get_scheme(scheme)
+    store = build_cache()
+    if cache is False or not store.enabled:
+        return _build_uncached(source, spec, name)
+    return store.get_or_build(
+        source, spec, name, lambda: _build_uncached(source, spec, name)
+    )
 
 
 def deploy(

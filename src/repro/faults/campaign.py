@@ -444,6 +444,87 @@ def run_chaos_case(
     return run
 
 
+def _check_chaos_seed(
+    seed: int,
+    *,
+    scheme_filter: Optional[frozenset] = None,
+    retries: int = 1,
+    cycle_limit: int = CHAOS_CYCLE_LIMIT,
+    audit: bool = True,
+) -> Tuple[str, Any]:
+    """Run one campaign seed with retries; the unit of campaign work.
+
+    Returns ``("skip", None)`` when the scheme filter gates the seed,
+    ``("run", ChaosRun)`` for a completed case, or ``("infra", detail)``
+    after the retry budget is spent on :class:`CampaignError`.  Both the
+    serial loop and the parallel shard worker call this, so the two
+    paths classify (and count) identically.
+    """
+    spec = schedule = None
+    if scheme_filter is not None:
+        spec, _ = generate_fuzz_program(seed)
+        schedule = generate_fault_schedule(seed, spec)
+        if schedule.scheme not in scheme_filter:
+            return ("skip", None)
+    last_error = ""
+    for _attempt in range(1 + max(0, retries)):
+        try:
+            run = run_chaos_case(
+                seed, spec=spec, schedule=schedule,
+                cycle_limit=cycle_limit, audit=audit,
+            )
+        except CampaignError as error:
+            last_error = str(error)
+            continue
+        telemetry.count("chaos_cases_total", help="chaos cases completed")
+        telemetry.count(
+            f"chaos_outcome_{run.outcome.replace('-', '_')}_total",
+            help="chaos cases by outcome",
+        )
+        if not run.ok:
+            telemetry.count(
+                "chaos_violations_total", len(run.violations),
+                help="chaos invariant violations",
+            )
+        return ("run", run)
+    return ("infra", last_error)
+
+
+def _chaos_shard_worker(config: Dict[str, Any], seeds, attempt: int):
+    """Process-pool entry point: run one shard's chaos seeds.
+
+    Module-level (picklable by reference).  Returns plain data — each
+    seed's classification in artifact form plus the telemetry delta
+    accumulated while running the shard.
+    """
+    schemes = config["schemes"]
+    scheme_filter = frozenset(schemes) if schemes else None
+    before = telemetry.snapshot()
+    cases = []
+    for seed in seeds:
+        kind, payload = _check_chaos_seed(
+            seed,
+            scheme_filter=scheme_filter,
+            retries=config["retries"],
+            cycle_limit=config["cycle_limit"],
+            audit=config["audit"],
+        )
+        cases.append({
+            "seed": seed,
+            "kind": kind,
+            "run": payload.to_json() if kind == "run" else None,
+            "detail": payload if kind == "infra" else "",
+        })
+    return {"cases": cases, "telemetry": telemetry.delta(before)}
+
+
+def _finalize(report: ChaosReport) -> ChaosReport:
+    """Impose the canonical (seed) order both execution paths share."""
+    report.runs.sort(key=lambda run: (run.seed, run.case))
+    report.infra_errors.sort()
+    return report
+
+
 def run_campaign(
     budget: int = 50,
     *,
@@ -456,6 +537,7 @@ def run_campaign(
     cycle_limit: int = CHAOS_CYCLE_LIMIT,
     audit: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> ChaosReport:
     """Run ``budget`` seeded chaos cases (seeds ``base_seed + i``).
 
@@ -469,7 +551,13 @@ def run_campaign(
     * ``deadline`` — wall-clock budget in seconds; exceeding it stops the
       campaign with ``timed_out`` set (exit code 4 at the CLI).
     * ``checkpoint_path``/``resume`` — JSON checkpoint written after every
-      case; resuming skips seeds already completed.
+      case (``jobs > 1``: after every shard); resuming skips seeds
+      already completed.
+    * ``jobs`` — process-pool width.  The shard plan depends only on the
+      budget and the report is finalised in seed order, so any ``jobs``
+      value produces a bit-identical report.  A shard whose worker dies
+      is retried once, then every seed it carried is recorded as an
+      infrastructure error — never silently dropped.
     """
     report = ChaosReport(budget=budget, base_seed=base_seed)
     if resume and checkpoint_path:
@@ -485,8 +573,21 @@ def run_campaign(
             pass
 
     scheme_filter = frozenset(schemes) if schemes else None
-    started = time.monotonic()
     done = report.completed_seeds
+
+    def checkpoint() -> None:
+        if checkpoint_path:
+            with open(checkpoint_path, "w", encoding="utf-8") as handle:
+                json.dump(report.to_json(), handle, indent=2)
+
+    if jobs > 1:
+        return _run_campaign_parallel(
+            report, jobs=jobs, retries=retries, deadline=deadline,
+            scheme_filter=scheme_filter, cycle_limit=cycle_limit,
+            audit=audit, progress=progress, checkpoint=checkpoint,
+        )
+
+    started = time.monotonic()
     for index in range(budget):
         seed = base_seed + index
         if seed in done:
@@ -496,45 +597,101 @@ def run_campaign(
             if progress:
                 progress(f"deadline hit after {len(report.runs)} case(s)")
             break
-        spec = schedule = None
-        if scheme_filter is not None:
-            spec, _ = generate_fuzz_program(seed)
-            schedule = generate_fault_schedule(seed, spec)
-            if schedule.scheme not in scheme_filter:
-                continue
-        last_error = ""
-        for attempt in range(1 + max(0, retries)):
-            try:
-                run = run_chaos_case(
-                    seed, spec=spec, schedule=schedule,
-                    cycle_limit=cycle_limit, audit=audit,
-                )
-            except CampaignError as error:
-                last_error = str(error)
-                continue
-            report.runs.append(run)
-            telemetry.count("chaos_cases_total", help="chaos cases completed")
-            telemetry.count(
-                f"chaos_outcome_{run.outcome.replace('-', '_')}_total",
-                help="chaos cases by outcome",
-            )
-            if not run.ok:
-                telemetry.count(
-                    "chaos_violations_total", len(run.violations),
-                    help="chaos invariant violations",
-                )
-                if progress:
-                    progress(f"seed {seed}: {len(run.violations)} violation(s)")
-            break
+        kind, payload = _check_chaos_seed(
+            seed, scheme_filter=scheme_filter, retries=retries,
+            cycle_limit=cycle_limit, audit=audit,
+        )
+        if kind == "skip":
+            continue
+        if kind == "run":
+            report.runs.append(payload)
+            if not payload.ok and progress:
+                progress(f"seed {seed}: {len(payload.violations)} violation(s)")
         else:
-            report.infra_errors.append((seed, last_error))
+            report.infra_errors.append((seed, payload))
             if progress:
-                progress(f"seed {seed}: infrastructure error: {last_error}")
-        if checkpoint_path:
-            with open(checkpoint_path, "w", encoding="utf-8") as handle:
-                json.dump(report.to_json(), handle, indent=2)
+                progress(f"seed {seed}: infrastructure error: {payload}")
+        checkpoint()
         if progress and (index + 1) % 25 == 0:
             progress(f"{index + 1}/{budget} schedules done")
+    return _finalize(report)
+
+
+def _run_campaign_parallel(
+    report: ChaosReport,
+    *,
+    jobs: int,
+    retries: int,
+    deadline: Optional[float],
+    scheme_filter: Optional[frozenset],
+    cycle_limit: int,
+    audit: bool,
+    progress: Optional[Callable[[str], None]],
+    checkpoint: Callable[[], None],
+) -> ChaosReport:
+    """Sharded branch of :func:`run_campaign` (same report, any jobs)."""
+    from ..parallel import STATUS_FAILED, plan_shards, run_shards
+
+    config = {
+        "schemes": sorted(scheme_filter) if scheme_filter else None,
+        "retries": retries,
+        "cycle_limit": cycle_limit,
+        "audit": audit,
+    }
+    shards = plan_shards(
+        report.base_seed, report.budget, skip=report.completed_seeds
+    )
+    deltas: Dict[int, Dict[str, Any]] = {}
+
+    def merge(outcome) -> None:
+        if outcome.ok:
+            for item in outcome.value["cases"]:
+                if item["kind"] == "run":
+                    run = ChaosRun.from_json(item["run"])
+                    report.runs.append(run)
+                    if not run.ok and progress:
+                        progress(
+                            f"seed {run.seed}: "
+                            f"{len(run.violations)} violation(s)"
+                        )
+                elif item["kind"] == "infra":
+                    report.infra_errors.append((item["seed"], item["detail"]))
+                    if progress:
+                        progress(
+                            f"seed {item['seed']}: infrastructure error: "
+                            f"{item['detail']}"
+                        )
+            deltas[outcome.shard.index] = outcome.value["telemetry"]
+        elif outcome.status == STATUS_FAILED:
+            for seed in outcome.shard.seeds:
+                report.infra_errors.append((
+                    seed,
+                    f"worker lost shard {outcome.shard.index} after "
+                    f"{outcome.attempts} attempt(s): {outcome.error}",
+                ))
+            if progress:
+                progress(
+                    f"shard {outcome.shard.index}: worker lost "
+                    f"({outcome.error})"
+                )
+        # skipped shards (deadline) stay absent: their seeds are
+        # resumable, exactly like seeds after a serial deadline break.
+        checkpoint()
+
+    _outcomes, timed_out = run_shards(
+        _chaos_shard_worker, config, shards, jobs=jobs,
+        retries=1, deadline=deadline, on_result=merge,
+    )
+    report.timed_out = timed_out
+    if timed_out and progress:
+        progress(f"deadline hit after {len(report.runs)} case(s)")
+    merged = telemetry.Snapshot()
+    for index in sorted(deltas):
+        merged = merged.merge(telemetry.Snapshot(deltas[index]))
+    if merged:
+        telemetry.absorb(merged)
+    _finalize(report)
+    checkpoint()
     return report
 
 

@@ -26,9 +26,10 @@ from .conformance import (
 )
 
 #: Failure kinds that indicate broken infrastructure (a build or the
-#: reference run fell over) rather than a violated contract clause.
-#: The CLI maps "only these" to a distinct exit code.
-INFRA_FAILURE_KINDS = frozenset({"build-error", "native-crash"})
+#: reference run fell over, or a parallel worker's slice was lost after
+#: its retry) rather than a violated contract clause.  The CLI maps
+#: "only these" to a distinct exit code.
+INFRA_FAILURE_KINDS = frozenset({"build-error", "native-crash", "worker-lost"})
 from .shrink import removed_features, shrink_spec
 
 
@@ -68,6 +69,26 @@ class FuzzFailure:
             "shrunk_source": self.shrunk_source,
             "shrink_notes": self.shrink_notes,
         }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FuzzFailure":
+        """Rebuild a failure from its artifact form (worker → parent)."""
+        shrunk_spec = data.get("shrunk_spec")
+        return cls(
+            seed=int(data["seed"]),
+            spec=ProgramSpec.from_json(data["spec"]),
+            source=data["source"],
+            failures=[
+                ConformanceFailure(
+                    kind=f["kind"], scheme=f["scheme"],
+                    path=f["path"], detail=f["detail"],
+                )
+                for f in data.get("failures", [])
+            ],
+            shrunk_spec=ProgramSpec.from_json(shrunk_spec) if shrunk_spec else None,
+            shrunk_source=data.get("shrunk_source"),
+            shrink_notes=list(data.get("shrink_notes", [])),
+        )
 
     def render(self) -> str:
         lines = [f"seed {self.seed}  ({self.replay_command})"]
@@ -131,6 +152,46 @@ class FuzzReport:
         )
         return "\n".join(lines)
 
+    def to_json(self) -> Dict[str, object]:
+        """Canonical plain-data form (the bit-identity tests compare this)."""
+        return {
+            "budget": self.budget,
+            "base_seed": self.base_seed,
+            "schemes": list(self.schemes),
+            "programs_checked": self.programs_checked,
+            "runs": self.runs,
+            "skipped": dict(sorted(self.skipped.items())),
+            "failures": [f.to_json() for f in self.failures],
+            "health_failures": [
+                {
+                    "kind": f.kind,
+                    "scheme": f.scheme,
+                    "path": f.path,
+                    "detail": f.detail,
+                }
+                for f in self.health_failures
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FuzzReport":
+        return cls(
+            budget=int(data["budget"]),
+            base_seed=int(data["base_seed"]),
+            schemes=tuple(data["schemes"]),
+            programs_checked=int(data["programs_checked"]),
+            runs=int(data["runs"]),
+            skipped=dict(data.get("skipped", {})),
+            failures=[FuzzFailure.from_json(f) for f in data.get("failures", [])],
+            health_failures=[
+                ConformanceFailure(
+                    kind=f["kind"], scheme=f["scheme"],
+                    path=f["path"], detail=f["detail"],
+                )
+                for f in data.get("health_failures", [])
+            ],
+        )
+
 
 def check_spec(
     spec: ProgramSpec,
@@ -177,75 +238,38 @@ def _shrink_failure(
     failure.shrink_notes = removed_features(failure.spec, shrunk)
 
 
-def run_fuzz(
-    budget: int = 50,
-    *,
-    base_seed: int = 2018,
-    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
-    shrink: bool = True,
-    health: bool = True,
-    cycle_limit: int = FUZZ_CYCLE_LIMIT,
-    max_shrink_checks: int = 40,
-    progress: Optional[Callable[[str], None]] = None,
-) -> FuzzReport:
-    """Run a deterministic campaign of ``budget`` generated programs."""
-    schemes = tuple(schemes)
-    report = FuzzReport(budget=budget, base_seed=base_seed, schemes=schemes)
+@dataclass
+class SeedCheck:
+    """The outcome of checking one seed — the unit of campaign work.
 
-    if health:
-        report.health_failures = scheme_health_failures(schemes, seed=base_seed)
-        report.health_failures.extend(fault_invariant_failures(seed=base_seed))
-        if report.health_failures and progress:
-            progress(f"{len(report.health_failures)} scheme-health failure(s)")
+    Serial campaigns, parallel shard workers, and ``--replay`` all go
+    through :func:`_check_one`, so the three paths cannot drift.
+    """
 
-    for index in range(budget):
-        seed = base_seed + index
-        spec, source = generate_fuzz_program(seed)
-        selected, gated = applicable_schemes(
-            schemes, uses_fork=spec.uses_fork, uses_setjmp=spec.uses_setjmp
-        )
-        for scheme in gated:
-            report.skipped[scheme] = report.skipped.get(scheme, 0) + 1
-        failures = check_source(
-            source,
-            schemes=selected,
-            seed=seed,
-            uses_fork=spec.uses_fork,
-            uses_setjmp=spec.uses_setjmp,
-            cycle_limit=cycle_limit,
-        )
-        report.programs_checked += 1
-        report.runs += 2 * len(selected)
-        telemetry.count("fuzz_programs_total", help="fuzz programs checked")
-        telemetry.count(
-            "fuzz_runs_total", 2 * len(selected),
-            help="fuzz executions (fast+slow per scheme)",
-        )
-        if failures:
-            failure = FuzzFailure(seed, spec, source, failures)
-            if shrink:
-                _shrink_failure(failure, schemes, cycle_limit, max_shrink_checks)
-            report.failures.append(failure)
-            telemetry.count(
-                "fuzz_failures_total", len(failures),
-                help="conformance divergences found",
-            )
-            if progress:
-                progress(f"seed {seed}: {len(failures)} failure(s)")
-        elif progress and (index + 1) % 25 == 0:
-            progress(f"{index + 1}/{budget} programs clean")
-    return report
+    seed: int
+    spec: ProgramSpec
+    source: str
+    selected: Tuple[str, ...]  #: schemes actually exercised
+    gated: Tuple[str, ...]  #: schemes skipped by documented semantics
+    failure: Optional[FuzzFailure] = None
 
 
-def replay_seed(
+def _check_one(
     seed: int,
     *,
-    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
+    schemes: Tuple[str, ...] = DEFAULT_FUZZ_SCHEMES,
     cycle_limit: int = FUZZ_CYCLE_LIMIT,
-) -> Tuple[ProgramSpec, str, List[ConformanceFailure]]:
-    """Regenerate the program for ``seed`` and re-run the contract."""
+    shrink: bool = False,
+    max_shrink_checks: int = 40,
+) -> SeedCheck:
+    """Generate, run, and (optionally) shrink a single fuzz seed.
+
+    Telemetry is counted here so every execution path reports the same
+    numbers — a parallel worker's counts travel back to the parent as a
+    snapshot delta and merge into the campaign totals.
+    """
     spec, source = generate_fuzz_program(seed)
-    selected, _ = applicable_schemes(
+    selected, gated = applicable_schemes(
         schemes, uses_fork=spec.uses_fork, uses_setjmp=spec.uses_setjmp
     )
     failures = check_source(
@@ -256,7 +280,173 @@ def replay_seed(
         uses_setjmp=spec.uses_setjmp,
         cycle_limit=cycle_limit,
     )
-    return spec, source, failures
+    telemetry.count("fuzz_programs_total", help="fuzz programs checked")
+    telemetry.count(
+        "fuzz_runs_total", 2 * len(selected),
+        help="fuzz executions (fast+slow per scheme)",
+    )
+    failure = None
+    if failures:
+        failure = FuzzFailure(seed, spec, source, failures)
+        if shrink:
+            _shrink_failure(failure, schemes, cycle_limit, max_shrink_checks)
+        telemetry.count(
+            "fuzz_failures_total", len(failures),
+            help="conformance divergences found",
+        )
+    return SeedCheck(seed, spec, source, tuple(selected), tuple(gated), failure)
+
+
+def _merge_check(report: FuzzReport, check: SeedCheck) -> None:
+    """Fold one seed's outcome into the campaign report (in seed order)."""
+    for scheme in check.gated:
+        report.skipped[scheme] = report.skipped.get(scheme, 0) + 1
+    report.programs_checked += 1
+    report.runs += 2 * len(check.selected)
+    if check.failure is not None:
+        report.failures.append(check.failure)
+
+
+def _fuzz_shard_worker(config: Dict[str, object], seeds, attempt: int):
+    """Process-pool entry point: check one shard's seeds.
+
+    Module-level (picklable by reference).  Returns plain data only —
+    seed outcomes in artifact form plus the telemetry delta accumulated
+    while checking, so the parent can merge counts deterministically.
+    """
+    before = telemetry.snapshot()
+    checks = []
+    for seed in seeds:
+        check = _check_one(
+            seed,
+            schemes=tuple(config["schemes"]),
+            cycle_limit=config["cycle_limit"],
+            shrink=config["shrink"],
+            max_shrink_checks=config["max_shrink_checks"],
+        )
+        checks.append({
+            "seed": seed,
+            "selected": list(check.selected),
+            "gated": list(check.gated),
+            "failure": check.failure.to_json() if check.failure else None,
+        })
+    return {"checks": checks, "telemetry": telemetry.delta(before)}
+
+
+def run_fuzz(
+    budget: int = 50,
+    *,
+    base_seed: int = 2018,
+    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
+    shrink: bool = True,
+    health: bool = True,
+    cycle_limit: int = FUZZ_CYCLE_LIMIT,
+    max_shrink_checks: int = 40,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+) -> FuzzReport:
+    """Run a deterministic campaign of ``budget`` generated programs.
+
+    ``jobs > 1`` shards the seed range across a process pool; the shard
+    plan depends only on the budget and results merge in shard order,
+    so the report is bit-identical to a ``jobs=1`` run.  A shard whose
+    worker dies is retried once and then recorded as a ``worker-lost``
+    health failure — never silently dropped.
+    """
+    schemes = tuple(schemes)
+    report = FuzzReport(budget=budget, base_seed=base_seed, schemes=schemes)
+
+    if health:
+        report.health_failures = scheme_health_failures(schemes, seed=base_seed)
+        report.health_failures.extend(fault_invariant_failures(seed=base_seed))
+        if report.health_failures and progress:
+            progress(f"{len(report.health_failures)} scheme-health failure(s)")
+
+    if jobs <= 1:
+        for index in range(budget):
+            check = _check_one(
+                base_seed + index,
+                schemes=schemes,
+                cycle_limit=cycle_limit,
+                shrink=shrink,
+                max_shrink_checks=max_shrink_checks,
+            )
+            _merge_check(report, check)
+            if check.failure is not None:
+                if progress:
+                    progress(
+                        f"seed {check.seed}: "
+                        f"{len(check.failure.failures)} failure(s)"
+                    )
+            elif progress and (index + 1) % 25 == 0:
+                progress(f"{index + 1}/{budget} programs clean")
+        return report
+
+    from ..parallel import plan_shards, run_shards
+
+    config = {
+        "schemes": list(schemes),
+        "cycle_limit": cycle_limit,
+        "shrink": shrink,
+        "max_shrink_checks": max_shrink_checks,
+    }
+    shards = plan_shards(base_seed, budget)
+    outcomes, _ = run_shards(
+        _fuzz_shard_worker, config, shards, jobs=jobs,
+        on_result=(
+            (lambda outcome: progress(
+                f"shard {outcome.shard.index}: {len(outcome.shard)} seed(s) "
+                f"{'done' if outcome.ok else outcome.status}"
+            )) if progress else None
+        ),
+    )
+    deltas = []
+    for outcome in outcomes:
+        if outcome.ok:
+            for item in outcome.value["checks"]:
+                check = SeedCheck(
+                    seed=item["seed"],
+                    spec=None,  # only the merge-relevant fields are needed
+                    source="",
+                    selected=tuple(item["selected"]),
+                    gated=tuple(item["gated"]),
+                    failure=(
+                        FuzzFailure.from_json(item["failure"])
+                        if item["failure"] else None
+                    ),
+                )
+                _merge_check(report, check)
+            deltas.append(outcome.value["telemetry"])
+        else:
+            first, last = outcome.shard.seeds[0], outcome.shard.seeds[-1]
+            report.health_failures.append(ConformanceFailure(
+                kind="worker-lost",
+                scheme="-",
+                path="-",
+                detail=(
+                    f"shard {outcome.shard.index} "
+                    f"(seeds {first}..{last}) lost after "
+                    f"{outcome.attempts} attempt(s): {outcome.error}"
+                ),
+            ))
+    merged = telemetry.Snapshot()
+    for delta in deltas:
+        merged = merged.merge(telemetry.Snapshot(delta))
+    if merged:
+        telemetry.absorb(merged)
+    return report
+
+
+def replay_seed(
+    seed: int,
+    *,
+    schemes: Iterable[str] = DEFAULT_FUZZ_SCHEMES,
+    cycle_limit: int = FUZZ_CYCLE_LIMIT,
+) -> Tuple[ProgramSpec, str, List[ConformanceFailure]]:
+    """Regenerate the program for ``seed`` and re-run the contract."""
+    check = _check_one(seed, schemes=tuple(schemes), cycle_limit=cycle_limit)
+    failures = check.failure.failures if check.failure else []
+    return check.spec, check.source, failures
 
 
 def write_failure_artifacts(report: FuzzReport, directory: str) -> List[str]:

@@ -46,12 +46,23 @@ class Mutant:
 
 @contextmanager
 def planted(mutant: Mutant):
-    """Context manager: plant ``mutant``, always undo."""
+    """Context manager: plant ``mutant``, always undo.
+
+    Planting monkeypatches live compiler/rewriter/runtime code — a
+    toolchain change the build cache's content address cannot see — so
+    the cache is dropped on both edges: images built pre-mutant must
+    not satisfy in-mutant builds, and mutant-built images must not
+    leak back into the clean tree.
+    """
+    from ..parallel.buildcache import build_cache
+
+    build_cache().clear()
     undo = mutant.install()
     try:
         yield mutant
     finally:
         undo()
+        build_cache().clear()
 
 
 # -- pass-layer mutants ------------------------------------------------------

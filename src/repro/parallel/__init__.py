@@ -1,0 +1,62 @@
+"""Parallel campaign execution: deterministic sharding + build caching.
+
+The repo's campaigns (fuzz conformance, chaos fault injection,
+byte-by-byte attack trials, the effectiveness/security benches) are
+seeded loops over ``[base_seed, base_seed + budget)``.  This package
+makes them scale across cores without giving up the determinism
+contract that one seed reproduces one case bit-for-bit:
+
+* :mod:`repro.parallel.sharding` — jobs-independent partition of a
+  campaign into ordered shards, plus the one shared ``--jobs``
+  resolution helper (validation, ``REPRO_JOBS`` default, CPU cap).
+* :mod:`repro.parallel.executor` — a crash-tolerant process-pool
+  runner: bounded in-flight work, per-shard timeout, one re-queue for
+  a crashed worker's slice, then an explicit infra failure — never a
+  silently dropped seed.  Results come back in canonical shard order.
+* :mod:`repro.parallel.buildcache` — content-addressed cache of
+  compiled images keyed by ``hash(source, scheme, toolchain)``, so
+  fast/slow differential pairs, reference/faulted twins, and shrinking
+  loops reuse one build.
+
+The determinism invariant (tested in ``tests/parallel/``): for any
+campaign, ``--jobs N`` produces a bit-identical report to ``--jobs 1``.
+Worker telemetry crosses the process boundary as
+:class:`repro.telemetry.Snapshot` deltas and is merged in shard order.
+"""
+
+from .buildcache import (
+    DEFAULT_MAX_ENTRIES,
+    TOOLCHAIN_VERSION,
+    BuildCache,
+    build_cache,
+    reset_build_cache,
+    toolchain_fingerprint,
+)
+from .executor import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    ShardOutcome,
+    run_shards,
+)
+from .sharding import (
+    JOBS_ENV_VAR,
+    MAX_SHARD_SEEDS,
+    TARGET_SHARDS,
+    Shard,
+    add_jobs_argument,
+    default_jobs,
+    plan_shards,
+    resolve_jobs,
+    shard_size_for,
+)
+
+__all__ = [
+    "BuildCache", "build_cache", "reset_build_cache",
+    "toolchain_fingerprint", "TOOLCHAIN_VERSION", "DEFAULT_MAX_ENTRIES",
+    "ShardOutcome", "run_shards",
+    "STATUS_OK", "STATUS_FAILED", "STATUS_SKIPPED",
+    "Shard", "plan_shards", "shard_size_for",
+    "add_jobs_argument", "default_jobs", "resolve_jobs",
+    "JOBS_ENV_VAR", "TARGET_SHARDS", "MAX_SHARD_SEEDS",
+]

@@ -31,16 +31,17 @@ from .registry import (
     Gauge,
     Histogram,
     Registry,
+    Snapshot,
     SpanTimer,
     registry,
 )
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "Registry", "SpanTimer",
+    "Counter", "Gauge", "Histogram", "Registry", "Snapshot", "SpanTimer",
     "Event", "EventRing", "EVENT_KINDS", "DEFAULT_BUCKETS",
     "NOTE_GROUPS", "PROLOGUE_NOTES", "EPILOGUE_NOTES", "canary_markers",
     "registry", "ring", "enabled", "enable", "disable", "generation",
-    "reset", "snapshot", "delta", "count", "observe", "event",
+    "reset", "snapshot", "delta", "absorb", "count", "observe", "event",
     "sampled_event", "machine_flush", "canary_hooks", "CanaryHooks",
 ]
 
@@ -83,6 +84,13 @@ def snapshot() -> Dict[str, object]:
 
 def delta(before: Dict[str, object]) -> Dict[str, object]:
     return registry().delta(before)
+
+
+def absorb(worker_delta: "Snapshot | Dict[str, object]") -> None:
+    """Fold a worker process's counter/histogram delta into this registry."""
+    if not isinstance(worker_delta, Snapshot):
+        worker_delta = Snapshot(worker_delta)
+    registry().absorb(worker_delta)
 
 
 # ---------------------------------------------------------------------------

@@ -163,6 +163,84 @@ class SpanTimer:
 Instrument = Union[Counter, Gauge, Histogram]
 
 
+class Snapshot:
+    """A mergeable plain-data view of a registry's instruments.
+
+    Wraps the ``name → value`` mapping produced by
+    :meth:`Registry.snapshot` / :meth:`Registry.delta` (scalars for
+    counters and gauges, ``{bounds, counts, sum, count}`` dicts for
+    histograms) so per-worker telemetry can cross a process boundary as
+    JSON and be aggregated in the parent.  :meth:`merge` is associative
+    and has ``Snapshot()`` as its identity, which is what lets a
+    sharded campaign fold worker deltas in canonical shard order and
+    land on one deterministic aggregate regardless of completion order.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Optional[Dict[str, object]] = None) -> None:
+        self.data: Dict[str, object] = dict(data or {})
+
+    @classmethod
+    def capture(cls, reg: Optional["Registry"] = None) -> "Snapshot":
+        """Snapshot the given (default: process-wide) registry."""
+        return cls((reg or _DEFAULT).snapshot())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Snapshot):
+            return self.data == other.data
+        return NotImplemented
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    @staticmethod
+    def _merge_histograms(name: str, left: Dict, right: Dict) -> Dict:
+        if list(left["bounds"]) != list(right["bounds"]):
+            raise ValueError(
+                f"histogram {name!r}: cannot merge differing bounds "
+                f"{left['bounds']!r} vs {right['bounds']!r}"
+            )
+        return {
+            "bounds": list(left["bounds"]),
+            "counts": [a + b for a, b in zip(left["counts"], right["counts"])],
+            "sum": left["sum"] + right["sum"],
+            "count": left["count"] + right["count"],
+        }
+
+    def merge(self, other: "Snapshot") -> "Snapshot":
+        """Return a new snapshot combining both sides.
+
+        Counters and gauges add; histograms add counts/sum/count
+        (bounds must agree); instruments present on one side only are
+        carried over unchanged.  Mixing a scalar and a histogram under
+        one name is a programming error and raises ``ValueError``.
+        """
+        merged: Dict[str, object] = {}
+        for name in sorted(set(self.data) | set(other.data)):
+            left, right = self.data.get(name), other.data.get(name)
+            if left is None:
+                merged[name] = right if not isinstance(right, dict) else dict(right)
+            elif right is None:
+                merged[name] = left if not isinstance(left, dict) else dict(left)
+            elif isinstance(left, dict) and isinstance(right, dict):
+                merged[name] = self._merge_histograms(name, left, right)
+            elif isinstance(left, dict) or isinstance(right, dict):
+                raise ValueError(
+                    f"instrument {name!r}: scalar/histogram shape mismatch"
+                )
+            else:
+                merged[name] = left + right
+        return Snapshot(merged)
+
+    def to_json(self) -> Dict[str, object]:
+        return dict(self.data)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Snapshot":
+        return cls(data)
+
+
 class Registry:
     """All instruments of one process, plus the global enable switch."""
 
@@ -232,6 +310,35 @@ class Registry:
         for instrument in self._instruments.values():
             instrument.reset()
         self.generation += 1
+
+    def absorb(self, snapshot: "Snapshot") -> None:
+        """Fold a (merged) worker snapshot into this registry.
+
+        The inverse of shipping :meth:`delta` across a process
+        boundary: scalars add onto the existing instrument (a counter
+        is created for unseen non-negative scalars, a gauge for
+        negative ones, since the plain-data shape does not carry the
+        kind), histograms add counts/sum/count bucket-wise.  No-op on
+        the empty snapshot.
+        """
+        for name in sorted(snapshot.data):
+            value = snapshot.data[name]
+            if isinstance(value, dict):
+                histogram = self.histogram(name, tuple(value["bounds"]))
+                if list(histogram.bounds) != list(value["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r}: absorb bounds mismatch"
+                    )
+                for index, count in enumerate(value["counts"]):
+                    histogram.counts[index] += count
+                histogram.total += value["sum"]
+                histogram.count += value["count"]
+            elif name in self._instruments:
+                self._instruments[name].add(value)
+            elif value < 0:
+                self.gauge(name).add(value)
+            else:
+                self.counter(name).add(value)
 
     # -- snapshots -------------------------------------------------------
 

@@ -1,0 +1,117 @@
+"""Shard planning and the shared ``--jobs`` resolution rules."""
+
+import argparse
+
+import pytest
+
+from repro.parallel import (
+    JOBS_ENV_VAR,
+    MAX_SHARD_SEEDS,
+    TARGET_SHARDS,
+    add_jobs_argument,
+    default_jobs,
+    plan_shards,
+    resolve_jobs,
+    shard_size_for,
+)
+
+
+class TestShardPlan:
+    def test_covers_interval_exactly(self):
+        shards = plan_shards(2018, 50)
+        seeds = [seed for shard in shards for seed in shard.seeds]
+        assert seeds == list(range(2018, 2068))
+
+    def test_ordered_and_indexed(self):
+        shards = plan_shards(0, 100)
+        assert [s.index for s in shards] == list(range(len(shards)))
+        for left, right in zip(shards, shards[1:]):
+            assert left.seeds[-1] < right.seeds[0]
+
+    def test_partition_is_jobs_independent(self):
+        # The plan takes no jobs parameter at all — this pins the
+        # invariant that nothing scheduling-related can leak into it.
+        assert plan_shards(7, 33) == plan_shards(7, 33)
+
+    def test_small_budget_one_seed_per_shard(self):
+        assert shard_size_for(4) == 1
+        assert [len(s) for s in plan_shards(0, 4)] == [1, 1, 1, 1]
+
+    def test_large_budget_targets_shard_count(self):
+        size = shard_size_for(160)
+        assert size == 10
+        assert len(plan_shards(0, 160)) == TARGET_SHARDS
+
+    def test_huge_budget_caps_shard_size(self):
+        assert shard_size_for(10_000) == MAX_SHARD_SEEDS
+
+    def test_skip_removes_completed_seeds(self):
+        shards = plan_shards(10, 6, skip={10, 12, 13})
+        seeds = [seed for shard in shards for seed in shard.seeds]
+        assert seeds == [11, 14, 15]
+
+    def test_zero_budget_is_empty(self):
+        assert plan_shards(0, 0) == []
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 10, shard_size=0)
+
+
+class TestJobsResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert default_jobs() == 1
+        assert resolve_jobs(None) == 1
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "1")
+        assert resolve_jobs(None) == 1
+
+    def test_env_var_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_env_var_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "0")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_explicit_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(-4)
+
+    def test_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert resolve_jobs(64) == 2
+
+    def test_env_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "64")
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert resolve_jobs(None) == 2
+
+
+class TestJobsArgument:
+    def _parser(self):
+        parser = argparse.ArgumentParser()
+        add_jobs_argument(parser)
+        return parser
+
+    def test_default_is_none(self):
+        assert self._parser().parse_args([]).jobs is None
+
+    def test_parses_positive(self):
+        assert self._parser().parse_args(["--jobs", "4"]).jobs == 4
+
+    def test_rejects_zero_as_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            self._parser().parse_args(["--jobs", "0"])
+        assert excinfo.value.code == 2  # argparse usage error
+
+    def test_rejects_garbage_as_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            self._parser().parse_args(["--jobs", "lots"])
+        assert excinfo.value.code == 2
