@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Snapshot determinism checker: image bytes must be a pure function.
+
+Machine images are content-addressed and cached across workflow runs,
+so their bytes must depend only on the build inputs — not on hash
+randomization, dict order, process history, or the CPython minor
+version.  This script gates that three ways:
+
+1. **Cross-process determinism (exit 2)** — the same workload is built
+   and snapshotted in two *fresh subprocesses* (different PYTHONHASHSEED
+   by construction); the process-snapshot and spawn-image bytes must be
+   identical.
+2. **Restore bit-identity (exit 2)** — ``restore()`` of the image must
+   match the live process per ``architectural_snapshot``, and a fork
+   taken after restore must be bit-identical to a fork of the original
+   (the re-randomization boundary replays exactly).
+3. **Cross-version determinism** — ``--digest-out`` writes the image
+   digests plus the interpreter version; CI collects one file per
+   Python 3.10/3.11/3.12 matrix leg and fails if the digests differ.
+
+Usage::
+
+    python benchmarks/bench_snapshot.py                  # full check
+    python benchmarks/bench_snapshot.py --digest-out D.json
+    python benchmarks/bench_snapshot.py --emit IMG.bin   # internal
+
+Exit status: 0 on success, 2 on any determinism or restore failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.deploy import build, deploy, get_scheme  # noqa: E402
+from repro.kernel.kernel import Kernel  # noqa: E402
+from repro.machine.debug import (  # noqa: E402
+    architectural_snapshot,
+    snapshot_divergences,
+)
+from repro.machine.snapshot import (  # noqa: E402
+    dump_spawn_image,
+    prepare_spawn_image,
+    restore_process,
+)
+
+#: Fixed workload + seed: every invocation must produce these bytes.
+SEED = 20180625  # DSN'18
+
+WORKLOAD = """
+int handler(int n) {
+    char buf[48];
+    int i;
+    read(0, buf, 32);
+    for (i = 0; i < 16; i = i + 1) {
+        buf[i - (i / 48) * 48] = buf[i - (i / 48) * 48] + n;
+    }
+    puts(buf);
+    return n + 2;
+}
+int main() { return handler(3); }
+"""
+
+STDIN = b"polymorphic-canary-snapshot-gate\n"
+
+
+def build_workload():
+    """Deterministic deployed-and-run process (the snapshot subject)."""
+    binary = build(WORKLOAD, "pssp", name="snapgate")
+    kernel = Kernel(SEED)
+    process, _ = deploy(kernel, binary, "pssp")
+    process.feed_stdin(STDIN)
+    process.run()
+    return binary, process
+
+
+def make_images() -> dict:
+    """Process snapshot + spawn image for the fixed workload."""
+    binary, process = build_workload()
+    spec = get_scheme("pssp")
+    preloads = spec.make_runtime().preload_binaries()
+    return {
+        "process": process.snapshot(),
+        "spawn": dump_spawn_image(
+            prepare_spawn_image(binary, preloads=preloads)
+        ),
+    }
+
+
+def check_restore() -> list:
+    """Restore + post-restore fork bit-identity (problems, ideally [])."""
+    problems = []
+    _, process = build_workload()
+    image = process.snapshot()
+    restored = restore_process(image)
+    problems += snapshot_divergences(
+        architectural_snapshot(process), architectural_snapshot(restored)
+    )
+    # A restored image must re-snapshot to the same bytes (before any
+    # fork below advances the kernel's entropy/pid bookkeeping).
+    if restored.snapshot() != image:
+        problems.append("snapshot(restore(image)) != image")
+    # The fork/re-randomization boundary must replay bit-exactly: the
+    # restored kernel carries the original's entropy stream and TSC epoch.
+    child = process.kernel.fork(process)
+    restored_child = restored.kernel.fork(restored)
+    problems += snapshot_divergences(
+        architectural_snapshot(child), architectural_snapshot(restored_child)
+    )
+    return problems
+
+
+def emit(path: str) -> None:
+    images = make_images()
+    blob = json.dumps(
+        {kind: data.hex() for kind, data in images.items()}
+    ).encode("ascii")
+    Path(path).write_bytes(blob)
+
+
+def subprocess_images(workdir: str, tag: str) -> dict:
+    out = Path(workdir) / f"images-{tag}.json"
+    subprocess.run(
+        [sys.executable, __file__, "--emit", str(out)],
+        check=True,
+        cwd=str(Path(__file__).resolve().parent.parent),
+    )
+    raw = json.loads(out.read_bytes())
+    return {kind: bytes.fromhex(data) for kind, data in raw.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--emit", metavar="PATH",
+                        help="write this process's images (internal)")
+    parser.add_argument("--digest-out", metavar="PATH",
+                        help="write image digests for cross-version compare")
+    args = parser.parse_args(argv)
+
+    if args.emit:
+        emit(args.emit)
+        return 0
+
+    with tempfile.TemporaryDirectory() as workdir:
+        first = subprocess_images(workdir, "a")
+        second = subprocess_images(workdir, "b")
+    local = make_images()
+    failed = False
+    for kind in sorted(local):
+        digest = hashlib.sha256(local[kind]).hexdigest()
+        same = first[kind] == second[kind] == local[kind]
+        print(
+            f"{kind}-image: {len(local[kind])} bytes, sha256 {digest[:16]}.. "
+            f"{'deterministic' if same else 'DIVERGED ACROSS PROCESSES'}"
+        )
+        failed |= not same
+
+    problems = check_restore()
+    for line in problems:
+        print(f"RESTORE FAILURE: {line}")
+    if not problems:
+        print("restore bit-identity: ok (incl. post-restore fork)")
+
+    if args.digest_out:
+        Path(args.digest_out).write_text(json.dumps({
+            "python": platform.python_version(),
+            "digests": {
+                kind: hashlib.sha256(data).hexdigest()
+                for kind, data in sorted(local.items())
+            },
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.digest_out}")
+
+    return 2 if (failed or problems) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,24 @@ class LoadedImage:
         self.code_generation += 1
         return entry
 
+    def clone(self) -> "LoadedImage":
+        """Shallow twin for spawning from a warmed image.
+
+        Layout tables are copied (so ``add_function(replace=True)``
+        patches stay private to one process), while the immutable
+        ``Function`` bodies are shared — the same sharing ``fork``
+        already relies on when parent and child reuse one image.
+        """
+        twin = LoadedImage(self.code_base)
+        twin._functions = dict(self._functions)
+        twin._layout = dict(self._layout)
+        twin._entries = list(self._entries)
+        twin._entry_names = list(self._entry_names)
+        twin._data_symbols = dict(self._data_symbols)
+        twin._next_code = self._next_code
+        twin.code_generation = self.code_generation
+        return twin
+
     def invalidate_code(self) -> None:
         """Force CPUs to re-decode: call after mutating a loaded body in
         place (the rewriter's splice path does this for you)."""

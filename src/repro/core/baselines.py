@@ -45,14 +45,18 @@ class DynaGuardRuntime(SchemeRuntime):
                 child.memory.write_word(slot_address, new)
         tls.canary = new
 
+    def _on_thread(self, thread: Process, parent: Process) -> None:
+        self._allocate(thread)
+
     def install(self, process: Process) -> None:
         self._allocate(process)
         process.fork_hooks.append(self.on_fork)
+        process.thread_hooks.append(self._on_thread)
 
-        def on_thread(thread: Process, parent: Process) -> None:
-            self._allocate(thread)
-
-        process.thread_hooks.append(on_thread)
+    def reattach(self, process: Process) -> None:
+        # The CAB allocation is ordinary memory and travels in the image.
+        process.fork_hooks.append(self.on_fork)
+        process.thread_hooks.append(self._on_thread)
 
 
 class DCRRuntime(SchemeRuntime):
@@ -88,11 +92,15 @@ class DCRRuntime(SchemeRuntime):
             seen += 1
         tls.canary = new
 
+    def _on_thread(self, thread: Process, parent: Process) -> None:
+        self._plant_anchor(thread)
+
     def install(self, process: Process) -> None:
         self._plant_anchor(process)
         process.fork_hooks.append(self.on_fork)
+        process.thread_hooks.append(self._on_thread)
 
-        def on_thread(thread: Process, parent: Process) -> None:
-            self._plant_anchor(thread)
-
-        process.thread_hooks.append(on_thread)
+    def reattach(self, process: Process) -> None:
+        # The anchor node is stack memory and travels in the image.
+        process.fork_hooks.append(self.on_fork)
+        process.thread_hooks.append(self._on_thread)

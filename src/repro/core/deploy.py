@@ -39,6 +39,7 @@ from ..kernel.process import Process
 from ..libc.builtins import build_natives
 from ..libc.glibc_sim import build_static_glibc
 from ..parallel.buildcache import build_cache
+from ..parallel.snapcache import image_cache
 from .baselines import DCRRuntime, DynaGuardRuntime
 from .schemes import (
     GlobalBufferRuntime,
@@ -185,6 +186,16 @@ def deploy(
     spec = get_scheme(scheme)
     runtime = spec.make_runtime()
     preloads = runtime.preload_binaries() if runtime else []
+    image = None
+    if not aslr:
+        # Warm boot: COW-clone a frozen post-load image instead of
+        # re-running the loader.  Spawn images are captured before any
+        # entropy draw, so the result is bit-identical to a cold spawn
+        # (gated by tests/parallel/test_snapcache.py).  ASLR slides the
+        # layout per spawn, so it always boots cold.
+        image = image_cache().image_for(
+            binary, spec, preloads, stack_size=stack_size
+        )
     process = kernel.spawn(
         binary,
         preloads=preloads,
@@ -194,6 +205,7 @@ def deploy(
         stack_size=stack_size,
         aslr=aslr,
         fast=fast,
+        image=image,
     )
     if runtime is not None:
         runtime.install(process)

@@ -22,6 +22,15 @@ class SchemeRuntime:
     def install(self, process: Process) -> None:
         """Install hooks/initialisation on a freshly spawned process."""
 
+    def reattach(self, process: Process) -> None:
+        """Re-register hooks on a *restored* process.
+
+        Unlike :meth:`install`, this must not draw entropy or touch
+        memory/registers: a snapshot already contains every install-time
+        side effect, and only the live hook callables (which cannot be
+        serialized) need recreating.  The base scheme has no hooks.
+        """
+
     def preload_binaries(self):
         """Simulated functions to interpose at load time."""
         return []
@@ -35,6 +44,9 @@ class PSSPRuntime(SchemeRuntime):
 
     def install(self, process: Process) -> None:
         self.preload.install(process)
+
+    def reattach(self, process: Process) -> None:
+        self.preload.reattach(process)
 
     def preload_binaries(self):
         return self.preload.preload_binaries()
@@ -62,6 +74,11 @@ class HardenedNTRuntime(SchemeRuntime):
         fault_policy.rdrand_selftest(process)
         self.preload.install(process)
 
+    def reattach(self, process: Process) -> None:
+        # No self-test re-run: the quarantine verdict is device state and
+        # travels in the snapshot.
+        self.preload.reattach(process)
+
     def preload_binaries(self):
         return self.preload.preload_binaries()
 
@@ -81,6 +98,9 @@ class RAFRuntime(SchemeRuntime):
     def install(self, process: Process) -> None:
         process.fork_hooks.append(self.on_fork)
 
+    #: Install draws no entropy and writes nothing — safe to replay.
+    reattach = install
+
 
 class OWFRuntime(SchemeRuntime):
     """P-SSP-OWF: park a random AES key in the reserved r12/r13 registers.
@@ -94,16 +114,20 @@ class OWFRuntime(SchemeRuntime):
         context.registers.write("r12", hi)
         context.registers.write("r13", lo)
 
+    @staticmethod
+    def _on_thread(thread: Process, parent: Process) -> None:
+        thread.registers.write("r12", parent.registers.read("r12"))
+        thread.registers.write("r13", parent.registers.read("r13"))
+
     def install(self, process: Process) -> None:
         lo = process.entropy.word(64)
         hi = process.entropy.word(64)
         self._set_key(process, lo, hi)
+        process.thread_hooks.append(self._on_thread)
 
-        def on_thread(thread: Process, parent: Process) -> None:
-            thread.registers.write("r12", parent.registers.read("r12"))
-            thread.registers.write("r13", parent.registers.read("r13"))
-
-        process.thread_hooks.append(on_thread)
+    def reattach(self, process: Process) -> None:
+        # The key is already parked in the restored r12/r13.
+        process.thread_hooks.append(self._on_thread)
 
 
 class GlobalBufferRuntime(SchemeRuntime):
@@ -122,10 +146,13 @@ class GlobalBufferRuntime(SchemeRuntime):
         tls.global_buffer_base = base
         tls.global_buffer_count = 0
 
+    def _on_thread(self, thread: Process, parent: Process) -> None:
+        self._allocate(thread)
+
     def install(self, process: Process) -> None:
         self._allocate(process)
+        process.thread_hooks.append(self._on_thread)
 
-        def on_thread(thread: Process, parent: Process) -> None:
-            self._allocate(thread)
-
-        process.thread_hooks.append(on_thread)
+    def reattach(self, process: Process) -> None:
+        # The process buffer (and its brk carve-out) is in the image.
+        process.thread_hooks.append(self._on_thread)

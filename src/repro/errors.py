@@ -178,3 +178,8 @@ class KernelError(ReproError):
 
 class ProtectionError(ReproError):
     """A protection scheme was configured or deployed inconsistently."""
+
+
+class SnapshotError(ReproError):
+    """A machine image could not be captured or restored (unsupported
+    process state, corrupt or version-mismatched image bytes)."""

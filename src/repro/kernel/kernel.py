@@ -87,6 +87,7 @@ class Kernel:
         run_constructors: bool = True,
         aslr: bool = False,
         fast: bool = True,
+        image: Optional["SpawnImage"] = None,
     ) -> Process:
         """execve: create a process from ``binary``.
 
@@ -97,8 +98,30 @@ class Kernel:
         ``aslr`` randomizes segment bases and the code load address per
         spawn (§VII-B: complementary to canaries — an attacker who must
         *guess* a gadget address on top of guessing the canary).
+
+        ``image`` is an optional warmed
+        :class:`~repro.machine.snapshot.SpawnImage` for the same binary,
+        preloads, and stack size: the address space is then COW-cloned
+        from the frozen post-load state instead of being rebuilt, which
+        skips the whole layout/rodata pass.  Spawn images are captured
+        before any entropy draw, so the image path consumes the kernel
+        entropy stream identically to a cold spawn and produces a
+        bit-identical process.  Incompatible with ``aslr`` (a slid
+        layout is per-spawn by definition).
         """
         preloads = list(preloads)
+        if image is not None and not aslr:
+            memory, loaded = image.instantiate()
+            telemetry.count(
+                "kernel_image_spawns_total",
+                help="processes booted from a warmed spawn image",
+            )
+            return self._finish_spawn(
+                binary, preloads, memory, loaded,
+                natives=natives, dbi_multiplier=dbi_multiplier,
+                cycle_limit=cycle_limit, run_constructors=run_constructors,
+                fast=fast,
+            )
         aslr_entropy = self.entropy.fork() if aslr else None
         memory = standard_memory(
             stack_size=stack_size,
@@ -108,7 +131,28 @@ class Kernel:
         code_base = CODE_BASE
         if aslr_entropy is not None:
             code_base += aslr_entropy.randrange(ASLR_SLIDE_PAGES) * PAGE
-        image = load(binary, memory, preloads=preloads, code_base=code_base)
+        loaded = load(binary, memory, preloads=preloads, code_base=code_base)
+        return self._finish_spawn(
+            binary, preloads, memory, loaded,
+            natives=natives, dbi_multiplier=dbi_multiplier,
+            cycle_limit=cycle_limit, run_constructors=run_constructors,
+            fast=fast,
+        )
+
+    def _finish_spawn(
+        self,
+        binary: Binary,
+        preloads: List[Binary],
+        memory,
+        image,
+        *,
+        natives,
+        dbi_multiplier: float,
+        cycle_limit: int,
+        run_constructors: bool,
+        fast: bool,
+    ) -> Process:
+        """The seed-consuming half of spawn, shared by cold and image boots."""
         pid = self._next_pid
         self._next_pid += 1
         process = Process(
@@ -127,6 +171,9 @@ class Kernel:
         )
         process.entry = binary.entry
         process.binary = binary
+        #: Recorded for snapshot/restore: rebuilding the code layout needs
+        #: the preload set that shaped it (interposition order).
+        process.preloads = preloads
         self.processes[pid] = process
 
         # The dynamic loader draws the stack guard before anything runs.
@@ -183,6 +230,7 @@ class Kernel:
         )
         child.entry = parent.entry
         child.binary = getattr(parent, "binary", None)
+        child.preloads = list(getattr(parent, "preloads", ()))
         child.registers.gpr.update(parent.registers.gpr)
         child.registers.xmm.update(parent.registers.xmm)
         child.registers.fs_base = parent.registers.fs_base
@@ -279,6 +327,19 @@ class Kernel:
             raise
         telemetry.count("kernel_threads_total", help="threads created")
         return thread
+
+    # -- snapshot/restore ---------------------------------------------------------
+
+    def restore(self, image: bytes, *, natives: Optional[dict] = None) -> Process:
+        """Rebuild a process from :func:`repro.machine.snapshot.snapshot_process`
+        bytes, adopting the image's kernel bookkeeping (entropy stream,
+        pid counter, wall-TSC epoch) so subsequent forks replay
+        bit-identically to forks of the snapshotted original."""
+        from ..machine.snapshot import restore_process
+
+        return restore_process(
+            image, kernel=self, natives=natives, adopt_kernel_state=True
+        )
 
     # -- teardown -------------------------------------------------------------------
 

@@ -222,6 +222,17 @@ class Process:
             self.cpu.instructions_executed - start_instructions,
         )
 
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize this (quiescent) process into a deterministic machine
+        image; see :func:`repro.machine.snapshot.snapshot_process`.  The
+        image embeds the kernel bookkeeping needed for post-restore forks
+        to replay bit-identically."""
+        from ..machine.snapshot import snapshot_process
+
+        return snapshot_process(self)
+
     # -- bookkeeping ---------------------------------------------------------
 
     @property

@@ -95,6 +95,16 @@ class PSSPPreload:
         process.fork_hooks.append(self.on_fork)
         process.thread_hooks.append(self.on_thread)
 
+    def reattach(self, process: Process) -> None:
+        """Re-register hooks on a restored process.
+
+        No ``setup``: the shadow pair (and the entropy the constructor
+        consumed) are already in the restored TLS/entropy state, so a
+        second publish would desynchronise the replay.
+        """
+        process.fork_hooks.append(self.on_fork)
+        process.thread_hooks.append(self.on_thread)
+
     def preload_binaries(self):
         """Simulated code this preload interposes (none for compiler mode;
         the binary mode's ``__stack_chk_fail`` replacement is produced by

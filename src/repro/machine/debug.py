@@ -224,7 +224,7 @@ def architectural_snapshot(process: Process) -> Dict[str, object]:
         "xmm": dict(registers.xmm),
         "flags": (registers.zf, registers.sf, registers.cf),
         "memory": {
-            segment.name: bytes(segment.data)
+            segment.name: segment.tobytes()
             for segment in process.memory.segments()
         },
         "stdout": bytes(process.stdout),

@@ -17,6 +17,11 @@ contract that one seed reproduces one case bit-for-bit:
   compiled images keyed by ``hash(source, scheme, toolchain)``, so
   fast/slow differential pairs, reference/faulted twins, and shrinking
   loops reuse one build.
+* :mod:`repro.parallel.snapcache` — content-addressed cache of warmed
+  :class:`~repro.machine.snapshot.SpawnImage` objects (memory tier +
+  optional ``REPRO_SNAPSHOT_DIR`` disk tier), so campaign workers boot
+  processes by COW-cloning a frozen post-load image instead of
+  re-running the loader per spawn.
 
 The determinism invariant (tested in ``tests/parallel/``): for any
 campaign, ``--jobs N`` produces a bit-identical report to ``--jobs 1``.
@@ -50,10 +55,19 @@ from .sharding import (
     resolve_jobs,
     shard_size_for,
 )
+from .snapcache import (
+    DEFAULT_MAX_IMAGES,
+    SnapshotCache,
+    directory_stats,
+    image_cache,
+    reset_image_cache,
+)
 
 __all__ = [
     "BuildCache", "build_cache", "reset_build_cache",
     "toolchain_fingerprint", "TOOLCHAIN_VERSION", "DEFAULT_MAX_ENTRIES",
+    "SnapshotCache", "image_cache", "reset_image_cache",
+    "directory_stats", "DEFAULT_MAX_IMAGES",
     "ShardOutcome", "run_shards",
     "STATUS_OK", "STATUS_FAILED", "STATUS_SKIPPED",
     "Shard", "plan_shards", "shard_size_for",

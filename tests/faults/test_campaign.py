@@ -66,6 +66,17 @@ class TestReplayDeterminism:
         clone = type(run).from_json(run.to_json())
         assert clone.to_json() == run.to_json()
 
+    @pytest.mark.parametrize("seed", [2018, 2024])
+    def test_replay_is_bit_identical_cow_vs_eager_fork(self, seed, monkeypatch):
+        # Chaos clause 6: degradation handling must be invariant to the
+        # fork implementation.  The COW page layer and the historical
+        # deep copy must replay a case to the same bytes.
+        monkeypatch.setenv("REPRO_COW_FORK", "1")
+        cow = replay_case(seed).to_json()
+        monkeypatch.setenv("REPRO_COW_FORK", "0")
+        eager = replay_case(seed).to_json()
+        assert cow == eager
+
 
 class TestCampaign:
     def test_small_campaign_holds_the_invariant(self):

@@ -69,6 +69,47 @@ class TestForkDuringShadowRefresh:
         assert child.pid in kernel.processes
         assert child.tls.shadow_c0 ^ child.tls.shadow_c1 == child.tls.canary
 
+    def test_torn_refresh_under_cow_leaves_parent_pages_untouched(self):
+        # The aborted child's shadow writes landed in *its* COW overlay:
+        # rolling the fork back must leave the parent's page table — not
+        # just its visible bytes — exactly as it was.
+        kernel, parent, plane = spawn(SIMPLE, "pssp")
+        kernel.fork(parent)  # freeze once so steady-state stats are clean
+        before_bytes = {
+            segment.name: segment.tobytes()
+            for segment in parent.memory.segments()
+        }
+        before_stats = parent.memory.page_stats()
+        plane.schedule.events.append(
+            FaultEvent("tls-torn", at=plane.tls_writes, count=48)
+        )
+        with pytest.raises(DegradedError):
+            kernel.fork(parent)
+        assert parent.memory.page_stats() == before_stats
+        assert {
+            segment.name: segment.tobytes()
+            for segment in parent.memory.segments()
+        } == before_bytes
+
+    def test_torn_refresh_rollback_is_identical_cow_vs_eager(self, monkeypatch):
+        outcomes = []
+        for knob in ("1", "0"):
+            monkeypatch.setenv("REPRO_COW_FORK", knob)
+            kernel, parent, plane = spawn(SIMPLE, "pssp")
+            plane.schedule.events.append(
+                FaultEvent("tls-torn", at=plane.tls_writes, count=48)
+            )
+            with pytest.raises(DegradedError):
+                kernel.fork(parent)
+            outcomes.append((
+                parent.tls.shadow_c0,
+                parent.tls.shadow_c1,
+                sorted(kernel.processes),
+                kernel.fork_count,
+                plane.event_kinds(),
+            ))
+        assert outcomes[0] == outcomes[1]
+
 
 class TestThreadAfterEntropyDegradation:
     def test_new_thread_still_gets_a_fresh_canary_bound_pair(self):
