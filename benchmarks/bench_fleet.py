@@ -1,0 +1,281 @@
+#!/usr/bin/env python
+"""Fleet campaign benchmark: million-request throughput, gated reports.
+
+Three claims from the fleet plane are measured and gated:
+
+* **Determinism** — a probe campaign run with ``--jobs 2`` must produce
+  a report bit-identical to the serial run, and the campaign summaries
+  must match the committed ``BENCH_fleet.json`` baseline field-for-field
+  (every summary number is derived from seeded simulated state, so an
+  exact comparison is the correct one).  A divergence is a correctness
+  bug (exit 2), never waived.
+* **Security story** — the per-scheme numbers must reproduce the paper:
+  byte-by-byte brute force breaches ``ssp`` and nothing else, leak
+  replay breaches everything but ``pssp-owf``, and every scheme with a
+  canary detects smashes.  Also exit 2: if this drifts the reproduction
+  is wrong, not slow.
+* **Throughput** — the full campaign serves >= 10^6 requests, and the
+  host must sustain a floor fraction of the baseline's recorded wall
+  requests/sec (exit 1; wall clock is the only host-dependent number
+  here).
+
+Usage::
+
+    python benchmarks/bench_fleet.py                    # full, 10^6 requests
+    python benchmarks/bench_fleet.py --smoke            # CI-sized run
+    python benchmarks/bench_fleet.py --json OUT.json    # write measurement
+    python benchmarks/bench_fleet.py --no-compare       # baseline (re)generation
+
+The committed ``benchmarks/BENCH_fleet.json`` holds one section per
+mode (``smoke`` / ``full``); a run compares against the section that
+matches its mode.
+
+Exit status: 0 on success, 1 if the throughput gate fails, 2 on any
+correctness divergence (jobs, baseline, or security story).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import (  # noqa: E402
+    DEFAULT_BASE_SEED,
+    DEFAULT_FLEET_SCHEMES,
+    TrafficConfig,
+    run_fleet,
+)
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_fleet.json"
+
+#: Budgets are per scheme; the full campaign serves ~4 x 251k requests.
+#: The margin over 250k absorbs leak-session slack — a slice whose last
+#: request would start a 2-request leak connection stops one short — so
+#: even the worst case (every slice short) clears the 10^6 acceptance
+#: floor.
+FULL_BUDGET = 251_000
+SMOKE_BUDGET = 2_000
+SLICE_REQUESTS = 1_000
+
+#: The jobs-invariance probe (both modes): small enough to run twice.
+PROBE_BUDGET = 600
+PROBE_SLICE = 200
+PROBE_SCHEMES = ("ssp", "pssp")
+
+DEFAULT_MIN_THROUGHPUT_RATIO = 0.25
+
+#: Summary fields compared exactly against the committed baseline.
+#: All are pure functions of (seed, config, scheme) — simulated cycles
+#: included — so any difference is a behaviour change, not noise.
+GATED_FIELDS = (
+    "requests", "benign_requests", "attack_requests", "sessions",
+    "detections", "crashes", "breaches", "breaches_by_kind",
+    "detection_rate", "time_to_detection", "simulated_rps",
+    "latency_cycles", "lost_slices", "audit_divergences",
+)
+
+
+def measure_jobs_invariance() -> dict:
+    serial = run_fleet(
+        PROBE_BUDGET, schemes=PROBE_SCHEMES, slice_requests=PROBE_SLICE
+    )
+    pooled = run_fleet(
+        PROBE_BUDGET, schemes=PROBE_SCHEMES, slice_requests=PROBE_SLICE,
+        jobs=2,
+    )
+    return {
+        "budget": PROBE_BUDGET,
+        "schemes": list(PROBE_SCHEMES),
+        "identical": (
+            json.dumps(serial.to_json(), sort_keys=True)
+            == json.dumps(pooled.to_json(), sort_keys=True)
+        ),
+    }
+
+
+def measure_campaign(budget: int) -> dict:
+    start = time.perf_counter()
+    report = run_fleet(budget, slice_requests=SLICE_REQUESTS, jobs=2)
+    wall = time.perf_counter() - start
+    return {
+        "budget_per_scheme": budget,
+        "slice_requests": SLICE_REQUESTS,
+        "base_seed": DEFAULT_BASE_SEED,
+        "schemes": list(DEFAULT_FLEET_SCHEMES),
+        "config": TrafficConfig().to_json(),
+        "total_requests": report.total_requests,
+        "lost_slices": report.lost_slices,
+        "audit_divergences": len(report.audit_divergences),
+        "wall_seconds": wall,
+        "wall_rps": report.total_requests / wall if wall else 0.0,
+        "summaries": {r.scheme: r.summary() for r in report.reports},
+    }
+
+
+def check_story(summaries: dict) -> list:
+    """The paper's table, asserted from the campaign summaries."""
+    problems = []
+
+    def expect(condition, message):
+        if not condition:
+            problems.append(message)
+
+    expect(summaries["ssp"]["breaches_by_kind"]["brute"] > 0,
+           "ssp resisted brute force (static canaries must fall)")
+    for scheme in ("pssp", "pssp-nt", "pssp-owf"):
+        expect(summaries[scheme]["breaches_by_kind"]["brute"] == 0,
+               f"{scheme} was brute-forced despite re-randomization")
+    expect(summaries["pssp"]["breaches_by_kind"]["leak"] > 0,
+           "pssp resisted leak replay (only the OWF binding should)")
+    expect(summaries["pssp-owf"]["breaches"] == 0,
+           "pssp-owf was breached")
+    for scheme, summary in summaries.items():
+        expect(summary["detections"] > 0, f"{scheme} detected nothing")
+        expect(summary["time_to_detection"] is not None,
+               f"{scheme} has no time-to-detection")
+        expect(summary["audit_divergences"] == 0,
+               f"{scheme} report failed its counter audit")
+    return problems
+
+
+def compare_to_baseline(campaign: dict, baseline_section: dict) -> list:
+    """Exact comparison of the gated summary fields, scheme by scheme."""
+    problems = []
+    recorded = baseline_section["summaries"]
+    if set(recorded) != set(campaign["summaries"]):
+        return [
+            f"scheme set changed: baseline {sorted(recorded)} vs "
+            f"measured {sorted(campaign['summaries'])}"
+        ]
+    for scheme, summary in campaign["summaries"].items():
+        for field in GATED_FIELDS:
+            want = recorded[scheme].get(field)
+            got = summary.get(field)
+            if got != want:
+                problems.append(
+                    f"{scheme}.{field}: baseline {want!r} vs {got!r}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"CI-sized campaign ({SMOKE_BUDGET} vs {FULL_BUDGET} "
+             "requests per scheme)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None,
+        help="override the per-scheme request budget",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", help="write the measurement report to OUT"
+    )
+    parser.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the baseline comparison (baseline regeneration)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE),
+        help="baseline file to compare against",
+    )
+    parser.add_argument(
+        "--min-throughput-ratio", type=float,
+        default=DEFAULT_MIN_THROUGHPUT_RATIO,
+        help="required fraction of the baseline's wall requests/sec "
+             f"(default: {DEFAULT_MIN_THROUGHPUT_RATIO})",
+    )
+    args = parser.parse_args(argv)
+
+    budget = args.budget if args.budget is not None else (
+        SMOKE_BUDGET if args.smoke else FULL_BUDGET
+    )
+    mode = "smoke" if budget < FULL_BUDGET else "full"
+
+    probe = measure_jobs_invariance()
+    campaign = measure_campaign(budget)
+    report = {
+        "mode": mode,
+        "cores": os.cpu_count() or 1,
+        "probe": probe,
+        "campaign": campaign,
+    }
+
+    print(f"fleet campaign benchmark ({mode}, {report['cores']} cores)")
+    print(f"  jobs probe ({probe['budget']}/scheme): "
+          f"identical={probe['identical']}")
+    print(f"  campaign: {campaign['total_requests']:,d} requests "
+          f"({budget:,d}/scheme) in {campaign['wall_seconds']:.1f}s "
+          f"-> {campaign['wall_rps']:,.0f} req/s wall")
+    for scheme, summary in campaign["summaries"].items():
+        by_kind = summary["breaches_by_kind"]
+        print(f"    {scheme:10s} detect {summary['detections']:>7,d} "
+              f"rate {summary['detection_rate']:.3f} "
+              f"ttd {summary['time_to_detection']} "
+              f"brute! {by_kind['brute']} leak! {by_kind['leak']}")
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if not probe["identical"]:
+        print("PARALLEL/SERIAL DIVERGENCE (correctness bug): the jobs=2 "
+              "fleet report does not match the serial report",
+              file=sys.stderr)
+        return 2
+
+    problems = check_story(campaign["summaries"])
+    if mode == "full" and campaign["total_requests"] < 1_000_000:
+        problems.append(
+            f"full campaign served {campaign['total_requests']:,d} "
+            "requests (< 10^6)"
+        )
+    if campaign["lost_slices"] or campaign["audit_divergences"]:
+        problems.append(
+            f"{campaign['lost_slices']} lost slice(s), "
+            f"{campaign['audit_divergences']} audit divergence(s)"
+        )
+    for problem in problems:
+        print(f"FLEET STORY DIVERGENCE: {problem}", file=sys.stderr)
+    if problems:
+        return 2
+
+    if not args.no_compare:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; run with --no-compare "
+                  "--json to generate one", file=sys.stderr)
+            return 2
+        sections = json.loads(baseline_path.read_text())
+        section = sections.get(mode)
+        if section is None:
+            print(f"baseline has no '{mode}' section", file=sys.stderr)
+            return 2
+        divergences = compare_to_baseline(campaign, section["campaign"])
+        for line in divergences:
+            print(f"BASELINE DIVERGENCE: {line}", file=sys.stderr)
+        if divergences:
+            return 2
+        floor = section["campaign"]["wall_rps"] * args.min_throughput_ratio
+        if campaign["wall_rps"] < floor:
+            print(
+                f"THROUGHPUT REGRESSION: {campaign['wall_rps']:,.0f} "
+                f"req/s below {floor:,.0f} "
+                f"({args.min_throughput_ratio:.0%} of baseline)",
+                file=sys.stderr,
+            )
+            return 1
+
+    print("fleet campaign gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

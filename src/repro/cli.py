@@ -11,6 +11,8 @@ Commands regenerate individual experiments or the whole report:
     $ python -m repro effectiveness
     $ python -m repro fuzz --budget 50
     $ python -m repro chaos --budget 50
+    $ python -m repro serve --scheme pssp
+    $ python -m repro fleet --budget 10000 --jobs 4
     $ python -m repro report -o EXPERIMENTS.md
 
 Exit codes (``fuzz`` and ``chaos``, consumed by CI):
@@ -541,6 +543,99 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _fleet_config(args: argparse.Namespace):
+    """Parse the fleet traffic flags into a TrafficConfig (or usage error)."""
+    from .fleet import TrafficConfig
+
+    try:
+        return TrafficConfig.parse_rate(
+            args.attack_rate, brute_trial_cap=args.brute_cap
+        ), None
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return None, EXIT_USAGE
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve one slice of fleet traffic on one server (the demo loop)."""
+    from .fleet import run_fleet_slice
+
+    config, usage = _fleet_config(args)
+    if usage is not None:
+        return usage
+    record = run_fleet_slice(
+        args.scheme, args.seed, config=config, request_budget=args.requests
+    )
+    print(f"scheme:          {args.scheme}")
+    print(f"seed:            {record.seed}")
+    print(f"requests:        {record.requests} "
+          f"({record.benign_requests} benign, "
+          f"{record.attack_requests} attack)")
+    print("sessions:        "
+          + ", ".join(f"{kind}={count}"
+                      for kind, count in record.sessions.items()))
+    print(f"detections:      {record.detections}")
+    print(f"crashes:         {record.crashes}")
+    print(f"breaches:        {record.breaches} {record.breaches_by_kind}")
+    first = record.first_detection_request
+    print(f"first detection: "
+          f"{'request ' + str(first) if first is not None else 'never'}")
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record.to_json(), handle, indent=2)
+        print(f"wrote {args.out}")
+    for line in record.audit_divergences:
+        print(f"AUDIT DIVERGENCE: {line}", file=sys.stderr)
+    return EXIT_VIOLATION if record.audit_divergences else EXIT_OK
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a sharded multi-scheme fleet campaign."""
+    from .fleet import run_fleet
+
+    config, usage = _fleet_config(args)
+    if usage is not None:
+        return usage
+    schemes = tuple(args.schemes.split(",")) if args.schemes else None
+    if schemes:
+        unknown = [s for s in schemes if s not in SCHEMES]
+        if unknown:
+            print(f"unknown scheme(s): {', '.join(unknown)}", file=sys.stderr)
+            return EXIT_USAGE
+    jobs, usage = _campaign_jobs(args)
+    if usage is not None:
+        return usage
+
+    before = _telemetry_capture_start(args.telemetry_out)
+    report = run_fleet(
+        args.budget,
+        **({"schemes": schemes} if schemes else {}),
+        base_seed=args.seed,
+        slice_requests=args.slice,
+        config=config,
+        jobs=jobs,
+        progress=lambda line: print(f"  {line}", flush=True),
+    )
+    print(report.render())
+    _telemetry_capture_write(args.telemetry_out, before)
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"wrote {args.out}")
+    if report.lost_slices:
+        return EXIT_INFRASTRUCTURE
+    if report.audit_divergences:
+        return EXIT_VIOLATION
+    if args.require_detections:
+        blind = [r.scheme for r in report.reports if r.detections == 0]
+        if blind:
+            print(f"no detections under: {', '.join(blind)}", file=sys.stderr)
+            return EXIT_VIOLATION
+    return EXIT_OK
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     text = generate_report(attack_trials=args.trials)
     if args.output:
@@ -686,6 +781,46 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--out", default=None, metavar="FILE",
                          help="write a Chrome trace-event JSON file")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve one slice of fleet traffic on one forking server",
+    )
+    serve.add_argument("--scheme", default="pssp", choices=sorted(SCHEMES))
+    serve.add_argument("--requests", type=int, default=500,
+                       help="request budget for the slice (default 500)")
+    serve.add_argument("--seed", type=int, default=20180625)
+    serve.add_argument("--attack-rate", default="1/8", metavar="N/D",
+                       help="fraction of sessions that are attacks")
+    serve.add_argument("--brute-cap", type=int, default=1600,
+                       help="request cap per byte-by-byte attack session")
+    serve.add_argument("--out", default=None, metavar="FILE",
+                       help="write the slice record as JSON")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="sharded multi-scheme fleet campaign (the §VI-C service mix)",
+    )
+    fleet.add_argument("--budget", type=int, default=10_000,
+                       help="requests per scheme (default 10000)")
+    fleet.add_argument("--schemes", default=None,
+                       help="comma-separated scheme subset "
+                            "(default: ssp,pssp,pssp-nt,pssp-owf)")
+    fleet.add_argument("--seed", type=int, default=20180625,
+                       help="base seed; slice i uses seed+i")
+    fleet.add_argument("--slice", type=int, default=1000,
+                       help="requests per slice / shard unit (default 1000)")
+    fleet.add_argument("--attack-rate", default="1/8", metavar="N/D",
+                       help="fraction of sessions that are attacks")
+    fleet.add_argument("--brute-cap", type=int, default=1600,
+                       help="request cap per byte-by-byte attack session")
+    fleet.add_argument("--require-detections", action="store_true",
+                       help="exit 1 if any scheme ends with 0 detections")
+    fleet.add_argument("--out", default=None, metavar="FILE",
+                       help="write the full fleet report as JSON")
+    add_jobs_argument(fleet)
+    fleet.add_argument("--telemetry-out", default=None, metavar="FILE",
+                       help="write telemetry counters + event stream as JSON")
+
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None)
     report.add_argument("--trials", type=int, default=4000)
@@ -706,6 +841,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "stats": _cmd_stats,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "report": _cmd_report,
 }
 

@@ -1,0 +1,67 @@
+"""Fleet simulation: a forking accept-loop server under attack traffic.
+
+The paper's motivating deployment (§II-B, §VI-C) is a forking network
+server whose per-connection workers inherit the parent's canary — the
+setting where byte-by-byte brute force wins against vanilla SSP and
+P-SSP's fork-time re-randomization defeats it.  This package serves that
+workload end to end: a deterministic traffic generator
+(:mod:`~repro.fleet.traffic`), the accept-loop server
+(:mod:`~repro.fleet.server`), and sharded million-request campaigns with
+counter-audited reports (:mod:`~repro.fleet.campaign`).
+"""
+
+from .campaign import (
+    AUDITED_COUNTERS,
+    DEFAULT_BASE_SEED,
+    DEFAULT_FLEET_SCHEMES,
+    FleetReport,
+    FleetSchemeReport,
+    FleetSlice,
+    LatencyLedger,
+    run_fleet,
+    run_fleet_slice,
+)
+from .server import (
+    FLEET_BUFFER_SIZE,
+    FLEET_VICTIM,
+    LATENCY_BUCKETS_CYCLES,
+    FleetResponse,
+    FleetServer,
+)
+from .traffic import (
+    ATTACK_KINDS,
+    SESSION_KINDS,
+    SessionPlan,
+    TrafficConfig,
+    attack_sessions_before,
+    is_attack_session,
+    schedule,
+    session_entropy,
+    session_plan,
+)
+
+__all__ = [
+    "ATTACK_KINDS",
+    "AUDITED_COUNTERS",
+    "DEFAULT_BASE_SEED",
+    "DEFAULT_FLEET_SCHEMES",
+    "FLEET_BUFFER_SIZE",
+    "FLEET_VICTIM",
+    "FleetReport",
+    "FleetResponse",
+    "FleetSchemeReport",
+    "FleetServer",
+    "FleetSlice",
+    "LATENCY_BUCKETS_CYCLES",
+    "LatencyLedger",
+    "SESSION_KINDS",
+    "SessionPlan",
+    "TrafficConfig",
+    "attack_sessions_before",
+    "is_attack_session",
+    "run_fleet",
+    "run_fleet_slice",
+    "schedule",
+    "session_entropy",
+    "session_plan",
+]

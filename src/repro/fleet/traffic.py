@@ -1,0 +1,193 @@
+"""Deterministic traffic IR: the request mix a fleet campaign serves.
+
+The generator answers one question per session index: *what does
+connection ``i`` of this campaign do?*  The answer is a pure function of
+``(config, seed, index)`` — no generator state, no draw-order coupling
+between sessions — so a campaign sharded across a process pool schedules
+exactly the sessions a serial run would, and any single session can be
+replayed in isolation.
+
+Two deterministic mechanisms:
+
+* **Attack placement** is Bresenham spacing over the configured exact
+  rate ``attack_numerator / attack_denominator``: session ``i`` is an
+  attack iff ``(i+1)*n // d > i*n // d``.  Among the first ``k``
+  sessions there are *exactly* ``k*n // d`` attacks — an integer bound,
+  not an expectation, which is what the property tests assert.
+* **Session shape** (attack kind, benign length) is drawn from an
+  :class:`~repro.crypto.random.EntropySource` seeded by a mix of the
+  campaign seed and the session index, so shapes vary across a campaign
+  but session ``i`` never depends on sessions ``0..i-1`` having been
+  generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..crypto.random import EntropySource
+
+#: Session kinds a plan may carry, in canonical order.
+SESSION_KINDS: Tuple[str, ...] = ("benign", "smash", "brute", "leak")
+
+#: Attack kinds (everything but ``benign``).
+ATTACK_KINDS: Tuple[str, ...] = ("smash", "brute", "leak")
+
+#: 64-bit mixing constants for the per-session entropy seed.
+_SEED_MIX = 0x9E3779B97F4A7C15
+_INDEX_MIX = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of a campaign's request mix (all integers — exact rates).
+
+    ``attack_numerator / attack_denominator`` is the fraction of
+    *sessions* that are attacks.  Kind weights split the attack sessions
+    between blind smashes (one request), byte-by-byte brute-force runs
+    (up to ``brute_trial_cap`` requests), and leak-and-replay sessions
+    (two requests: the disclosure and the exploit).
+    """
+
+    attack_numerator: int = 1
+    attack_denominator: int = 8
+    benign_min_requests: int = 1
+    benign_max_requests: int = 4
+    brute_trial_cap: int = 1600
+    smash_weight: int = 1
+    brute_weight: int = 2
+    leak_weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.attack_denominator < 1:
+            raise ValueError("attack_denominator must be >= 1")
+        if not 0 <= self.attack_numerator <= self.attack_denominator:
+            raise ValueError(
+                "attack rate must satisfy 0 <= numerator <= denominator, got "
+                f"{self.attack_numerator}/{self.attack_denominator}"
+            )
+        if self.benign_min_requests < 1:
+            raise ValueError("benign sessions need at least one request")
+        if self.benign_max_requests < self.benign_min_requests:
+            raise ValueError("benign_max_requests < benign_min_requests")
+        if self.brute_trial_cap < 1:
+            raise ValueError("brute_trial_cap must be >= 1")
+        for name in ("smash_weight", "brute_weight", "leak_weight"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.smash_weight + self.brute_weight + self.leak_weight < 1:
+            raise ValueError("at least one attack kind needs positive weight")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "attack_numerator": self.attack_numerator,
+            "attack_denominator": self.attack_denominator,
+            "benign_min_requests": self.benign_min_requests,
+            "benign_max_requests": self.benign_max_requests,
+            "brute_trial_cap": self.brute_trial_cap,
+            "smash_weight": self.smash_weight,
+            "brute_weight": self.brute_weight,
+            "leak_weight": self.leak_weight,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "TrafficConfig":
+        return cls(**{key: int(value) for key, value in data.items()})
+
+    @classmethod
+    def parse_rate(cls, text: str, **overrides: int) -> "TrafficConfig":
+        """Build a config from a ``N/D`` attack-rate string (CLI form)."""
+        try:
+            numerator, denominator = (int(part) for part in text.split("/", 1))
+        except ValueError:
+            raise ValueError(
+                f"attack rate must look like 'N/D', got {text!r}"
+            ) from None
+        return cls(
+            attack_numerator=numerator, attack_denominator=denominator,
+            **overrides,
+        )
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """What one scheduled connection does."""
+
+    index: int
+    kind: str
+    #: Planned request budget: benign length, 1 for smash, the trial cap
+    #: for brute (actual consumption depends on the defence), 2 for leak.
+    requests: int
+    #: Benign payload length in bytes (0 for attack sessions).
+    payload_length: int = 0
+
+    @property
+    def is_attack(self) -> bool:
+        return self.kind != "benign"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "requests": self.requests,
+            "payload_length": self.payload_length,
+        }
+
+
+def is_attack_session(config: TrafficConfig, index: int) -> bool:
+    """Bresenham placement: exact-rate attack/benign interleaving."""
+    n, d = config.attack_numerator, config.attack_denominator
+    return (index + 1) * n // d > index * n // d
+
+
+def attack_sessions_before(config: TrafficConfig, count: int) -> int:
+    """Exactly how many of the first ``count`` sessions are attacks."""
+    return count * config.attack_numerator // config.attack_denominator
+
+
+def session_entropy(seed: int, index: int) -> EntropySource:
+    """The per-session entropy stream (pure in ``(seed, index)``)."""
+    mixed = (seed * _SEED_MIX + index * _INDEX_MIX + index) & _MASK64
+    return EntropySource(mixed)
+
+
+def session_plan(
+    config: TrafficConfig, seed: int, index: int, *, buffer_size: int = 64
+) -> SessionPlan:
+    """Plan session ``index`` of the campaign seeded ``seed``.
+
+    Pure: calling this twice — or from different worker processes —
+    yields an identical plan, and no other session's plan is consulted.
+    ``buffer_size`` bounds benign payloads (they must stay in-buffer).
+    """
+    entropy = session_entropy(seed, index)
+    if not is_attack_session(config, index):
+        spread = config.benign_max_requests - config.benign_min_requests + 1
+        requests = config.benign_min_requests + entropy.randrange(spread)
+        payload = 1 + entropy.randrange(max(1, buffer_size - 1))
+        return SessionPlan(index, "benign", requests, payload)
+    weights = (
+        ("smash", config.smash_weight),
+        ("brute", config.brute_weight),
+        ("leak", config.leak_weight),
+    )
+    total = sum(weight for _, weight in weights)
+    pick = entropy.randrange(total)
+    for kind, weight in weights:
+        if pick < weight:
+            break
+        pick -= weight
+    requests = {"smash": 1, "brute": config.brute_trial_cap, "leak": 2}[kind]
+    return SessionPlan(index, kind, requests)
+
+
+def schedule(
+    config: TrafficConfig, seed: int, sessions: int, *, buffer_size: int = 64
+) -> List[SessionPlan]:
+    """The first ``sessions`` plans of a campaign, in session order."""
+    return [
+        session_plan(config, seed, index, buffer_size=buffer_size)
+        for index in range(max(0, sessions))
+    ]

@@ -1,0 +1,216 @@
+"""The campaign classifier: every report number proved from counters.
+
+This is the `test`-archetype heart of the fleet plane — the report is
+only trusted because each of its fields is re-derived here from the
+telemetry deltas the campaign produced, and because the built-in audit
+is itself shown to catch fabricated numbers.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.fleet.campaign import (
+    DEFAULT_FLEET_SCHEMES,
+    FleetReport,
+    FleetSchemeReport,
+    FleetSlice,
+    LatencyLedger,
+    _audit_slice,
+    _slice_budget,
+    run_fleet,
+    run_fleet_slice,
+)
+from repro.fleet.server import LATENCY_BUCKETS_CYCLES, FleetServer
+from repro.fleet.traffic import TrafficConfig
+
+
+class TestEveryNumberFromCounters:
+    """The report's numbers equal the counter deltas, field by field."""
+
+    @pytest.mark.parametrize("scheme", ["ssp", "pssp", "pssp-owf"])
+    def test_slice_bookkeeping_equals_telemetry_deltas(self, scheme):
+        before = telemetry.snapshot()
+        record = run_fleet_slice(
+            scheme, 20180625, request_budget=400, audit=False
+        )
+        delta = telemetry.delta(before)
+        assert record.requests == delta.get("fleet_requests_total", 0)
+        assert record.crashes == delta.get("fleet_request_crashes_total", 0)
+        assert record.detections == delta.get(
+            "canary_smashes_detected_total", 0
+        )
+        # Worker-per-connection: the kernel forked once per worker and
+        # nothing else during the slice.
+        assert delta.get("fleet_workers_forked_total", 0) == delta.get(
+            "kernel_forks_total", 0
+        )
+        histogram = delta["fleet_request_cycles"]
+        assert histogram["count"] == record.requests
+        assert sum(record.latency) == record.requests
+        assert record.benign_requests + record.attack_requests \
+            == record.requests
+
+    def test_builtin_audit_passes_on_an_honest_slice(self):
+        record = run_fleet_slice("pssp", 20180625, request_budget=400)
+        assert record.audit_divergences == []
+
+    def test_audit_catches_fabricated_numbers(self):
+        server = FleetServer.boot("pssp", 3)
+        record = FleetSlice(seed=3, request_budget=10)
+        record.requests = 10  # fabricated: no counters ever moved
+        _audit_slice(record, server, {})
+        assert any(
+            "fleet_requests_total" in line
+            for line in record.audit_divergences
+        )
+        assert any("latency ledger" in line
+                   for line in record.audit_divergences)
+
+
+class TestSchemeSemantics:
+    """The paper's table, reproduced by the service workload."""
+
+    def test_static_canaries_fall_to_brute_force(self):
+        record = run_fleet_slice("ssp", 20180625, request_budget=2000)
+        assert record.breaches_by_kind["brute"] >= 1
+
+    @pytest.mark.parametrize("scheme", ["pssp", "pssp-nt"])
+    def test_fork_rerandomization_stops_brute_not_leak(self, scheme):
+        record = run_fleet_slice(scheme, 20180625, request_budget=2000)
+        assert record.breaches_by_kind["brute"] == 0
+        assert record.breaches_by_kind["leak"] >= 1
+
+    def test_owf_binding_stops_both(self):
+        record = run_fleet_slice("pssp-owf", 20180625, request_budget=2000)
+        assert record.breaches == 0
+        assert record.detections > 0
+
+    def test_detection_happens_and_is_indexed(self):
+        record = run_fleet_slice("pssp", 20180625, request_budget=400)
+        assert record.first_detection_request is not None
+        assert 1 <= record.first_detection_request <= record.requests
+
+
+class TestLatencyLedger:
+    def test_observe_merge_percentile(self):
+        ledger = LatencyLedger()
+        for cycles in (100.0, 115.0, 115.0, 300.0):
+            ledger.observe(cycles)
+        other = LatencyLedger()
+        other.observe(10_000.0)  # overflow bucket
+        ledger.merge(other)
+        assert ledger.total == 5
+        assert ledger.percentile(0.5) == 120.0
+        assert ledger.percentile(0.95) is None  # in the +Inf bucket
+        assert LatencyLedger().percentile(0.5) is None
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyLedger([0] * 3)
+
+    def test_ledger_aliases_the_slice_list(self):
+        record = FleetSlice(seed=1, request_budget=1)
+        LatencyLedger(record.latency).observe(1.0)
+        assert sum(record.latency) == 1
+
+
+class TestReports:
+    def _slice(self, seed, requests, first=None, detections=0):
+        record = FleetSlice(seed=seed, request_budget=requests)
+        record.requests = requests
+        record.attack_requests = requests
+        record.detections = detections
+        record.first_detection_request = first
+        record.cycles = 120.0 * requests
+        LatencyLedger(record.latency).observe(115.0)
+        return record
+
+    def test_time_to_detection_spans_slices(self):
+        report = FleetSchemeReport(
+            scheme="pssp", base_seed=0, request_budget=30,
+            slice_requests=10,
+            slices=[
+                self._slice(0, 10),
+                self._slice(1, 10, first=3, detections=1),
+                self._slice(2, 10, first=1, detections=1),
+            ],
+        )
+        # 10 requests of slice 0, then the 3rd request of slice 1.
+        assert report.time_to_detection == 13
+        assert report.detections == 2
+        assert report.detection_rate == pytest.approx(2 / 30)
+
+    def test_no_detection_means_no_ttd(self):
+        report = FleetSchemeReport(
+            scheme="ssp", base_seed=0, request_budget=10,
+            slice_requests=10, slices=[self._slice(0, 10)],
+        )
+        assert report.time_to_detection is None
+        assert report.summary()["time_to_detection"] is None
+
+    def test_slice_json_roundtrip_is_exact(self):
+        record = run_fleet_slice("pssp", 20180625, request_budget=300)
+        data = json.loads(json.dumps(record.to_json()))
+        assert FleetSlice.from_json(data).to_json() == record.to_json()
+
+    def test_report_json_roundtrip_is_exact(self):
+        report = run_fleet(
+            200, schemes=("ssp", "pssp"), slice_requests=100
+        )
+        blob = json.dumps(report.to_json(), sort_keys=True)
+        restored = FleetReport.from_json(json.loads(blob))
+        assert json.dumps(restored.to_json(), sort_keys=True) == blob
+
+    def test_render_mentions_every_scheme_and_the_audit(self):
+        report = run_fleet(
+            200, schemes=("ssp", "pssp"), slice_requests=100
+        )
+        text = report.render()
+        assert "ssp" in text and "pssp" in text
+        assert "AUDITED OK" in text
+
+    def test_scheme_report_lookup(self):
+        report = run_fleet(100, schemes=("pssp",), slice_requests=100)
+        assert report.scheme_report("pssp").scheme == "pssp"
+        with pytest.raises(KeyError):
+            report.scheme_report("nope")
+
+
+class TestRunFleet:
+    def test_budget_is_respected_per_scheme(self):
+        report = run_fleet(
+            250, schemes=("pssp",), slice_requests=100
+        )
+        scheme = report.reports[0]
+        assert len(scheme.slices) == 3
+        assert [s.request_budget for s in scheme.slices] == [100, 100, 50]
+        # A leak session needs 2 requests, so a slice may stop one
+        # request short of its budget — never over it.
+        assert 250 - 3 <= scheme.requests <= 250
+        assert report.total_requests == scheme.requests
+
+    def test_default_schemes_are_the_comparison_set(self):
+        assert DEFAULT_FLEET_SCHEMES == ("ssp", "pssp", "pssp-nt", "pssp-owf")
+
+    def test_bad_budgets_are_typed_errors(self):
+        with pytest.raises(ValueError):
+            run_fleet(0)
+        with pytest.raises(ValueError):
+            run_fleet(10, slice_requests=0)
+
+    def test_slice_budget_partitions_exactly(self):
+        budgets = [_slice_budget(250, 100, i) for i in range(3)]
+        assert budgets == [100, 100, 50]
+        assert sum(budgets) == 250
+
+    def test_traffic_config_shapes_the_mix(self):
+        config = TrafficConfig(attack_numerator=0, attack_denominator=2)
+        record = run_fleet_slice(
+            "pssp", 20180625, config=config, request_budget=120
+        )
+        assert record.attack_requests == 0
+        assert record.detections == 0
+        assert record.crashes == 0
+        assert record.benign_requests == 120

@@ -1,0 +1,118 @@
+"""The accept-loop server: every request ticks the counter plane.
+
+These are the unit-level "prove it from counters" tests: each
+bookkeeping field on :class:`FleetServer` must move in lockstep with
+its telemetry instrument, because the campaign audit (and therefore the
+whole report) rests on that equivalence.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.attacks.payloads import PayloadBuilder, frame_map
+from repro.fleet.server import FLEET_BUFFER_SIZE, FleetServer
+
+
+@pytest.fixture()
+def server():
+    return FleetServer.boot("pssp", 424242)
+
+
+@pytest.fixture()
+def builder(server):
+    return PayloadBuilder(frame_map(server.binary, "handler"))
+
+
+class TestHandleRequest:
+    def test_benign_request_served_cleanly(self, server, builder):
+        before = telemetry.snapshot()
+        response = server.handle_request(builder.benign(24))
+        delta = telemetry.delta(before)
+        assert not response.crashed
+        assert not response.smashed
+        assert response.cycles > 0
+        assert server.requests_served == 1
+        assert server.crashes == 0
+        assert delta.get("fleet_requests_total") == 1
+        assert delta.get("fleet_workers_forked_total") == 1
+        assert delta.get("kernel_forks_total") == 1
+        # The counter may pre-exist (any earlier test that crashed a
+        # worker registers it), so check the delta, not membership.
+        assert delta.get("fleet_request_crashes_total", 0) == 0
+
+    def test_smash_is_detected_and_counted(self, server, builder):
+        before = telemetry.snapshot()
+        response = server.handle_request(builder.smash())
+        delta = telemetry.delta(before)
+        assert response.crashed and response.smashed
+        assert server.crashes == 1
+        assert server.smashes_observed == 1
+        assert delta.get("fleet_request_crashes_total") == 1
+        assert delta.get("canary_smashes_detected_total") == 1
+
+    def test_parent_survives_crashed_workers(self, server, builder):
+        # The §II-B scenario: workers die, the accept loop lives on.
+        server.handle_request(builder.smash())
+        response = server.handle_request(builder.benign(8))
+        assert not response.crashed
+        assert server.requests_served == 2
+        assert server.parent.pid in server.kernel.processes
+
+    def test_each_request_gets_a_fresh_worker(self, server, builder):
+        for _ in range(3):
+            server.handle_request(builder.benign(4))
+        assert server.workers_forked == 3
+        # Workers were reaped: only the parent remains.
+        assert list(server.kernel.processes) == [server.parent.pid]
+
+    def test_latency_histogram_counts_every_request(self, server, builder):
+        before = telemetry.snapshot()
+        for length in (4, 12, 40):
+            server.handle_request(builder.benign(length))
+        histogram = telemetry.delta(before)["fleet_request_cycles"]
+        assert histogram["count"] == 3
+        assert sum(histogram["counts"]) == 3
+
+    def test_on_response_hook_fires_per_request(self, server, builder):
+        seen = []
+        server.on_response = seen.append
+        server.handle_request(builder.benign(4))
+        server.handle_request(builder.smash())
+        assert len(seen) == 2
+        assert [r.smashed for r in seen] == [False, True]
+
+
+class TestWorkerCheckout:
+    def test_checked_out_worker_requests_are_accounted(self, server):
+        before = telemetry.snapshot()
+        worker = server.fork_worker()
+        response = server.account_worker_request(False, False, 120.0)
+        server.release_worker(worker)
+        delta = telemetry.delta(before)
+        assert not response.crashed
+        assert server.requests_served == 1
+        assert server.workers_forked == 1
+        assert delta.get("fleet_requests_total") == 1
+        assert delta.get("fleet_workers_forked_total") == 1
+        assert list(server.kernel.processes) == [server.parent.pid]
+
+    def test_boot_is_seed_deterministic(self):
+        one = FleetServer.boot("pssp", 7)
+        two = FleetServer.boot("pssp", 7)
+        builder = PayloadBuilder(frame_map(one.binary, "handler"))
+        first = one.handle_request(builder.smash())
+        second = two.handle_request(builder.smash())
+        assert (first.crashed, first.smashed, first.cycles) == (
+            second.crashed, second.smashed, second.cycles
+        )
+
+
+def test_fleet_buffer_size_matches_the_built_frame():
+    # The payload builder enforces the real invariant: a benign payload
+    # of FLEET_BUFFER_SIZE - 1 fits, FLEET_BUFFER_SIZE does not — so
+    # the traffic generator's payload bound matches the built binary.
+    server = FleetServer.boot("ssp", 1)
+    builder = PayloadBuilder(frame_map(server.binary, "handler"))
+    assert len(builder.benign(FLEET_BUFFER_SIZE - 1)) == FLEET_BUFFER_SIZE - 1
+    with pytest.raises(ValueError):
+        builder.benign(FLEET_BUFFER_SIZE)

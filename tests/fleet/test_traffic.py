@@ -1,0 +1,173 @@
+"""Property-based tests for the deterministic traffic generator.
+
+The generator's contract is what makes fleet campaigns shardable:
+``session_plan`` is a *pure function* of ``(config, seed, index)`` and
+attack placement respects the configured rate within exact integer
+bounds — not in expectation, exactly.  Hypothesis explores the config
+space; the assertions are equalities, never tolerances.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.traffic import (
+    ATTACK_KINDS,
+    SESSION_KINDS,
+    TrafficConfig,
+    attack_sessions_before,
+    is_attack_session,
+    schedule,
+    session_entropy,
+    session_plan,
+)
+
+
+@st.composite
+def traffic_configs(draw):
+    denominator = draw(st.integers(min_value=1, max_value=24))
+    numerator = draw(st.integers(min_value=0, max_value=denominator))
+    benign_min = draw(st.integers(min_value=1, max_value=4))
+    benign_max = benign_min + draw(st.integers(min_value=0, max_value=6))
+    weights = draw(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+        ).filter(lambda w: sum(w) > 0)
+    )
+    return TrafficConfig(
+        attack_numerator=numerator,
+        attack_denominator=denominator,
+        benign_min_requests=benign_min,
+        benign_max_requests=benign_max,
+        brute_trial_cap=draw(st.integers(min_value=1, max_value=4000)),
+        smash_weight=weights[0],
+        brute_weight=weights[1],
+        leak_weight=weights[2],
+    )
+
+
+seeds = st.integers(min_value=0, max_value=2**63 - 1)
+
+
+class TestExactRate:
+    @given(config=traffic_configs(), count=st.integers(0, 500))
+    @settings(deadline=None)
+    def test_attack_count_is_an_exact_integer_bound(self, config, count):
+        # Among the first `count` sessions there are *exactly*
+        # floor(count * n / d) attacks — the Bresenham invariant.
+        placed = sum(
+            1 for i in range(count) if is_attack_session(config, i)
+        )
+        expected = (
+            count * config.attack_numerator // config.attack_denominator
+        )
+        assert placed == expected
+        assert attack_sessions_before(config, count) == expected
+
+    @given(config=traffic_configs(), index=st.integers(0, 10_000))
+    @settings(deadline=None)
+    def test_rate_zero_and_one_are_degenerate(self, config, index):
+        allbenign = TrafficConfig(
+            attack_numerator=0,
+            attack_denominator=config.attack_denominator,
+        )
+        allattack = TrafficConfig(
+            attack_numerator=config.attack_denominator,
+            attack_denominator=config.attack_denominator,
+        )
+        assert not is_attack_session(allbenign, index)
+        assert is_attack_session(allattack, index)
+
+
+class TestPurity:
+    @given(config=traffic_configs(), seed=seeds, index=st.integers(0, 2000))
+    @settings(deadline=None)
+    def test_session_plan_is_a_pure_function(self, config, seed, index):
+        first = session_plan(config, seed, index)
+        second = session_plan(config, seed, index)
+        assert first == second
+        # Entropy is derived per-(seed, index), never threaded between
+        # sessions: two independent sources yield the same stream.
+        assert (
+            session_entropy(seed, index).word()
+            == session_entropy(seed, index).word()
+        )
+
+    @given(
+        config=traffic_configs(), seed=seeds, sessions=st.integers(0, 64)
+    )
+    @settings(deadline=None)
+    def test_schedule_equals_pointwise_plans(self, config, seed, sessions):
+        # Planning a prefix consults no other session's plan: the batch
+        # schedule and index-at-a-time plans are the same object stream.
+        plans = schedule(config, seed, sessions)
+        assert len(plans) == sessions
+        for index, plan in enumerate(plans):
+            assert plan == session_plan(config, seed, index)
+            assert plan.index == index
+
+    @given(config=traffic_configs(), seed=seeds, index=st.integers(0, 2000))
+    @settings(deadline=None)
+    def test_plans_respect_config_bounds(self, config, seed, index):
+        plan = session_plan(config, seed, index, buffer_size=64)
+        assert plan.kind in SESSION_KINDS
+        assert plan.is_attack == is_attack_session(config, index)
+        if plan.kind == "benign":
+            assert (
+                config.benign_min_requests
+                <= plan.requests
+                <= config.benign_max_requests
+            )
+            assert 1 <= plan.payload_length <= 63  # strictly in-buffer
+        else:
+            assert plan.kind in ATTACK_KINDS
+            assert plan.payload_length == 0
+            # An attack kind is only drawn when its weight is positive.
+            assert getattr(plan, "kind") and getattr(
+                config, f"{plan.kind}_weight"
+            ) > 0
+            expected = {
+                "smash": 1,
+                "brute": config.brute_trial_cap,
+                "leak": 2,
+            }
+            assert plan.requests == expected[plan.kind]
+
+
+class TestConfig:
+    @given(config=traffic_configs())
+    @settings(deadline=None)
+    def test_json_roundtrip(self, config):
+        data = json.loads(json.dumps(config.to_json()))
+        assert TrafficConfig.from_json(data) == config
+
+    def test_parse_rate(self):
+        config = TrafficConfig.parse_rate("3/16", brute_trial_cap=99)
+        assert config.attack_numerator == 3
+        assert config.attack_denominator == 16
+        assert config.brute_trial_cap == 99
+
+    @pytest.mark.parametrize("text", ["", "3", "a/b", "1/0", "9/8"])
+    def test_bad_rates_are_typed_errors(self, text):
+        with pytest.raises(ValueError):
+            TrafficConfig.parse_rate(text)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attack_denominator": 0},
+            {"attack_numerator": -1},
+            {"benign_min_requests": 0},
+            {"benign_min_requests": 5, "benign_max_requests": 4},
+            {"brute_trial_cap": 0},
+            {"smash_weight": -1},
+            {"smash_weight": 0, "brute_weight": 0, "leak_weight": 0},
+        ],
+    )
+    def test_invalid_configs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficConfig(**kwargs)

@@ -159,6 +159,77 @@ class TestWarmColdEquivalence:
         assert stats["hits"] + stats["misses"] == 0
 
 
+class TestDiskTierNegativePaths:
+    """Damaged `.simg` entries must miss cleanly, never crash a boot.
+
+    The failure contract: reading a truncated, corrupted, or
+    version-stale image raises a *typed* ``SnapshotError``, the cache
+    swallows exactly that (plus ``OSError``), counts a miss on
+    ``snapshot_cache_misses_total``, and rebuilds the image fresh.
+    """
+
+    def _seeded_entry(self, tmp_path):
+        binary = build(SOURCE, "pssp")
+        writer = SnapshotCache(directory=str(tmp_path))
+        writer.image_for(binary, spec())
+        (entry,) = list(tmp_path.iterdir())
+        return binary, entry
+
+    def _assert_clean_miss(self, tmp_path, binary):
+        from repro import telemetry
+
+        before = telemetry.snapshot()
+        reader = SnapshotCache(directory=str(tmp_path))
+        image = reader.image_for(binary, spec())
+        stats = reader.stats()
+        assert stats["disk_hits"] == 0
+        assert stats["misses"] == 1
+        delta = telemetry.delta(before)
+        assert delta.get("snapshot_cache_misses_total") == 1
+        # The rebuilt image still boots a working process.
+        from repro.libc.builtins import build_natives
+
+        process = Kernel(5).spawn(
+            binary, natives=build_natives(), image=image
+        )
+        spec().make_runtime().install(process)
+        assert process.run().state == "exited"
+
+    def test_truncated_image_misses_cleanly(self, tmp_path):
+        binary, entry = self._seeded_entry(tmp_path)
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: len(blob) // 2])
+        self._assert_clean_miss(tmp_path, binary)
+
+    def test_zero_byte_image_misses_cleanly(self, tmp_path):
+        binary, entry = self._seeded_entry(tmp_path)
+        entry.write_bytes(b"")
+        self._assert_clean_miss(tmp_path, binary)
+
+    def test_stale_version_header_misses_cleanly(self, tmp_path):
+        from repro.errors import SnapshotError
+        from repro.machine.snapshot import load_spawn_image
+
+        binary, entry = self._seeded_entry(tmp_path)
+        blob = entry.read_bytes()
+        assert blob.startswith(b"PSSPSNAP 1 ")
+        stale = blob.replace(b"PSSPSNAP 1 ", b"PSSPSNAP 999 ", 1)
+        entry.write_bytes(stale)
+        # The failure is typed — exactly what the cache swallows.
+        with pytest.raises(SnapshotError):
+            load_spawn_image(stale)
+        self._assert_clean_miss(tmp_path, binary)
+
+    def test_corrupt_image_error_is_typed(self, tmp_path):
+        from repro.errors import SnapshotError
+        from repro.machine.snapshot import load_spawn_image
+
+        _, entry = self._seeded_entry(tmp_path)
+        for blob in (b"garbage", entry.read_bytes()[:40]):
+            with pytest.raises(SnapshotError):
+                load_spawn_image(blob)
+
+
 class TestDirectoryStats:
     def test_missing_directory_is_empty(self, tmp_path):
         manifest = directory_stats(str(tmp_path / "nope"))

@@ -7,6 +7,9 @@ lists, broken doc links).
 
 import pathlib
 import re
+import subprocess
+
+import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -56,6 +59,31 @@ class TestDesignDocument:
         text = read("DESIGN.md")
         for target in re.findall(r"benchmarks/(bench_\w+\.py)", text):
             assert (ROOT / "benchmarks" / target).exists(), target
+
+
+class TestRepoHygiene:
+    def test_no_bytecode_or_image_noise_is_tracked(self):
+        try:
+            tracked = subprocess.run(
+                ["git", "ls-files"], cwd=ROOT,
+                capture_output=True, text=True, check=True,
+            ).stdout.splitlines()
+        except (OSError, subprocess.CalledProcessError):
+            pytest.skip("not running from a git checkout")
+        noise = [
+            path for path in tracked
+            if "__pycache__" in path
+            or path.endswith((".pyc", ".pyo", ".pyd", ".simg"))
+        ]
+        assert noise == []
+
+    def test_gitignore_covers_the_noise_patterns(self):
+        text = read(".gitignore")
+        for pattern in (
+            "__pycache__/", "*.py[cod]", "*.simg",
+            ".hypothesis/", ".pytest_cache/",
+        ):
+            assert pattern in text, pattern
 
 
 class TestReadme:
