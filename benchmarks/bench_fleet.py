@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Fleet campaign benchmark: million-request throughput, gated reports.
 
-Three claims from the fleet plane are measured and gated:
+Four claims from the fleet plane are measured and gated:
 
 * **Determinism** — a probe campaign run with ``--jobs 2`` must produce
   a report bit-identical to the serial run, and the campaign summaries
@@ -14,6 +14,13 @@ Three claims from the fleet plane are measured and gated:
   replay breaches everything but ``pssp-owf``, and every scheme with a
   canary detects smashes.  Also exit 2: if this drifts the reproduction
   is wrong, not slow.
+* **Supervision under chaos** — a fixed-size chaos campaign (seeded
+  fault schedules injected under live traffic) must stay jobs-invariant,
+  audit cleanly, and reproduce the committed supervision numbers
+  exactly: deadline reaps, breaker trips, parent restarts, quarantined
+  requests, and the re-randomization-window stretch.  The chaos probe
+  is the same size in both modes, so its numbers are shared between the
+  ``smoke`` and ``full`` baseline sections.  Exit 2 on divergence.
 * **Throughput** — the full campaign serves >= 10^6 requests, and the
   host must sustain a floor fraction of the baseline's recorded wall
   requests/sec (exit 1; wall clock is the only host-dependent number
@@ -68,6 +75,13 @@ PROBE_BUDGET = 600
 PROBE_SLICE = 200
 PROBE_SCHEMES = ("ssp", "pssp")
 
+#: The chaos probe (both modes, fixed size so its gated numbers are
+#: mode-independent): one surface where faults stretch the window
+#: (``pssp-nt-hardened``, rdrand starvation burns guest retry cycles)
+#: and one where they trip the breaker (``pssp``, preload/tear storms).
+CHAOS_BUDGET = 4_000
+CHAOS_SCHEMES = ("pssp", "pssp-nt-hardened")
+
 DEFAULT_MIN_THROUGHPUT_RATIO = 0.25
 
 #: Summary fields compared exactly against the committed baseline.
@@ -78,6 +92,15 @@ GATED_FIELDS = (
     "detections", "crashes", "breaches", "breaches_by_kind",
     "detection_rate", "time_to_detection", "simulated_rps",
     "latency_cycles", "lost_slices", "audit_divergences",
+)
+
+#: Supervision fields gated exactly against the baseline's ``chaos``
+#: section.  ``slices_retried`` is deliberately absent: retry counts
+#: are host health, not measured behaviour.
+SUPERVISION_GATED_FIELDS = (
+    "deadline_reaps", "quarantined_requests", "breaker_trips",
+    "parent_restarts", "faulted_requests", "clean_requests",
+    "faulted_mean_cycles", "clean_mean_cycles", "rerand_window_stretch",
 )
 
 
@@ -96,6 +119,28 @@ def measure_jobs_invariance() -> dict:
             json.dumps(serial.to_json(), sort_keys=True)
             == json.dumps(pooled.to_json(), sort_keys=True)
         ),
+    }
+
+
+def measure_chaos() -> dict:
+    kwargs = dict(
+        schemes=CHAOS_SCHEMES, slice_requests=SLICE_REQUESTS, chaos=True
+    )
+    serial = run_fleet(CHAOS_BUDGET, **kwargs)
+    pooled = run_fleet(CHAOS_BUDGET, jobs=2, **kwargs)
+    return {
+        "budget_per_scheme": CHAOS_BUDGET,
+        "schemes": list(CHAOS_SCHEMES),
+        "chaos_seed": serial.chaos_seed,
+        "identical": (
+            json.dumps(serial.to_json(), sort_keys=True)
+            == json.dumps(pooled.to_json(), sort_keys=True)
+        ),
+        "lost_slices": pooled.lost_slices,
+        "audit_divergences": len(pooled.audit_divergences),
+        "supervision": {
+            r.scheme: r.supervision_summary() for r in pooled.reports
+        },
     }
 
 
@@ -141,6 +186,56 @@ def check_story(summaries: dict) -> list:
                f"{scheme} has no time-to-detection")
         expect(summary["audit_divergences"] == 0,
                f"{scheme} report failed its counter audit")
+    return problems
+
+
+def check_chaos(chaos: dict) -> list:
+    """Intrinsic chaos gates: the faults must actually land."""
+    problems = []
+    if chaos["lost_slices"] or chaos["audit_divergences"]:
+        problems.append(
+            f"chaos campaign: {chaos['lost_slices']} lost slice(s), "
+            f"{chaos['audit_divergences']} audit divergence(s)"
+        )
+    supervision = chaos["supervision"]
+    activity = sum(
+        s["deadline_reaps"] + s["quarantined_requests"]
+        + s["breaker_trips"] + s["parent_restarts"] + s["faulted_requests"]
+        for s in supervision.values()
+    )
+    if activity == 0:
+        problems.append(
+            "chaos campaign produced no supervision activity "
+            "(schedules not armed?)"
+        )
+    stretch = supervision.get("pssp-nt-hardened", {}).get(
+        "rerand_window_stretch"
+    )
+    if stretch is not None and stretch <= 1.0:
+        problems.append(
+            "starved prologues did not stretch the re-randomization "
+            f"window (stretch {stretch!r} <= 1.0)"
+        )
+    return problems
+
+
+def compare_chaos_to_baseline(chaos: dict, baseline_chaos: dict) -> list:
+    """Exact comparison of the gated supervision fields per scheme."""
+    problems = []
+    recorded = baseline_chaos["supervision"]
+    if set(recorded) != set(chaos["supervision"]):
+        return [
+            f"chaos scheme set changed: baseline {sorted(recorded)} vs "
+            f"measured {sorted(chaos['supervision'])}"
+        ]
+    for scheme, summary in chaos["supervision"].items():
+        for field in SUPERVISION_GATED_FIELDS:
+            want = recorded[scheme].get(field)
+            got = summary.get(field)
+            if got != want:
+                problems.append(
+                    f"chaos {scheme}.{field}: baseline {want!r} vs {got!r}"
+                )
     return problems
 
 
@@ -201,16 +296,25 @@ def main(argv=None) -> int:
 
     probe = measure_jobs_invariance()
     campaign = measure_campaign(budget)
+    chaos = measure_chaos()
     report = {
         "mode": mode,
         "cores": os.cpu_count() or 1,
         "probe": probe,
         "campaign": campaign,
+        "chaos": chaos,
     }
 
     print(f"fleet campaign benchmark ({mode}, {report['cores']} cores)")
     print(f"  jobs probe ({probe['budget']}/scheme): "
           f"identical={probe['identical']}")
+    print(f"  chaos probe ({chaos['budget_per_scheme']}/scheme, "
+          f"seed {chaos['chaos_seed']}): identical={chaos['identical']}")
+    for scheme, s in chaos["supervision"].items():
+        stretch = s["rerand_window_stretch"]
+        print(f"    {scheme:16s} quarantined {s['quarantined_requests']:>5,d} "
+              f"trips {s['breaker_trips']} restarts {s['parent_restarts']} "
+              f"stretch {stretch if stretch is None else f'{stretch:.4f}'}")
     print(f"  campaign: {campaign['total_requests']:,d} requests "
           f"({budget:,d}/scheme) in {campaign['wall_seconds']:.1f}s "
           f"-> {campaign['wall_rps']:,.0f} req/s wall")
@@ -230,8 +334,14 @@ def main(argv=None) -> int:
               "fleet report does not match the serial report",
               file=sys.stderr)
         return 2
+    if not chaos["identical"]:
+        print("PARALLEL/SERIAL DIVERGENCE (correctness bug): the jobs=2 "
+              "chaos report does not match the serial report",
+              file=sys.stderr)
+        return 2
 
     problems = check_story(campaign["summaries"])
+    problems.extend(check_chaos(chaos))
     if mode == "full" and campaign["total_requests"] < 1_000_000:
         problems.append(
             f"full campaign served {campaign['total_requests']:,d} "
@@ -259,6 +369,16 @@ def main(argv=None) -> int:
             print(f"baseline has no '{mode}' section", file=sys.stderr)
             return 2
         divergences = compare_to_baseline(campaign, section["campaign"])
+        baseline_chaos = section.get("chaos")
+        if baseline_chaos is None:
+            divergences.append(
+                f"baseline '{mode}' section has no chaos section; "
+                "regenerate with --no-compare --json"
+            )
+        else:
+            divergences.extend(
+                compare_chaos_to_baseline(chaos, baseline_chaos)
+            )
         for line in divergences:
             print(f"BASELINE DIVERGENCE: {line}", file=sys.stderr)
         if divergences:

@@ -74,8 +74,11 @@ class AttackCampaignReport:
     repeats: int
     max_trials: int
     trials: List[AttackTrial] = field(default_factory=list)
-    #: Seeds whose shard was lost to a crashed worker (after the retry).
+    #: Seeds whose shard was lost to a crashed worker (after retries).
     lost: List[int] = field(default_factory=list)
+    #: Shards that needed more than one attempt, ``"first..last" ->
+    #: attempts`` (empty on serial and healthy parallel runs).
+    shard_attempts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def successes(self) -> int:
@@ -95,6 +98,7 @@ class AttackCampaignReport:
             "max_trials": self.max_trials,
             "trials": [trial.to_json() for trial in self.trials],
             "lost": list(self.lost),
+            "shard_attempts": dict(sorted(self.shard_attempts.items())),
         }
 
     def render(self) -> str:
@@ -110,6 +114,8 @@ class AttackCampaignReport:
                 f"{trial.recovered_bytes} byte(s) recovered, "
                 f"{trial.smashes} smash(es) detected"
             )
+        for span, attempts in sorted(self.shard_attempts.items()):
+            lines.append(f"  shard {span}: {attempts} attempt(s)")
         for seed in self.lost:
             lines.append(f"  seed {seed}: LOST (worker crashed)")
         lines.append(
@@ -169,12 +175,15 @@ def attack_campaign(
     max_trials: int = 6000,
     source: str = DEFAULT_VICTIM,
     jobs: int = 1,
+    shard_retries: int = 1,
 ) -> AttackCampaignReport:
     """Run ``repeats`` seeded trials (seeds ``base_seed + i``).
 
     ``jobs > 1`` shards the seed range; the report is merged in seed
     order and is bit-identical to a serial run.  Seeds on a shard whose
-    worker died (after its one retry) are listed in ``report.lost``.
+    worker died (after ``shard_retries`` re-queues) are listed in
+    ``report.lost``; shards that needed more than one attempt land in
+    ``report.shard_attempts``.
     """
     report = AttackCampaignReport(
         scheme=scheme, base_seed=base_seed, repeats=repeats,
@@ -193,10 +202,13 @@ def attack_campaign(
     config = {"scheme": scheme, "max_trials": max_trials, "source": source}
     shards = plan_shards(base_seed, repeats)
     outcomes, _ = run_shards(
-        _attack_shard_worker, config, shards, jobs=jobs, retries=1,
+        _attack_shard_worker, config, shards, jobs=jobs, retries=shard_retries,
     )
     deltas = []
     for outcome in outcomes:
+        if outcome.attempts > 1:
+            first, last = outcome.shard.seeds[0], outcome.shard.seeds[-1]
+            report.shard_attempts[f"{first}..{last}"] = outcome.attempts
         if outcome.ok:
             report.trials.extend(
                 AttackTrial.from_json(t) for t in outcome.value["trials"]

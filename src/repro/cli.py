@@ -36,18 +36,23 @@ from typing import Dict, List, Optional
 
 from . import telemetry
 from .core.deploy import SCHEMES, build, deploy
-from .parallel import add_jobs_argument, resolve_jobs
+from .errors import (  # noqa: F401  (re-exported; tests import cli.EXIT_*)
+    EXIT_DEADLINE,
+    EXIT_INFRASTRUCTURE,
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATION,
+)
+from .parallel import (
+    add_jobs_argument,
+    add_shard_retries_argument,
+    resolve_jobs,
+    resolve_shard_retries,
+)
 from .harness import figures as _figures
 from .harness import tables as _tables
 from .harness.report import generate_report
 from .kernel.kernel import Kernel
-
-#: CLI exit codes (see module docstring).
-EXIT_OK = 0
-EXIT_VIOLATION = 1
-EXIT_USAGE = 2
-EXIT_INFRASTRUCTURE = 3
-EXIT_DEADLINE = 4
 
 
 def _cmd_schemes(args: argparse.Namespace) -> int:
@@ -175,11 +180,27 @@ def _campaign_jobs(args: argparse.Namespace):
         return None, EXIT_USAGE
 
 
+def _shard_retries(args: argparse.Namespace):
+    """Resolve ``--shard-retries`` for a campaign command.
+
+    Returns ``(retries, None)`` on success or ``(None, EXIT_USAGE)``
+    when the value is invalid (negative).
+    """
+    try:
+        return resolve_shard_retries(args.shard_retries), None
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return None, EXIT_USAGE
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     from .attacks import ForkingServer, byte_by_byte_attack, frame_map
     from .attacks.trials import attack_campaign
 
     jobs, usage = _campaign_jobs(args)
+    if usage is not None:
+        return usage
+    shard_retries, usage = _shard_retries(args)
     if usage is not None:
         return usage
 
@@ -188,6 +209,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         report = attack_campaign(
             args.scheme, base_seed=args.seed, repeats=args.repeats,
             max_trials=args.trials, source=_ATTACK_VICTIM, jobs=jobs,
+            shard_retries=shard_retries,
         )
         print(report.render())
         _telemetry_capture_write(args.telemetry_out, before)
@@ -306,6 +328,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     jobs, usage = _campaign_jobs(args)
     if usage is not None:
         return usage
+    shard_retries, usage = _shard_retries(args)
+    if usage is not None:
+        return usage
     before = _telemetry_capture_start(args.telemetry_out)
     report = run_fuzz(
         args.budget,
@@ -314,6 +339,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         health=not args.no_health,
         progress=lambda line: print(f"  {line}", flush=True),
         jobs=jobs,
+        shard_retries=shard_retries,
         **({"schemes": schemes} if schemes else {}),
     )
     print(report.render())
@@ -355,11 +381,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     jobs, usage = _campaign_jobs(args)
     if usage is not None:
         return usage
+    shard_retries, usage = _shard_retries(args)
+    if usage is not None:
+        return usage
     before = _telemetry_capture_start(args.telemetry_out)
     report = run_campaign(
         args.budget,
         base_seed=args.seed,
         retries=args.retries,
+        shard_retries=shard_retries,
         deadline=args.deadline,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -592,6 +622,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """Run a sharded multi-scheme fleet campaign."""
+    import signal
+
+    from .errors import CampaignError, ShutdownRequested
     from .fleet import run_fleet
 
     config, usage = _fleet_config(args)
@@ -606,17 +639,57 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     jobs, usage = _campaign_jobs(args)
     if usage is not None:
         return usage
+    shard_retries, usage = _shard_retries(args)
+    if usage is not None:
+        return usage
+    if args.chaos_seed is not None and not args.chaos:
+        print("--chaos-seed requires --chaos", file=sys.stderr)
+        return EXIT_USAGE
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return EXIT_USAGE
 
+    def _on_signal(signum, frame):
+        raise ShutdownRequested(f"received signal {signum}")
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
     before = _telemetry_capture_start(args.telemetry_out)
-    report = run_fleet(
-        args.budget,
-        **({"schemes": schemes} if schemes else {}),
-        base_seed=args.seed,
-        slice_requests=args.slice,
-        config=config,
-        jobs=jobs,
-        progress=lambda line: print(f"  {line}", flush=True),
-    )
+    try:
+        report = run_fleet(
+            args.budget,
+            **({"schemes": schemes} if schemes else {}),
+            base_seed=args.seed,
+            slice_requests=args.slice,
+            config=config,
+            jobs=jobs,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+            shard_retries=shard_retries,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            progress=lambda line: print(f"  {line}", flush=True),
+        )
+    except ShutdownRequested as stop:
+        # run_fleet checkpoints after every completed slice/shard, so
+        # the file already reflects all finished work; just exit typed.
+        if args.checkpoint:
+            print(
+                f"shutdown: {stop}; resume with --checkpoint "
+                f"{args.checkpoint} --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(f"shutdown: {stop}", file=sys.stderr)
+        return EXIT_INFRASTRUCTURE
+    except CampaignError as error:
+        print(f"infrastructure error: {error}", file=sys.stderr)
+        return EXIT_INFRASTRUCTURE
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     print(report.render())
     _telemetry_capture_write(args.telemetry_out, before)
     if args.out:
@@ -675,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="independent seeded campaigns (seed+i); "
                              ">1 prints the cost distribution")
     add_jobs_argument(attack)
+    add_shard_retries_argument(attack)
     attack.add_argument("--telemetry-out", default=None, metavar="FILE",
                         help="write telemetry counters + event stream as JSON")
 
@@ -718,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", default=None, metavar="DIR",
                       help="write failing programs as JSON artifacts")
     add_jobs_argument(fuzz)
+    add_shard_retries_argument(fuzz)
     fuzz.add_argument("--telemetry-out", default=None, metavar="FILE",
                       help="write telemetry counters + event stream as JSON")
 
@@ -748,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default=None, metavar="FILE",
                        help="write the full campaign report as JSON")
     add_jobs_argument(chaos)
+    add_shard_retries_argument(chaos)
     chaos.add_argument("--telemetry-out", default=None, metavar="FILE",
                        help="write telemetry counters + event stream as JSON")
 
@@ -815,9 +891,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="request cap per byte-by-byte attack session")
     fleet.add_argument("--require-detections", action="store_true",
                        help="exit 1 if any scheme ends with 0 detections")
+    fleet.add_argument("--chaos", action="store_true",
+                       help="thread seeded fault schedules into the slice "
+                            "workers (chaos-under-traffic)")
+    fleet.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                       help="seed for the chaos schedules "
+                            "(default: the campaign base seed; "
+                            "requires --chaos)")
+    fleet.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="write a resumable checkpoint after every "
+                            "completed slice")
+    fleet.add_argument("--resume", action="store_true",
+                       help="skip slices already in --checkpoint")
     fleet.add_argument("--out", default=None, metavar="FILE",
                        help="write the full fleet report as JSON")
     add_jobs_argument(fleet)
+    add_shard_retries_argument(fleet)
     fleet.add_argument("--telemetry-out", default=None, metavar="FILE",
                        help="write telemetry counters + event stream as JSON")
 

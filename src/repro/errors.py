@@ -9,6 +9,26 @@ misuse of the library itself.
 
 from __future__ import annotations
 
+# ---------------------------------------------------------------------------
+# Process exit-code taxonomy.
+#
+# Every CLI campaign command (fuzz / chaos / attack / serve / fleet) maps
+# its verdict onto the same five codes so CI can route failures without
+# parsing output:
+#
+#   0  EXIT_OK              clean run, all gates passed
+#   1  EXIT_VIOLATION       a contract/report violation (the finding is real)
+#   2  EXIT_USAGE           bad arguments; nothing ran
+#   3  EXIT_INFRASTRUCTURE  the harness failed (lost shard, interrupted run)
+#   4  EXIT_DEADLINE        the campaign wall-clock deadline expired
+# ---------------------------------------------------------------------------
+
+EXIT_OK = 0
+EXIT_VIOLATION = 1
+EXIT_USAGE = 2
+EXIT_INFRASTRUCTURE = 3
+EXIT_DEADLINE = 4
+
 
 class ReproError(Exception):
     """Base class for every exception raised by this library."""
@@ -142,6 +162,17 @@ class CampaignError(ReproError):
     Means the *harness* could not produce a verdict (reference run
     crashed, checkpoint corrupt, ...) — deliberately distinct from a
     contract violation so CI can tell a flake from a real failure.
+    """
+
+
+class ShutdownRequested(ReproError):
+    """SIGTERM/SIGINT arrived while a campaign was running.
+
+    The CLI converts the signal into this exception so campaigns unwind
+    through their normal ``finally`` blocks (the checkpoint written after
+    the last completed slice stays valid, worker pools are shut down)
+    instead of dying mid-slice.  Callers map it to
+    :data:`EXIT_INFRASTRUCTURE`.
     """
 
 

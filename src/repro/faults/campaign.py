@@ -239,6 +239,9 @@ class ChaosReport:
     runs: List[ChaosRun] = field(default_factory=list)
     infra_errors: List[Tuple[int, str]] = field(default_factory=list)
     timed_out: bool = False
+    #: Shards that needed more than one attempt, ``"first..last" ->
+    #: attempts`` (empty on serial and healthy parallel runs).
+    shard_attempts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def completed_seeds(self) -> "set[int]":
@@ -267,6 +270,7 @@ class ChaosReport:
             "budget": self.budget,
             "base_seed": self.base_seed,
             "timed_out": self.timed_out,
+            "shard_attempts": dict(sorted(self.shard_attempts.items())),
             "infra_errors": [[seed, detail] for seed, detail in self.infra_errors],
             "runs": [run.to_json() for run in self.runs],
         }
@@ -282,6 +286,10 @@ class ChaosReport:
                 for seed, detail in data.get("infra_errors", [])
             ],
             timed_out=bool(data.get("timed_out", False)),
+            shard_attempts={
+                str(span): int(attempts)
+                for span, attempts in dict(data.get("shard_attempts", {})).items()
+            },
         )
 
     def render(self) -> str:
@@ -292,6 +300,8 @@ class ChaosReport:
             f"chaos: {len(self.runs)}/{self.budget} schedules, "
             f"base seed {self.base_seed}, outcomes: {tally or 'none'}"
         ]
+        for span, attempts in sorted(self.shard_attempts.items()):
+            lines.append(f"shard {span}: {attempts} attempt(s)")
         for run in self.violating_runs:
             lines.append(run.render())
             lines.append(f"  replay: {run.replay_command}")
@@ -530,6 +540,7 @@ def run_campaign(
     *,
     base_seed: int = 2018,
     retries: int = 1,
+    shard_retries: int = 1,
     deadline: Optional[float] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
@@ -548,6 +559,10 @@ def run_campaign(
     * ``retries`` — re-attempts per case on :class:`CampaignError` before
       recording an infrastructure error (never retried: invariant
       violations, which are deterministic findings).
+    * ``shard_retries`` — re-queues per lost *shard* (``jobs > 1``)
+      before its seeds are recorded as infrastructure errors; shards
+      that needed more than one attempt land in
+      ``report.shard_attempts``.
     * ``deadline`` — wall-clock budget in seconds; exceeding it stops the
       campaign with ``timed_out`` set (exit code 4 at the CLI).
     * ``checkpoint_path``/``resume`` — JSON checkpoint written after every
@@ -582,7 +597,8 @@ def run_campaign(
 
     if jobs > 1:
         return _run_campaign_parallel(
-            report, jobs=jobs, retries=retries, deadline=deadline,
+            report, jobs=jobs, retries=retries,
+            shard_retries=shard_retries, deadline=deadline,
             scheme_filter=scheme_filter, cycle_limit=cycle_limit,
             audit=audit, progress=progress, checkpoint=checkpoint,
         )
@@ -622,6 +638,7 @@ def _run_campaign_parallel(
     *,
     jobs: int,
     retries: int,
+    shard_retries: int,
     deadline: Optional[float],
     scheme_filter: Optional[frozenset],
     cycle_limit: int,
@@ -644,6 +661,9 @@ def _run_campaign_parallel(
     deltas: Dict[int, Dict[str, Any]] = {}
 
     def merge(outcome) -> None:
+        if outcome.attempts > 1:
+            first, last = outcome.shard.seeds[0], outcome.shard.seeds[-1]
+            report.shard_attempts[f"{first}..{last}"] = outcome.attempts
         if outcome.ok:
             for item in outcome.value["cases"]:
                 if item["kind"] == "run":
@@ -680,7 +700,7 @@ def _run_campaign_parallel(
 
     _outcomes, timed_out = run_shards(
         _chaos_shard_worker, config, shards, jobs=jobs,
-        retries=1, deadline=deadline, on_result=merge,
+        retries=shard_retries, deadline=deadline, on_result=merge,
     )
     report.timed_out = timed_out
     if timed_out and progress:

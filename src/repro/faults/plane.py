@@ -79,6 +79,15 @@ class FaultPlane:
     def event_kinds(self) -> "set[str]":
         return {event.kind for event in self.events}
 
+    def activity(self) -> int:
+        """Monotonic total of ledger entries (delivered + absorbed + events).
+
+        The fleet supervisor samples this before and after each request:
+        a change means the plane touched the request, which is exactly the
+        attribution needed for the re-randomization-window stretch metric.
+        """
+        return len(self.delivered) + len(self.absorbed) + len(self.events)
+
     def delivered_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for kind, _ in self.delivered:

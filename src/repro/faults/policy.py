@@ -41,6 +41,16 @@ SELFTEST_MIN_DISTINCT = 3
 #: before it declares the entropy source silently stuck.
 AUDIT_REPEAT_THRESHOLD = 3
 
+#: Fleet supervision: parent restarts from the boot image tolerated per
+#: slice before the supervisor stops healing and fails closed (every
+#: later request on the slice is quarantined by the breaker instead).
+PARENT_RESTART_BUDGET = 4
+
+#: Fleet supervision: served requests between parent entropy health
+#: probes (a :func:`rdrand_selftest` re-run; armed only when a fault
+#: plane is attached, so fault-free fleets never pay for it).
+ENTROPY_PROBE_INTERVAL = 64
+
 
 def tls_shadow_write(tls, slot: str, value: int, plane=None) -> bool:
     """Write one half of the shadow pair; return False when torn.

@@ -20,7 +20,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
-from .policy import FORK_RETRY_LIMIT, RDRAND_RETRY_LIMIT, SELFTEST_DRAWS
+from .policy import (
+    FORK_RETRY_LIMIT,
+    RDRAND_RETRY_LIMIT,
+    SELFTEST_DRAWS,
+    TLS_PUBLISH_ATTEMPTS,
+)
 
 #: Schemes the chaos campaign samples from.  One representative per
 #: degradation surface: SSP (fault-indifferent control), both P-SSP
@@ -268,4 +273,190 @@ def generate_fault_schedule(seed: int, spec) -> FaultSchedule:
         ],
         expected=("degraded",),
         description="fork EAGAIN past the retry budget: wrapper fails closed",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fleet chaos-under-traffic schedules.
+# ---------------------------------------------------------------------------
+
+#: A clean install publishes the shadow pair in one verify round (two
+#: half-writes); traffic-time tear windows open past the worst-case boot
+#: publish so the *parent* always boots healthy and degradation lands on
+#: fork-time refreshes, where the supervisor can heal it.
+BOOT_TLS_WRITES = 2 * TLS_PUBLISH_ATTEMPTS
+
+#: Traffic-time scenarios per degradation surface.  Scheme-appropriate
+#: only: preload schemes degrade via fork/publish, the hardened NT
+#: scheme via rdrand, and everything else only sees behaviour-neutral
+#: timer skew or absorbable fork EAGAIN.  ``tls-flip`` is deliberately
+#: absent — a post-install flip is sabotage of state, not an
+#: environmental fault a supervisor should heal.
+FLEET_FAULT_SCENARIOS: Dict[str, Tuple[str, ...]] = {
+    "preload": (
+        "none", "fork-transient", "fork-burst", "tear-transient", "tear-storm",
+    ),
+    "rdrand": (
+        "none", "rdrand-transient", "rdrand-starve",
+        "entropy-stuck-boot", "entropy-stuck-traffic",
+    ),
+    "timer": ("none", "rdtsc-skew", "fork-transient"),
+}
+
+
+def fleet_fault_surface(scheme: str) -> str:
+    """Map a scheme onto its fleet degradation surface."""
+    if scheme in ("pssp", "pssp-binary"):
+        return "preload"
+    if scheme == "pssp-nt-hardened":
+        return "rdrand"
+    return "timer"
+
+
+def generate_fleet_fault_schedule(
+    chaos_seed: int, slice_seed: int, scheme: str
+) -> FaultSchedule:
+    """Derive one traffic-time fault scenario for a fleet slice.
+
+    The stream is keyed on ``(chaos_seed, slice_seed, scheme)`` and
+    nothing else, so a chaos campaign replays bit-identically under any
+    ``--jobs`` split and any resume boundary.  Windows are placed past
+    boot-time consumption (:data:`BOOT_TLS_WRITES` shadow half-writes,
+    :data:`SELFTEST_DRAWS` self-test draws) so faults land under traffic
+    — except ``entropy-stuck-boot``, which deliberately covers the
+    install self-test to exercise the boot-quarantine fallback story.
+    """
+    rng = random.Random(f"fleet-chaos-{chaos_seed}-{slice_seed}-{scheme}")
+    surface = fleet_fault_surface(scheme)
+    scenario = rng.choice(FLEET_FAULT_SCENARIOS[surface])
+
+    if scenario == "none":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[],
+            expected=("identical",),
+            description="control slice: plane armed, nothing scheduled",
+        )
+    if scenario == "fork-transient":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "fork-eagain",
+                    at=rng.randrange(200),
+                    count=1 + rng.randrange(FORK_RETRY_LIMIT - 1),
+                )
+            ],
+            expected=("identical",),
+            description="transient fork EAGAIN burst absorbed by the "
+                        "supervisor's retry budget",
+        )
+    if scenario == "fork-burst":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "fork-eagain",
+                    at=rng.randrange(200),
+                    count=FORK_RETRY_LIMIT * (2 + rng.randrange(3)),
+                )
+            ],
+            expected=("degraded",),
+            description="fork EAGAIN storm past the retry budget: parent "
+                        "restarts, requests quarantined fail-closed",
+        )
+    if scenario == "tear-transient":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "tls-torn",
+                    at=BOOT_TLS_WRITES + rng.randrange(64),
+                    count=1 + rng.randrange(2),
+                )
+            ],
+            expected=("identical",),
+            description="torn shadow-half writes under traffic repaired "
+                        "by publish verify",
+        )
+    if scenario == "tear-storm":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "tls-torn",
+                    at=BOOT_TLS_WRITES + rng.randrange(32),
+                    count=96 + rng.randrange(96),
+                )
+            ],
+            expected=("degraded",),
+            description="every fork-refresh publish torn for a long window: "
+                        "heal from the boot image, then quarantine",
+        )
+    if scenario == "rdrand-transient":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "rdrand-fail",
+                    at=SELFTEST_DRAWS + rng.randrange(96),
+                    count=1 + rng.randrange(RDRAND_RETRY_LIMIT - 1),
+                )
+            ],
+            expected=("identical",),
+            description="transient rdrand CF=0 burst absorbed by the "
+                        "prologue retry loop under traffic",
+        )
+    if scenario == "rdrand-starve":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "rdrand-fail",
+                    at=SELFTEST_DRAWS + rng.randrange(96),
+                    count=RDRAND_RETRY_LIMIT * (4 + rng.randrange(8)),
+                )
+            ],
+            expected=("degraded",),
+            description="rdrand starved past the retry budget under "
+                        "traffic: shadow-pair fallback per prologue",
+        )
+    if scenario == "entropy-stuck-boot":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "rdrand-stuck",
+                    at=0,
+                    count=SELFTEST_DRAWS + rng.randrange(8),
+                    value=rng.getrandbits(64) | 1,
+                )
+            ],
+            expected=("degraded",),
+            description="stuck DRBG from boot: the install self-test "
+                        "quarantines rdrand, the slice runs on fallback",
+        )
+    if scenario == "entropy-stuck-traffic":
+        return FaultSchedule(
+            scheme=scheme,
+            events=[
+                FaultEvent(
+                    "rdrand-stuck",
+                    at=SELFTEST_DRAWS + rng.randrange(64),
+                    count=384 + rng.randrange(128),
+                    value=rng.getrandbits(64) | 1,
+                )
+            ],
+            expected=("degraded",),
+            description="DRBG sticks mid-traffic: the periodic health "
+                        "probe quarantines, the supervisor heals from the "
+                        "boot image until its restart budget runs out",
+        )
+    # rdtsc-skew
+    return FaultSchedule(
+        scheme=scheme,
+        events=[FaultEvent("rdtsc-skew", value=rng.getrandbits(32) | 1)],
+        expected=("identical",),
+        description="constant TSC skew under traffic: nonce shifts, "
+                    "behaviour must not",
     )

@@ -14,6 +14,7 @@ from .campaign import (
     AUDITED_COUNTERS,
     DEFAULT_BASE_SEED,
     DEFAULT_FLEET_SCHEMES,
+    RETRY_COUNTER,
     FleetReport,
     FleetSchemeReport,
     FleetSlice,
@@ -27,6 +28,11 @@ from .server import (
     LATENCY_BUCKETS_CYCLES,
     FleetResponse,
     FleetServer,
+)
+from .supervisor import (
+    CrashLoopBreaker,
+    FleetSupervisor,
+    SupervisorConfig,
 )
 from .traffic import (
     ATTACK_KINDS,
@@ -43,6 +49,7 @@ from .traffic import (
 __all__ = [
     "ATTACK_KINDS",
     "AUDITED_COUNTERS",
+    "CrashLoopBreaker",
     "DEFAULT_BASE_SEED",
     "DEFAULT_FLEET_SCHEMES",
     "FLEET_BUFFER_SIZE",
@@ -52,8 +59,11 @@ __all__ = [
     "FleetSchemeReport",
     "FleetServer",
     "FleetSlice",
+    "FleetSupervisor",
     "LATENCY_BUCKETS_CYCLES",
     "LatencyLedger",
+    "RETRY_COUNTER",
+    "SupervisorConfig",
     "SESSION_KINDS",
     "SessionPlan",
     "TrafficConfig",

@@ -30,6 +30,8 @@ Report metrics, all derived from deterministic simulated state:
 
 from __future__ import annotations
 
+import json
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -38,6 +40,9 @@ from .. import telemetry
 from ..attacks.byte_by_byte import byte_by_byte_attack
 from ..attacks.leak import CanarySniffer
 from ..attacks.payloads import PayloadBuilder, frame_map
+from ..errors import CampaignError
+from ..faults.plane import FaultPlane
+from ..faults.schedule import FaultSchedule, generate_fleet_fault_schedule
 from ..harness.metrics import CLOCK_HZ
 from .server import (
     FLEET_BUFFER_SIZE,
@@ -45,6 +50,7 @@ from .server import (
     LATENCY_BUCKETS_CYCLES,
     FleetServer,
 )
+from .supervisor import FleetSupervisor, SupervisorConfig
 from .traffic import SESSION_KINDS, TrafficConfig, session_plan
 
 #: Schemes the CLI and benches exercise by default: the brute-forceable
@@ -64,7 +70,14 @@ AUDITED_COUNTERS: Tuple[str, ...] = (
     "fleet_workers_forked_total",
     "kernel_forks_total",
     "canary_smashes_detected_total",
+    "fleet_deadline_reaps_total",
+    "fleet_crash_loop_trips_total",
+    "fleet_parent_restarts_total",
 )
+
+#: Campaign-level counter audited by ``run_fleet`` itself (shard retries
+#: are a parent-side decision, so it cannot be proven per slice).
+RETRY_COUNTER = "fleet_slices_retried_total"
 
 
 class LatencyLedger:
@@ -147,6 +160,19 @@ class FleetSlice:
     )
     #: Counter-vs-bookkeeping mismatches found by the slice audit.
     audit_divergences: List[str] = field(default_factory=list)
+    #: Supervision outcomes (see :mod:`repro.fleet.supervisor`): workers
+    #: reaped at the cycle deadline, requests quarantined fail-closed,
+    #: breaker trips, parent restarts from the boot image.
+    deadline_reaps: int = 0
+    quarantined_requests: int = 0
+    breaker_trips: int = 0
+    parent_restarts: int = 0
+    #: Re-randomization-window attribution: requests the fault plane
+    #: touched vs requests it left alone, with their cycle totals.
+    faulted_requests: int = 0
+    clean_requests: int = 0
+    faulted_cycles: float = 0.0
+    clean_cycles: float = 0.0
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -164,6 +190,14 @@ class FleetSlice:
             "cycles": self.cycles.hex(),
             "latency": list(self.latency),
             "audit_divergences": list(self.audit_divergences),
+            "deadline_reaps": self.deadline_reaps,
+            "quarantined_requests": self.quarantined_requests,
+            "breaker_trips": self.breaker_trips,
+            "parent_restarts": self.parent_restarts,
+            "faulted_requests": self.faulted_requests,
+            "clean_requests": self.clean_requests,
+            "faulted_cycles": self.faulted_cycles.hex(),
+            "clean_cycles": self.clean_cycles.hex(),
         }
 
     @classmethod
@@ -188,6 +222,14 @@ class FleetSlice:
             cycles=float.fromhex(data["cycles"]),
             latency=[int(c) for c in data["latency"]],
             audit_divergences=list(data["audit_divergences"]),
+            deadline_reaps=int(data.get("deadline_reaps", 0)),
+            quarantined_requests=int(data.get("quarantined_requests", 0)),
+            breaker_trips=int(data.get("breaker_trips", 0)),
+            parent_restarts=int(data.get("parent_restarts", 0)),
+            faulted_requests=int(data.get("faulted_requests", 0)),
+            clean_requests=int(data.get("clean_requests", 0)),
+            faulted_cycles=float.fromhex(data.get("faulted_cycles", "0x0.0p+0")),
+            clean_cycles=float.fromhex(data.get("clean_cycles", "0x0.0p+0")),
         )
 
 
@@ -221,8 +263,17 @@ class _SliceDriver:
             record.detections += 1
             if record.first_detection_request is None:
                 record.first_detection_request = record.requests
+        outcome = getattr(response, "outcome", "served")
+        if outcome == "deadline":
+            record.deadline_reaps += 1
+        elif outcome == "quarantined":
+            record.quarantined_requests += 1
         record.cycles += response.cycles
         self.latency.observe(response.cycles)
+
+    def _set_attack(self, is_attack: bool) -> None:
+        self._in_attack_session = is_attack
+        self.server.in_attack_session = is_attack
 
     @property
     def remaining(self) -> int:
@@ -243,7 +294,7 @@ class _SliceDriver:
                 # is no budget left for both, so the campaign ends here.
                 break
             self.slice.sessions[plan.kind] += 1
-            self._in_attack_session = plan.is_attack
+            self._set_attack(plan.is_attack)
             if plan.kind == "benign":
                 for _ in range(min(plan.requests, self.remaining)):
                     self.server.handle_request(
@@ -263,14 +314,31 @@ class _SliceDriver:
                 if self._leak_session():
                     self.slice.breaches += 1
                     self.slice.breaches_by_kind["leak"] += 1
-        self._in_attack_session = False
+        self._set_attack(False)
         self.server.on_response = None
         return self.slice
 
     def _leak_session(self) -> bool:
-        """One leak-and-replay connection: disclose, then exploit."""
+        """One leak-and-replay connection: disclose, then exploit.
+
+        Under supervision the connection is subject to the same admission
+        and checkout rules as the accept loop; a refused or degraded
+        checkout quarantines *both* legs of the session fail-closed.
+        """
         server = self.server
-        worker = server.fork_worker()
+        supervisor = server.supervisor
+        if supervisor is not None:
+            worker = (
+                supervisor.checkout_worker()
+                if supervisor.admit_session(2) else None
+            )
+            if worker is None:
+                server._record(supervisor.quarantine_response())
+                server._record(supervisor.quarantine_response())
+                return False
+            supervisor.arm_deadline(worker)
+        else:
+            worker = server.fork_worker()
         leak_frame = frame_map(server.binary, "leaky")
         with warnings.catch_warnings():
             # The sniffer's trace hook forces the slow interpreter loop;
@@ -316,8 +384,17 @@ def run_fleet_slice(
     config: Optional[TrafficConfig] = None,
     request_budget: int = 1000,
     audit: bool = True,
+    supervision: Optional[SupervisorConfig] = None,
+    chaos_seed: Optional[int] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> FleetSlice:
     """Boot one server and serve one slice of the traffic mix.
+
+    Every slice runs under a :class:`FleetSupervisor` (deadlines and the
+    crash-loop breaker are always armed; self-healing state is captured
+    only when a fault plane is).  ``chaos_seed`` derives the slice's
+    :class:`FaultSchedule` via :func:`generate_fleet_fault_schedule`;
+    ``fault_schedule`` injects an explicit one (tests, ``repro serve``).
 
     With ``audit`` on (and telemetry enabled in this process), the
     slice's bookkeeping is cross-checked against the counter deltas it
@@ -326,10 +403,15 @@ def run_fleet_slice(
     config = config if config is not None else TrafficConfig()
     auditing = audit and telemetry.enabled()
     before = telemetry.snapshot() if auditing else {}
-    server = FleetServer.boot(scheme, seed)
+    if fault_schedule is None and chaos_seed is not None:
+        fault_schedule = generate_fleet_fault_schedule(chaos_seed, seed, scheme)
+    plane = FaultPlane(fault_schedule) if fault_schedule is not None else None
+    server = FleetServer.boot(scheme, seed, fault_plane=plane)
+    supervisor = FleetSupervisor(supervision, seed=seed).attach(server)
     driver = _SliceDriver(server, config, request_budget)
     driver.slice.seed = seed
     record = driver.run()
+    supervisor.finalize(record)
     if auditing:
         delta = telemetry.delta(before)
         _audit_slice(record, server, delta)
@@ -352,6 +434,11 @@ def _audit_slice(
         # Every fork this slice's kernel performed was a fleet worker.
         "kernel_forks_total": server.workers_forked,
         "canary_smashes_detected_total": record.detections,
+        # Supervision outcomes: ticked by the supervisor, bookkept
+        # independently by the driver/slice, proven equal here.
+        "fleet_deadline_reaps_total": record.deadline_reaps,
+        "fleet_crash_loop_trips_total": record.breaker_trips,
+        "fleet_parent_restarts_total": record.parent_restarts,
     }
     for name, want in expected.items():
         got = observed[name]
@@ -377,8 +464,17 @@ class FleetSchemeReport:
     slice_requests: int
     slices: List[FleetSlice] = field(default_factory=list)
     #: Slice seeds whose shard was lost to a crashed worker (after the
-    #: retry) — surfaced, never silently dropped.
+    #: retry budget) — surfaced, never silently dropped.
     lost: List[int] = field(default_factory=list)
+    #: Slices that were re-queued after a shard worker died (counted per
+    #: requeue per slice; audited against ``fleet_slices_retried_total``).
+    slices_retried: int = 0
+    #: Shards that needed more than one attempt: "first..last" seed
+    #: range -> total attempts.  Empty on the happy path, so a resumed
+    #: report stays byte-identical to an uninterrupted one.
+    shard_attempts: Dict[str, int] = field(default_factory=dict)
+    #: Campaign-level counter-vs-bookkeeping mismatches (retry audit).
+    campaign_divergences: List[str] = field(default_factory=list)
 
     # -- aggregation (slices folded in seed order, always) ---------------
 
@@ -466,7 +562,60 @@ class FleetSchemeReport:
             found.extend(
                 f"seed {s.seed}: {line}" for line in s.audit_divergences
             )
+        found.extend(
+            f"campaign: {line}" for line in self.campaign_divergences
+        )
         return found
+
+    # -- supervision aggregation -----------------------------------------
+
+    @property
+    def deadline_reaps(self) -> int:
+        return sum(s.deadline_reaps for s in self.slices)
+
+    @property
+    def quarantined_requests(self) -> int:
+        return sum(s.quarantined_requests for s in self.slices)
+
+    @property
+    def breaker_trips(self) -> int:
+        return sum(s.breaker_trips for s in self.slices)
+
+    @property
+    def parent_restarts(self) -> int:
+        return sum(s.parent_restarts for s in self.slices)
+
+    def supervision_summary(self) -> Dict[str, Any]:
+        """The supervision section: availability outcomes plus the
+        re-randomization-window stretch (mean cycles of plane-touched
+        requests over mean cycles of untouched ones — how much a faulted
+        request widens the exposure window the paper's re-randomization
+        is meant to shrink)."""
+        faulted = sum(s.faulted_requests for s in self.slices)
+        clean = sum(s.clean_requests for s in self.slices)
+        faulted_cycles = 0.0
+        clean_cycles = 0.0
+        for s in self.slices:
+            faulted_cycles += s.faulted_cycles
+            clean_cycles += s.clean_cycles
+        faulted_mean = faulted_cycles / faulted if faulted else None
+        clean_mean = clean_cycles / clean if clean else None
+        stretch = (
+            faulted_mean / clean_mean
+            if faulted_mean is not None and clean_mean else None
+        )
+        return {
+            "deadline_reaps": self.deadline_reaps,
+            "quarantined_requests": self.quarantined_requests,
+            "breaker_trips": self.breaker_trips,
+            "parent_restarts": self.parent_restarts,
+            "slices_retried": self.slices_retried,
+            "faulted_requests": faulted,
+            "clean_requests": clean,
+            "faulted_mean_cycles": faulted_mean,
+            "clean_mean_cycles": clean_mean,
+            "rerand_window_stretch": stretch,
+        }
 
     def summary(self) -> Dict[str, Any]:
         """The per-scheme row every consumer (CLI, bench, CI) reads."""
@@ -501,7 +650,11 @@ class FleetSchemeReport:
             "slice_requests": self.slice_requests,
             "slices": [s.to_json() for s in self.slices],
             "lost": list(self.lost),
+            "slices_retried": self.slices_retried,
+            "shard_attempts": dict(self.shard_attempts),
+            "campaign_divergences": list(self.campaign_divergences),
             "summary": self.summary(),
+            "supervision": self.supervision_summary(),
         }
 
     @classmethod
@@ -513,6 +666,11 @@ class FleetSchemeReport:
             slice_requests=int(data["slice_requests"]),
             slices=[FleetSlice.from_json(s) for s in data["slices"]],
             lost=[int(seed) for seed in data.get("lost", [])],
+            slices_retried=int(data.get("slices_retried", 0)),
+            shard_attempts={
+                k: int(v) for k, v in data.get("shard_attempts", {}).items()
+            },
+            campaign_divergences=list(data.get("campaign_divergences", [])),
         )
 
 
@@ -526,6 +684,10 @@ class FleetReport:
     config: TrafficConfig
     schemes: Tuple[str, ...]
     reports: List[FleetSchemeReport] = field(default_factory=list)
+    #: The chaos stream seed; ``None`` = no fault injection.
+    chaos_seed: Optional[int] = None
+    #: Supervision knobs the campaign ran under.
+    supervision: SupervisorConfig = field(default_factory=SupervisorConfig)
 
     @property
     def total_requests(self) -> int:
@@ -558,17 +720,26 @@ class FleetReport:
             "slice_requests": self.slice_requests,
             "config": self.config.to_json(),
             "schemes": list(self.schemes),
+            "chaos_seed": self.chaos_seed,
+            "supervision": self.supervision.to_json(),
             "reports": [report.to_json() for report in self.reports],
         }
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "FleetReport":
+        raw_chaos = data.get("chaos_seed")
+        raw_supervision = data.get("supervision")
         return cls(
             base_seed=int(data["base_seed"]),
             request_budget=int(data["request_budget"]),
             slice_requests=int(data["slice_requests"]),
             config=TrafficConfig.from_json(data["config"]),
             schemes=tuple(data["schemes"]),
+            chaos_seed=None if raw_chaos is None else int(raw_chaos),
+            supervision=(
+                SupervisorConfig() if raw_supervision is None
+                else SupervisorConfig.from_json(raw_supervision)
+            ),
             reports=[
                 FleetSchemeReport.from_json(r) for r in data["reports"]
             ],
@@ -581,6 +752,11 @@ class FleetReport:
             f"attack rate "
             f"{self.config.attack_numerator}/{self.config.attack_denominator}"
         ]
+        if self.chaos_seed is not None:
+            lines.append(
+                f"  chaos: seed {self.chaos_seed} "
+                "(seeded fault injection under traffic, supervised)"
+            )
         header = (
             f"  {'scheme':16s} {'requests':>9s} {'detect':>8s} "
             f"{'rate':>7s} {'ttd':>7s} {'brute!':>7s} {'leak!':>6s} "
@@ -600,6 +776,21 @@ class FleetReport:
                 f"{row['simulated_rps']:>12,.0f} "
                 f"{p99 if p99 is not None else '-':>9}"
             )
+            if self.chaos_seed is not None:
+                sup = report.supervision_summary()
+                stretch = sup["rerand_window_stretch"]
+                lines.append(
+                    f"    supervision: {sup['deadline_reaps']} deadline "
+                    f"reap(s), {sup['quarantined_requests']} quarantined, "
+                    f"{sup['breaker_trips']} breaker trip(s), "
+                    f"{sup['parent_restarts']} parent restart(s), "
+                    f"window stretch "
+                    f"{f'{stretch:.3f}' if stretch is not None else '-'}"
+                )
+            for span, attempts in sorted(report.shard_attempts.items()):
+                lines.append(
+                    f"    shard seeds {span}: {attempts} attempt(s)"
+                )
             for seed in report.lost:
                 lines.append(f"    slice seed {seed}: LOST (worker crashed)")
         divergences = self.audit_divergences
@@ -624,6 +815,7 @@ def _fleet_shard_worker(config: Dict[str, Any], seeds, attempt: int):
     """Process-pool entry point: serve one shard's slices."""
     before = telemetry.snapshot()
     traffic = TrafficConfig.from_json(config["traffic"])
+    supervision = SupervisorConfig.from_json(config["supervision"])
     slices = []
     for seed in seeds:
         index = seed - config["base_seed"]
@@ -634,9 +826,72 @@ def _fleet_shard_worker(config: Dict[str, Any], seeds, attempt: int):
                 config["request_budget"], config["slice_requests"], index
             ),
             audit=config["audit"],
+            supervision=supervision,
+            chaos_seed=config["chaos_seed"],
         )
         slices.append(record.to_json())
     return {"slices": slices, "telemetry": telemetry.delta(before)}
+
+
+# -- checkpoint/resume -------------------------------------------------------
+
+#: Format marker for fleet checkpoints; bumped on incompatible change.
+CHECKPOINT_VERSION = 1
+
+
+def _checkpoint_header(report: FleetReport) -> Dict[str, Any]:
+    return {
+        "version": CHECKPOINT_VERSION,
+        "kind": "fleet-checkpoint",
+        "base_seed": report.base_seed,
+        "request_budget": report.request_budget,
+        "slice_requests": report.slice_requests,
+        "config": report.config.to_json(),
+        "schemes": list(report.schemes),
+        "chaos_seed": report.chaos_seed,
+        "supervision": report.supervision.to_json(),
+    }
+
+
+def _write_checkpoint(path: str, payload: Dict[str, Any]) -> None:
+    """Atomic write: a kill can only ever leave the previous checkpoint."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(
+    path: str, header: Dict[str, Any]
+) -> Dict[str, Dict[int, FleetSlice]]:
+    """Load completed slices from ``path``; {} when no checkpoint exists.
+
+    The checkpoint is only valid for the exact campaign it was written
+    by — seeds, budgets, traffic config, scheme set, chaos seed, and
+    supervision knobs must all match, or resuming would stitch slices
+    from two different campaigns into one report.
+    """
+    if not os.path.exists(path):
+        return {}
+    try:
+        data = json.loads(open(path).read())
+    except (OSError, ValueError) as error:
+        raise CampaignError(f"unreadable checkpoint {path}: {error}")
+    for key, want in header.items():
+        got = data.get(key)
+        if got != want:
+            raise CampaignError(
+                f"checkpoint {path} does not match this campaign: "
+                f"{key} is {got!r}, expected {want!r}"
+            )
+    completed: Dict[str, Dict[int, FleetSlice]] = {}
+    for scheme, slices in data.get("slices", {}).items():
+        completed[scheme] = {
+            int(seed): FleetSlice.from_json(record)
+            for seed, record in slices.items()
+        }
+    return completed
 
 
 def run_fleet(
@@ -649,20 +904,44 @@ def run_fleet(
     jobs: int = 1,
     audit: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    chaos: bool = False,
+    chaos_seed: Optional[int] = None,
+    supervision: Optional[SupervisorConfig] = None,
+    shard_retries: int = 1,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> FleetReport:
     """Serve ``request_budget`` requests per scheme, sharded by slice.
 
     ``jobs > 1`` shards the slice range through the crash-tolerant
     executor; slices merge in seed order so the report is bit-identical
-    to a serial run.  Slices on a shard whose worker died after its
-    retry are listed in the scheme report's ``lost`` — the CLI maps a
-    non-empty ``lost`` to the typed infrastructure exit code.
+    to a serial run.  A shard whose worker dies is re-queued up to
+    ``shard_retries`` times before its slices are listed in the scheme
+    report's ``lost`` — the CLI maps a non-empty ``lost`` to the typed
+    infrastructure exit code.
+
+    ``chaos`` arms per-slice fault schedules derived from ``chaos_seed``
+    (default: ``base_seed``); the stream is keyed per slice, so chaos
+    campaigns replay and shard bit-identically too.
+
+    ``checkpoint_path`` persists every completed slice (atomically, after
+    each slice or shard); ``resume=True`` skips the slices a previous —
+    possibly killed — run already completed, under any ``jobs`` value,
+    and the finished report is byte-identical to an uninterrupted run.
     """
     if request_budget < 1:
         raise ValueError("request_budget must be >= 1")
     if slice_requests < 1:
         raise ValueError("slice_requests must be >= 1")
+    if shard_retries < 0:
+        raise ValueError("shard_retries must be >= 0")
+    if resume and not checkpoint_path:
+        raise ValueError("resume requires a checkpoint path")
     config = config if config is not None else TrafficConfig()
+    supervision = supervision if supervision is not None else SupervisorConfig()
+    effective_chaos_seed = (
+        (chaos_seed if chaos_seed is not None else base_seed) if chaos else None
+    )
     # The audit decision is made once, here, and shipped to workers:
     # worker processes always boot with telemetry enabled, so auditing
     # must not silently differ between serial and sharded runs.
@@ -673,27 +952,61 @@ def run_fleet(
         slice_requests=slice_requests,
         config=config,
         schemes=tuple(schemes),
+        chaos_seed=effective_chaos_seed,
+        supervision=supervision,
     )
     num_slices = -(-request_budget // slice_requests)
+
+    header = _checkpoint_header(report)
+    completed: Dict[str, Dict[int, FleetSlice]] = {}
+    if resume and checkpoint_path:
+        completed = _load_checkpoint(checkpoint_path, header)
+    checkpoint_state: Dict[str, Dict[str, Any]] = {
+        scheme: {
+            str(seed): record.to_json() for seed, record in by_seed.items()
+        }
+        for scheme, by_seed in completed.items()
+    }
+
+    def save_checkpoint() -> None:
+        if checkpoint_path:
+            _write_checkpoint(
+                checkpoint_path, {**header, "slices": checkpoint_state}
+            )
+
+    save_checkpoint()
 
     for scheme in report.schemes:
         scheme_report = FleetSchemeReport(
             scheme=scheme, base_seed=base_seed,
             request_budget=request_budget, slice_requests=slice_requests,
         )
+        collected: Dict[int, FleetSlice] = dict(completed.get(scheme, {}))
+        scheme_state = checkpoint_state.setdefault(scheme, {})
+        pending = [
+            index for index in range(num_slices)
+            if base_seed + index not in collected
+        ]
+        before_scheme = telemetry.snapshot() if audit else {}
         if jobs <= 1:
-            for index in range(num_slices):
-                scheme_report.slices.append(run_fleet_slice(
-                    scheme, base_seed + index,
+            for done, index in enumerate(pending):
+                seed = base_seed + index
+                record = run_fleet_slice(
+                    scheme, seed,
                     config=config,
                     request_budget=_slice_budget(
                         request_budget, slice_requests, index
                     ),
                     audit=audit,
-                ))
-                if progress and (index + 1) % 8 == 0:
+                    supervision=supervision,
+                    chaos_seed=effective_chaos_seed,
+                )
+                collected[seed] = record
+                scheme_state[str(seed)] = record.to_json()
+                save_checkpoint()
+                if progress and (done + 1) % 8 == 0:
                     progress(
-                        f"{scheme}: {index + 1}/{num_slices} slice(s)"
+                        f"{scheme}: {done + 1}/{len(pending)} slice(s)"
                     )
         else:
             from ..parallel import plan_shards, run_shards
@@ -705,32 +1018,67 @@ def run_fleet(
                 "request_budget": request_budget,
                 "slice_requests": slice_requests,
                 "audit": audit,
+                "supervision": supervision.to_json(),
+                "chaos_seed": effective_chaos_seed,
             }
-            shards = plan_shards(base_seed, num_slices)
-            outcomes, _ = run_shards(
-                _fleet_shard_worker, worker_config, shards, jobs=jobs,
-                on_result=(
-                    (lambda outcome: progress(
+            shards = plan_shards(
+                base_seed, num_slices, skip=set(collected)
+            )
+
+            def on_result(outcome) -> None:
+                if outcome.ok:
+                    for record in outcome.value["slices"]:
+                        scheme_state[str(record["seed"])] = record
+                    save_checkpoint()
+                if progress:
+                    progress(
                         f"{scheme}: shard {outcome.shard.index} "
                         f"({len(outcome.shard)} slice(s)) "
                         f"{'done' if outcome.ok else outcome.status}"
-                    )) if progress else None
-                ),
+                    )
+
+            outcomes, _ = run_shards(
+                _fleet_shard_worker, worker_config, shards, jobs=jobs,
+                retries=shard_retries,
+                on_result=on_result,
             )
             deltas = []
             for outcome in outcomes:
                 if outcome.ok:
-                    scheme_report.slices.extend(
-                        FleetSlice.from_json(s)
-                        for s in outcome.value["slices"]
-                    )
+                    for raw in outcome.value["slices"]:
+                        record = FleetSlice.from_json(raw)
+                        collected[record.seed] = record
                     deltas.append(outcome.value["telemetry"])
                 else:
                     scheme_report.lost.extend(outcome.shard.seeds)
+                requeues = max(0, outcome.attempts - 1)
+                if requeues:
+                    seeds = outcome.shard.seeds
+                    span = f"{seeds[0]}..{seeds[-1]}"
+                    scheme_report.shard_attempts[span] = outcome.attempts
+                    scheme_report.slices_retried += requeues * len(seeds)
+            if scheme_report.slices_retried:
+                telemetry.count(
+                    RETRY_COUNTER,
+                    delta=scheme_report.slices_retried,
+                    help="fleet slices re-queued after a lost shard worker",
+                )
             merged = telemetry.Snapshot()
             for delta in deltas:
                 merged = merged.merge(telemetry.Snapshot(delta))
             telemetry.absorb(merged)
+            if audit:
+                got = _counter(
+                    telemetry.delta(before_scheme), RETRY_COUNTER
+                )
+                if got != scheme_report.slices_retried:
+                    scheme_report.campaign_divergences.append(
+                        f"{RETRY_COUNTER}: report says "
+                        f"{scheme_report.slices_retried}, counters say {got}"
+                    )
+        scheme_report.slices = [
+            collected[seed] for seed in sorted(collected)
+        ]
         report.reports.append(scheme_report)
         if progress:
             row = scheme_report.summary()

@@ -68,12 +68,21 @@ FLEET_BUFFER_SIZE = 64
 
 @dataclass
 class FleetResponse:
-    """What the traffic driver observes from one served request."""
+    """What the traffic driver observes from one served request.
+
+    ``outcome`` is the supervision verdict: ``"served"`` (the worker
+    ran), ``"deadline"`` (reaped at the cycle budget, presented as a
+    SIGXCPU crash), or ``"quarantined"`` (refused fail-closed by the
+    crash-loop breaker or a degraded checkout; presented as a crash so
+    an availability measure can never read as an attack breach).
+    """
 
     crashed: bool
     smashed: bool
     output: bytes
     cycles: float
+    signal: str = ""
+    outcome: str = "served"
 
 
 class FleetServer:
@@ -106,13 +115,23 @@ class FleetServer:
         #: Campaign bookkeeping hook: fires once per request, after the
         #: request's counters have been recorded.
         self.on_response: Optional[Callable[[FleetResponse], None]] = None
+        #: Installed by :meth:`FleetSupervisor.attach`; None = raw server.
+        self.supervisor = None
+        #: Set by the traffic driver around attack sessions so the
+        #: supervisor's breaker ignores expected canary aborts.
+        self.in_attack_session = False
 
     @classmethod
     def boot(
-        cls, scheme: str, seed: int, *, source: str = FLEET_VICTIM
+        cls,
+        scheme: str,
+        seed: int,
+        *,
+        source: str = FLEET_VICTIM,
+        fault_plane=None,
     ) -> "FleetServer":
         """Build + deploy a server in one step (CLI and test shorthand)."""
-        kernel = Kernel(seed)
+        kernel = Kernel(seed, fault_plane=fault_plane)
         binary = build(source, scheme, name="fleet")
         return cls(kernel, binary, scheme)
 
@@ -120,7 +139,16 @@ class FleetServer:
 
     def handle_request(self, payload: bytes) -> FleetResponse:
         """Accept one connection: fork a worker, run the handler, reap."""
-        child = self.fork_worker()
+        supervisor = self.supervisor
+        if supervisor is None:
+            child = self.fork_worker()
+        else:
+            child = supervisor.checkout_worker() if supervisor.admit() else None
+            if child is None:
+                response = supervisor.quarantine_response()
+                self._record(response)
+                return response
+            supervisor.arm_deadline(child)
         child.stdin.clear()
         child.feed_stdin(payload)
         result = child.call(self.handler, (len(payload),))
@@ -129,8 +157,11 @@ class FleetServer:
             smashed=result.smashed,
             output=bytes(child.stdout),
             cycles=result.cycles,
+            signal=result.signal,
         )
         self.kernel.reap(child)
+        if supervisor is not None:
+            supervisor.observe(response, in_attack_session=self.in_attack_session)
         self._record(response)
         return response
 
@@ -142,12 +173,18 @@ class FleetServer:
         :meth:`release_worker` the process when the session ends.
         """
         child = self.kernel.fork(self.parent)
+        self.note_worker_forked()
+        return child
+
+    def note_worker_forked(self) -> None:
+        """Bookkeeping for one successful worker fork (supervised
+        checkouts fork through the policy retry wrapper and tick this
+        themselves, so the count only ever covers committed forks)."""
         self.workers_forked += 1
         telemetry.count(
             "fleet_workers_forked_total",
             help="fleet workers forked (one per connection)",
         )
-        return child
 
     def account_worker_request(
         self, crashed: bool, smashed: bool, cycles: float, output: bytes = b""

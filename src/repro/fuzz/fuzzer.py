@@ -113,6 +113,10 @@ class FuzzReport:
     skipped: Dict[str, int] = field(default_factory=dict)
     failures: List[FuzzFailure] = field(default_factory=list)
     health_failures: List[ConformanceFailure] = field(default_factory=list)
+    #: Shards that needed more than one attempt, ``"first..last" ->
+    #: attempts``.  First-attempt shards are never recorded, so a
+    #: healthy parallel run stays bit-identical to a serial one.
+    shard_attempts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -141,6 +145,8 @@ class FuzzReport:
                 f"{scheme}×{count}" for scheme, count in sorted(self.skipped.items())
             )
             lines.append(f"gated by documented semantics: {gated}")
+        for span, attempts in sorted(self.shard_attempts.items()):
+            lines.append(f"shard {span}: {attempts} attempt(s)")
         for failure in self.health_failures:
             lines.append(f"health probe FAILED: {failure}")
         for failure in self.failures:
@@ -161,6 +167,7 @@ class FuzzReport:
             "programs_checked": self.programs_checked,
             "runs": self.runs,
             "skipped": dict(sorted(self.skipped.items())),
+            "shard_attempts": dict(sorted(self.shard_attempts.items())),
             "failures": [f.to_json() for f in self.failures],
             "health_failures": [
                 {
@@ -182,6 +189,10 @@ class FuzzReport:
             programs_checked=int(data["programs_checked"]),
             runs=int(data["runs"]),
             skipped=dict(data.get("skipped", {})),
+            shard_attempts={
+                str(span): int(attempts)
+                for span, attempts in dict(data.get("shard_attempts", {})).items()
+            },
             failures=[FuzzFailure.from_json(f) for f in data.get("failures", [])],
             health_failures=[
                 ConformanceFailure(
@@ -344,14 +355,17 @@ def run_fuzz(
     max_shrink_checks: int = 40,
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
+    shard_retries: int = 1,
 ) -> FuzzReport:
     """Run a deterministic campaign of ``budget`` generated programs.
 
     ``jobs > 1`` shards the seed range across a process pool; the shard
     plan depends only on the budget and results merge in shard order,
     so the report is bit-identical to a ``jobs=1`` run.  A shard whose
-    worker dies is retried once and then recorded as a ``worker-lost``
-    health failure — never silently dropped.
+    worker dies is re-queued ``shard_retries`` times and then recorded
+    as a ``worker-lost`` health failure — never silently dropped.
+    Shards that needed more than one attempt land in
+    ``report.shard_attempts``.
     """
     schemes = tuple(schemes)
     report = FuzzReport(budget=budget, base_seed=base_seed, schemes=schemes)
@@ -392,7 +406,7 @@ def run_fuzz(
     }
     shards = plan_shards(base_seed, budget)
     outcomes, _ = run_shards(
-        _fuzz_shard_worker, config, shards, jobs=jobs,
+        _fuzz_shard_worker, config, shards, jobs=jobs, retries=shard_retries,
         on_result=(
             (lambda outcome: progress(
                 f"shard {outcome.shard.index}: {len(outcome.shard)} seed(s) "
@@ -402,6 +416,9 @@ def run_fuzz(
     )
     deltas = []
     for outcome in outcomes:
+        if outcome.attempts > 1:
+            first, last = outcome.shard.seeds[0], outcome.shard.seeds[-1]
+            report.shard_attempts[f"{first}..{last}"] = outcome.attempts
         if outcome.ok:
             for item in outcome.value["checks"]:
                 check = SeedCheck(

@@ -50,9 +50,11 @@ from .sharding import (
     TARGET_SHARDS,
     Shard,
     add_jobs_argument,
+    add_shard_retries_argument,
     default_jobs,
     plan_shards,
     resolve_jobs,
+    resolve_shard_retries,
     shard_size_for,
 )
 from .snapcache import (
@@ -71,6 +73,7 @@ __all__ = [
     "ShardOutcome", "run_shards",
     "STATUS_OK", "STATUS_FAILED", "STATUS_SKIPPED",
     "Shard", "plan_shards", "shard_size_for",
-    "add_jobs_argument", "default_jobs", "resolve_jobs",
+    "add_jobs_argument", "add_shard_retries_argument",
+    "default_jobs", "resolve_jobs", "resolve_shard_retries",
     "JOBS_ENV_VAR", "TARGET_SHARDS", "MAX_SHARD_SEEDS",
 ]

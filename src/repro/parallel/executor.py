@@ -91,6 +91,8 @@ def run_shards(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     pending: List[Shard] = sorted(shards, key=lambda shard: shard.index)
     attempts: Dict[int, int] = {shard.index: 0 for shard in pending}
     outcomes: Dict[int, ShardOutcome] = {}

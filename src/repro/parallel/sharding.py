@@ -140,3 +140,25 @@ def add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help=f"worker processes (default: ${JOBS_ENV_VAR} or 1; "
              f"capped at the CPU count)",
     )
+
+
+def resolve_shard_retries(retries: int) -> int:
+    """Validate a ``--shard-retries`` value.
+
+    ``retries`` is the number of re-queues a lost shard gets before the
+    campaign reports its seeds as infrastructure failures.  Zero is
+    legal (fail fast); negatives are not.
+    """
+    if retries < 0:
+        raise ValueError(f"--shard-retries must be >= 0, got {retries}")
+    return retries
+
+
+def add_shard_retries_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--shard-retries`` option to a subcommand
+    parser (campaign commands that fan out through ``run_shards``)."""
+    parser.add_argument(
+        "--shard-retries", type=int, default=1, metavar="N",
+        help="re-queues per lost shard before its seeds are reported "
+             "as infrastructure failures (default: 1)",
+    )

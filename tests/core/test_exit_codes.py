@@ -1,0 +1,69 @@
+"""The CLI exit-code contract lives in one place: ``repro.errors``.
+
+Every campaign command (fuzz, chaos, fleet, serve) maps its verdict to
+these constants, and CI scripts key on the numeric values — so the
+values are pinned here, and the commands are checked to import the
+shared constants rather than growing private copies.
+"""
+
+from repro import cli, errors
+
+
+class TestConstants:
+    def test_the_pinned_values(self):
+        assert errors.EXIT_OK == 0
+        assert errors.EXIT_VIOLATION == 1
+        assert errors.EXIT_USAGE == 2
+        assert errors.EXIT_INFRASTRUCTURE == 3
+        assert errors.EXIT_DEADLINE == 4
+
+    def test_cli_re_exports_the_shared_constants(self):
+        # Bound by import, not copied: the CLI's names *are* the
+        # errors module's objects.
+        assert cli.EXIT_OK is errors.EXIT_OK
+        assert cli.EXIT_VIOLATION is errors.EXIT_VIOLATION
+        assert cli.EXIT_USAGE is errors.EXIT_USAGE
+        assert cli.EXIT_INFRASTRUCTURE is errors.EXIT_INFRASTRUCTURE
+        assert cli.EXIT_DEADLINE is errors.EXIT_DEADLINE
+
+
+class TestCommandsUseTheSharedConstants:
+    def test_campaign_commands_resolve_through_errors(self):
+        import ast
+        import inspect
+
+        source = inspect.getsource(cli)
+        tree = ast.parse(source)
+        imported = {
+            alias.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "errors"
+            for alias in node.names
+        }
+        assert {
+            "EXIT_OK", "EXIT_VIOLATION", "EXIT_USAGE",
+            "EXIT_INFRASTRUCTURE", "EXIT_DEADLINE",
+        } <= imported
+        # No shadowing assignment redefines the constants locally.
+        assigned = {
+            target.id
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Assign)
+            for target in node.targets
+            if isinstance(target, ast.Name)
+        }
+        assert not assigned & {
+            "EXIT_OK", "EXIT_VIOLATION", "EXIT_USAGE",
+            "EXIT_INFRASTRUCTURE", "EXIT_DEADLINE",
+        }
+
+    def test_usage_errors_exit_2_everywhere(self, capsys):
+        assert cli.main(["fuzz", "--budget", "1",
+                         "--shard-retries", "-2"]) == 2
+        assert cli.main(["chaos", "--budget", "1",
+                         "--shard-retries", "-2"]) == 2
+        assert cli.main(["fleet", "--budget", "100",
+                         "--shard-retries", "-2"]) == 2
+        assert cli.main(["attack", "--repeats", "2",
+                         "--shard-retries", "-2"]) == 2
+        capsys.readouterr()

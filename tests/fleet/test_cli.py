@@ -106,3 +106,50 @@ class TestFleet:
         )
         code = cli.main(["fleet", "--budget", "10"])
         assert code == cli.EXIT_VIOLATION
+
+
+class TestChaosFlags:
+    def test_chaos_seed_requires_chaos(self, capsys):
+        code = cli.main([
+            "fleet", "--budget", "100", "--chaos-seed", "7",
+        ])
+        assert code == cli.EXIT_USAGE
+        assert "--chaos-seed requires --chaos" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        code = cli.main(["fleet", "--budget", "100", "--resume"])
+        assert code == cli.EXIT_USAGE
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_negative_shard_retries_is_a_usage_error(self, capsys):
+        code = cli.main([
+            "fleet", "--budget", "100", "--shard-retries", "-1",
+        ])
+        assert code == cli.EXIT_USAGE
+
+    def test_chaos_campaign_audits_ok_and_renders_supervision(self, capsys):
+        code = cli.main([
+            "fleet", "--budget", "200", "--slice", "100",
+            "--schemes", "pssp", "--chaos", "--chaos-seed", "20180625",
+        ])
+        out = capsys.readouterr().out
+        assert code == cli.EXIT_OK
+        assert "chaos: seed 20180625" in out
+        assert "supervision:" in out
+        assert "AUDITED OK" in out
+
+    def test_checkpoint_artifact_allows_noop_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.json"
+        first = cli.main([
+            "fleet", "--budget", "200", "--slice", "100",
+            "--schemes", "pssp", "--checkpoint", str(ckpt),
+        ])
+        assert first == cli.EXIT_OK
+        assert json.loads(ckpt.read_text())["kind"] == "fleet-checkpoint"
+        again = cli.main([
+            "fleet", "--budget", "200", "--slice", "100",
+            "--schemes", "pssp", "--checkpoint", str(ckpt), "--resume",
+        ])
+        out = capsys.readouterr().out
+        assert again == cli.EXIT_OK
+        assert "AUDITED OK" in out
