@@ -13,6 +13,8 @@ Commands regenerate individual experiments or the whole report:
     $ python -m repro chaos --budget 50
     $ python -m repro serve --scheme pssp
     $ python -m repro fleet --budget 10000 --jobs 4
+    $ python -m repro trace --scheme pssp --series
+    $ python -m repro postmortem bundles/<digest>.pmb
     $ python -m repro report -o EXPERIMENTS.md
 
 Exit codes (``fuzz`` and ``chaos``, consumed by CI):
@@ -648,6 +650,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
         return EXIT_USAGE
+    tracing = args.trace_out is not None or args.bundle_dir is not None
+    if tracing and args.checkpoint:
+        print(
+            "--trace-out/--bundle-dir cannot be combined with --checkpoint "
+            "(a resumed campaign would leave holes in the trace)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    trace_config = None
+    if tracing:
+        from .trace import TraceConfig
+
+        trace_config = TraceConfig(series_interval=args.series_interval)
 
     def _on_signal(signum, frame):
         raise ShutdownRequested(f"received signal {signum}")
@@ -670,6 +685,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             shard_retries=shard_retries,
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            trace=trace_config,
             progress=lambda line: print(f"  {line}", flush=True),
         )
     except ShutdownRequested as stop:
@@ -697,6 +713,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"wrote {args.out}")
+    if report.trace is not None:
+        from .trace import write_bundles, write_trace
+
+        print(report.trace.render())
+        if args.trace_out:
+            write_trace(report.trace, args.trace_out)
+            print(f"wrote {args.trace_out} "
+                  "(load in chrome://tracing or Perfetto)")
+        if args.bundle_dir:
+            for path in write_bundles(report.trace, args.bundle_dir):
+                print(f"wrote {path}")
     if report.lost_slices:
         return EXIT_INFRASTRUCTURE
     if report.audit_divergences:
@@ -707,6 +734,65 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"no detections under: {', '.join(blind)}", file=sys.stderr)
             return EXIT_VIOLATION
     return EXIT_OK
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one fleet slice: spans, flight recorder, series, bundles."""
+    from .fleet import run_fleet_slice
+    from .trace import (
+        CampaignTrace,
+        SliceTracer,
+        TraceConfig,
+        render_series,
+        write_bundles,
+        write_trace,
+    )
+
+    config, usage = _fleet_config(args)
+    if usage is not None:
+        return usage
+    try:
+        trace_config = TraceConfig(series_interval=args.series_interval)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_USAGE
+    tracer = SliceTracer(
+        args.scheme, args.seed, config=trace_config,
+        chaos_seed=args.chaos_seed,
+    )
+    record = run_fleet_slice(
+        args.scheme, args.seed, config=config,
+        request_budget=args.requests, chaos_seed=args.chaos_seed,
+        tracer=tracer,
+    )
+    campaign = CampaignTrace(config=trace_config, slices=[tracer.trace])
+    print(campaign.render())
+    if args.series:
+        print(render_series(tracer.trace.series))
+    if args.out:
+        write_trace(campaign, args.out)
+        print(f"wrote {args.out} (load in chrome://tracing or Perfetto)")
+    if args.bundle_dir:
+        for path in write_bundles(campaign, args.bundle_dir):
+            print(f"wrote {path}")
+    for line in record.audit_divergences:
+        print(f"AUDIT DIVERGENCE: {line}", file=sys.stderr)
+    return EXIT_VIOLATION if record.audit_divergences else EXIT_OK
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    """Replay a post-mortem bundle and demand an exact reproduction."""
+    from .errors import BundleError
+    from .trace import load_bundle, replay_bundle
+
+    try:
+        payload = load_bundle(args.bundle)
+        result = replay_bundle(payload)
+    except BundleError as error:
+        print(f"infrastructure error: {error}", file=sys.stderr)
+        return EXIT_INFRASTRUCTURE
+    print(result.render())
+    return EXIT_OK if result.ok else EXIT_VIOLATION
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -909,6 +995,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_shard_retries_argument(fleet)
     fleet.add_argument("--telemetry-out", default=None, metavar="FILE",
                        help="write telemetry counters + event stream as JSON")
+    fleet.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the campaign's Perfetto trace-event JSON "
+                            "(byte-identical under any --jobs)")
+    fleet.add_argument("--bundle-dir", default=None, metavar="DIR",
+                       help="write captured post-mortem bundles (.pmb) here")
+    fleet.add_argument("--series-interval", type=int, default=100,
+                       help="requests per time-series bucket when tracing")
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one fleet slice (spans, flight recorder, bundles)",
+    )
+    trace.add_argument("--scheme", default="pssp", choices=sorted(SCHEMES))
+    trace.add_argument("--requests", type=int, default=500,
+                       help="request budget for the slice (default 500)")
+    trace.add_argument("--seed", type=int, default=20180625)
+    trace.add_argument("--attack-rate", default="1/8", metavar="N/D",
+                       help="fraction of sessions that are attacks")
+    trace.add_argument("--brute-cap", type=int, default=1600,
+                       help="request cap per byte-by-byte attack session")
+    trace.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                       help="arm the slice's seeded fault schedule")
+    trace.add_argument("--series", action="store_true",
+                       help="render the counter time-series table")
+    trace.add_argument("--series-interval", type=int, default=100,
+                       help="requests per time-series bucket (default 100)")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write the Perfetto trace-event JSON")
+    trace.add_argument("--bundle-dir", default=None, metavar="DIR",
+                       help="write captured post-mortem bundles (.pmb) here")
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="replay a .pmb bundle and demand an exact reproduction",
+    )
+    postmortem.add_argument("bundle", metavar="BUNDLE",
+                            help="path to a .pmb post-mortem bundle")
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None)
@@ -932,6 +1055,8 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
+    "trace": _cmd_trace,
+    "postmortem": _cmd_postmortem,
     "report": _cmd_report,
 }
 

@@ -214,3 +214,9 @@ class ProtectionError(ReproError):
 class SnapshotError(ReproError):
     """A machine image could not be captured or restored (unsupported
     process state, corrupt or version-mismatched image bytes)."""
+
+
+class BundleError(ReproError):
+    """A post-mortem bundle is unreadable or not replayable (bad magic,
+    version mismatch, or missing replay identity).  Distinct from a
+    replay *mismatch*, which is a finding, not an infrastructure error."""

@@ -44,6 +44,13 @@ from ..errors import CampaignError
 from ..faults.plane import FaultPlane
 from ..faults.schedule import FaultSchedule, generate_fleet_fault_schedule
 from ..harness.metrics import CLOCK_HZ
+from ..trace import (
+    CampaignTrace,
+    SliceTrace,
+    SliceTracer,
+    TraceConfig,
+    build_lost_bundle,
+)
 from .server import (
     FLEET_BUFFER_SIZE,
     FLEET_VICTIM,
@@ -282,6 +289,7 @@ class _SliceDriver:
     def run(self) -> FleetSlice:
         frame = frame_map(self.server.binary, self.server.handler)
         builder = PayloadBuilder(frame)
+        tracer = self.server.tracer
         index = 0
         while self.remaining > 0:
             plan = session_plan(
@@ -294,6 +302,8 @@ class _SliceDriver:
                 # is no budget left for both, so the campaign ends here.
                 break
             self.slice.sessions[plan.kind] += 1
+            if tracer is not None:
+                tracer.begin_session(plan)
             self._set_attack(plan.is_attack)
             if plan.kind == "benign":
                 for _ in range(min(plan.requests, self.remaining)):
@@ -310,10 +320,14 @@ class _SliceDriver:
                 if report.success:
                     self.slice.breaches += 1
                     self.slice.breaches_by_kind["brute"] += 1
+                    if tracer is not None:
+                        tracer.on_breach("brute")
             elif plan.kind == "leak":
                 if self._leak_session():
                     self.slice.breaches += 1
                     self.slice.breaches_by_kind["leak"] += 1
+                    if tracer is not None:
+                        tracer.on_breach("leak")
         self._set_attack(False)
         self.server.on_response = None
         return self.slice
@@ -387,6 +401,7 @@ def run_fleet_slice(
     supervision: Optional[SupervisorConfig] = None,
     chaos_seed: Optional[int] = None,
     fault_schedule: Optional[FaultSchedule] = None,
+    tracer: Optional[SliceTracer] = None,
 ) -> FleetSlice:
     """Boot one server and serve one slice of the traffic mix.
 
@@ -399,6 +414,12 @@ def run_fleet_slice(
     With ``audit`` on (and telemetry enabled in this process), the
     slice's bookkeeping is cross-checked against the counter deltas it
     produced; mismatches land in ``audit_divergences``.
+
+    ``tracer`` attaches a :class:`~repro.trace.SliceTracer` for the run;
+    its replay identity is stamped here so every bundle it captures can
+    re-run this exact slice.  (An explicit ``fault_schedule`` without a
+    ``chaos_seed`` is outside the identity — bundles replay faithfully
+    only for seed-derived schedules.)
     """
     config = config if config is not None else TrafficConfig()
     auditing = audit and telemetry.enabled()
@@ -408,6 +429,14 @@ def run_fleet_slice(
     plane = FaultPlane(fault_schedule) if fault_schedule is not None else None
     server = FleetServer.boot(scheme, seed, fault_plane=plane)
     supervisor = FleetSupervisor(supervision, seed=seed).attach(server)
+    if tracer is not None:
+        tracer.replay_identity = {
+            "traffic": config.to_json(),
+            "request_budget": request_budget,
+            "supervision": supervisor.config.to_json(),
+            "chaos_seed": chaos_seed,
+        }
+        tracer.attach(server)
     driver = _SliceDriver(server, config, request_budget)
     driver.slice.seed = seed
     record = driver.run()
@@ -415,6 +444,9 @@ def run_fleet_slice(
     if auditing:
         delta = telemetry.delta(before)
         _audit_slice(record, server, delta)
+    if tracer is not None:
+        # After the audit, so an audit divergence freezes its bundle.
+        tracer.finalize(record)
     return record
 
 
@@ -688,6 +720,12 @@ class FleetReport:
     chaos_seed: Optional[int] = None
     #: Supervision knobs the campaign ran under.
     supervision: SupervisorConfig = field(default_factory=SupervisorConfig)
+    #: The campaign's trace (``run_fleet(..., trace=...)``).  Carried on
+    #: the object only — deliberately excluded from ``to_json`` so the
+    #: committed report artifact stays byte-identical whether or not the
+    #: run was traced; the trace has its own artifacts (``--trace-out``,
+    #: ``--bundle-dir``).
+    trace: Optional[CampaignTrace] = None
 
     @property
     def total_requests(self) -> int:
@@ -816,9 +854,18 @@ def _fleet_shard_worker(config: Dict[str, Any], seeds, attempt: int):
     before = telemetry.snapshot()
     traffic = TrafficConfig.from_json(config["traffic"])
     supervision = SupervisorConfig.from_json(config["supervision"])
+    trace_config = config.get("trace")
     slices = []
+    traces = []
     for seed in seeds:
         index = seed - config["base_seed"]
+        tracer = None
+        if trace_config is not None:
+            tracer = SliceTracer(
+                config["scheme"], seed,
+                config=TraceConfig.from_json(trace_config),
+                chaos_seed=config["chaos_seed"],
+            )
         record = run_fleet_slice(
             config["scheme"], seed,
             config=traffic,
@@ -828,9 +875,15 @@ def _fleet_shard_worker(config: Dict[str, Any], seeds, attempt: int):
             audit=config["audit"],
             supervision=supervision,
             chaos_seed=config["chaos_seed"],
+            tracer=tracer,
         )
         slices.append(record.to_json())
-    return {"slices": slices, "telemetry": telemetry.delta(before)}
+        if tracer is not None:
+            traces.append(tracer.trace.to_json())
+    return {
+        "slices": slices, "traces": traces,
+        "telemetry": telemetry.delta(before),
+    }
 
 
 # -- checkpoint/resume -------------------------------------------------------
@@ -910,6 +963,7 @@ def run_fleet(
     shard_retries: int = 1,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    trace: Optional[TraceConfig] = None,
 ) -> FleetReport:
     """Serve ``request_budget`` requests per scheme, sharded by slice.
 
@@ -928,6 +982,13 @@ def run_fleet(
     each slice or shard); ``resume=True`` skips the slices a previous —
     possibly killed — run already completed, under any ``jobs`` value,
     and the finished report is byte-identical to an uninterrupted run.
+
+    ``trace`` arms a :class:`~repro.trace.SliceTracer` per slice and
+    collects the campaign's :class:`~repro.trace.CampaignTrace` on the
+    returned report's ``trace`` attribute, slices in scheme × seed order
+    under any ``jobs`` value, so the exported trace is byte-identical to
+    a serial run.  Tracing refuses checkpoints: a resumed campaign skips
+    completed slices, so their spans could never be re-recorded.
     """
     if request_budget < 1:
         raise ValueError("request_budget must be >= 1")
@@ -937,6 +998,16 @@ def run_fleet(
         raise ValueError("shard_retries must be >= 0")
     if resume and not checkpoint_path:
         raise ValueError("resume requires a checkpoint path")
+    if trace is not None and (checkpoint_path or resume):
+        raise ValueError(
+            "tracing cannot be combined with checkpoint/resume: slices "
+            "skipped on resume would leave holes in the trace"
+        )
+    if trace is not None and not telemetry.enabled():
+        # Span canary attribution reads counters; shard workers always
+        # boot with telemetry on, so the serial path must match or the
+        # jobs-N byte-identity guarantee breaks.
+        telemetry.enable()
     config = config if config is not None else TrafficConfig()
     supervision = supervision if supervision is not None else SupervisorConfig()
     effective_chaos_seed = (
@@ -955,6 +1026,8 @@ def run_fleet(
         chaos_seed=effective_chaos_seed,
         supervision=supervision,
     )
+    if trace is not None:
+        report.trace = CampaignTrace(config=trace)
     num_slices = -(-request_budget // slice_requests)
 
     header = _checkpoint_header(report)
@@ -991,6 +1064,12 @@ def run_fleet(
         if jobs <= 1:
             for done, index in enumerate(pending):
                 seed = base_seed + index
+                tracer = None
+                if trace is not None:
+                    tracer = SliceTracer(
+                        scheme, seed, config=trace,
+                        chaos_seed=effective_chaos_seed,
+                    )
                 record = run_fleet_slice(
                     scheme, seed,
                     config=config,
@@ -1000,7 +1079,10 @@ def run_fleet(
                     audit=audit,
                     supervision=supervision,
                     chaos_seed=effective_chaos_seed,
+                    tracer=tracer,
                 )
+                if tracer is not None:
+                    report.trace.slices.append(tracer.trace)
                 collected[seed] = record
                 scheme_state[str(seed)] = record.to_json()
                 save_checkpoint()
@@ -1020,6 +1102,7 @@ def run_fleet(
                 "audit": audit,
                 "supervision": supervision.to_json(),
                 "chaos_seed": effective_chaos_seed,
+                "trace": None if trace is None else trace.to_json(),
             }
             shards = plan_shards(
                 base_seed, num_slices, skip=set(collected)
@@ -1043,14 +1126,33 @@ def run_fleet(
                 on_result=on_result,
             )
             deltas = []
+            trace_by_seed: Dict[int, SliceTrace] = {}
             for outcome in outcomes:
                 if outcome.ok:
                     for raw in outcome.value["slices"]:
                         record = FleetSlice.from_json(raw)
                         collected[record.seed] = record
+                    for raw_trace in outcome.value.get("traces", []):
+                        slice_trace = SliceTrace.from_json(raw_trace)
+                        trace_by_seed[slice_trace.seed] = slice_trace
                     deltas.append(outcome.value["telemetry"])
                 else:
                     scheme_report.lost.extend(outcome.shard.seeds)
+                    if report.trace is not None:
+                        lost_seeds = [int(s) for s in outcome.shard.seeds]
+                        bundle = build_lost_bundle(scheme, lost_seeds, {
+                            "traffic": config.to_json(),
+                            "request_budget": slice_requests,
+                            "supervision": supervision.to_json(),
+                            "chaos_seed": effective_chaos_seed,
+                        })
+                        bundle["budgets"] = {
+                            str(s): _slice_budget(
+                                request_budget, slice_requests, s - base_seed
+                            )
+                            for s in lost_seeds
+                        }
+                        report.trace.lost_bundles.append(bundle)
                 requeues = max(0, outcome.attempts - 1)
                 if requeues:
                     seeds = outcome.shard.seeds
@@ -1062,6 +1164,12 @@ def run_fleet(
                     RETRY_COUNTER,
                     delta=scheme_report.slices_retried,
                     help="fleet slices re-queued after a lost shard worker",
+                )
+            if report.trace is not None:
+                # Seed order, regardless of shard completion order — the
+                # jobs-N trace must be byte-identical to a serial run.
+                report.trace.slices.extend(
+                    trace_by_seed[seed] for seed in sorted(trace_by_seed)
                 )
             merged = telemetry.Snapshot()
             for delta in deltas:

@@ -117,6 +117,10 @@ class FleetServer:
         self.on_response: Optional[Callable[[FleetResponse], None]] = None
         #: Installed by :meth:`FleetSupervisor.attach`; None = raw server.
         self.supervisor = None
+        #: Installed by :meth:`SliceTracer.attach`; None = untraced.  The
+        #: whole cost of tracing-off is the ``is not None`` compare per
+        #: request in :meth:`_record` — never per-instruction work.
+        self.tracer = None
         #: Set by the traffic driver around attack sessions so the
         #: supervisor's breaker ignores expected canary aborts.
         self.in_attack_session = False
@@ -173,10 +177,10 @@ class FleetServer:
         :meth:`release_worker` the process when the session ends.
         """
         child = self.kernel.fork(self.parent)
-        self.note_worker_forked()
+        self.note_worker_forked(child)
         return child
 
-    def note_worker_forked(self) -> None:
+    def note_worker_forked(self, child: Optional[Process] = None) -> None:
         """Bookkeeping for one successful worker fork (supervised
         checkouts fork through the policy retry wrapper and tick this
         themselves, so the count only ever covers committed forks)."""
@@ -185,6 +189,8 @@ class FleetServer:
             "fleet_workers_forked_total",
             help="fleet workers forked (one per connection)",
         )
+        if self.tracer is not None:
+            self.tracer.on_fork(child, self.kernel.fork_count)
 
     def account_worker_request(
         self, crashed: bool, smashed: bool, cycles: float, output: bytes = b""
@@ -220,3 +226,5 @@ class FleetServer:
             self.smashes_observed += 1
         if self.on_response is not None:
             self.on_response(response)
+        if self.tracer is not None:
+            self.tracer.on_request(response)

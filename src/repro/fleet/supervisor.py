@@ -244,7 +244,7 @@ class FleetSupervisor:
     def _fork(self):
         server = self._server
         child = fork_with_retry(server.parent)
-        server.note_worker_forked()
+        server.note_worker_forked(child)
         return child
 
     # -- self-healing -----------------------------------------------------

@@ -10,6 +10,7 @@ All tools attach through the CPU's single trace hook and can be stacked
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -229,6 +230,45 @@ def architectural_snapshot(process: Process) -> Dict[str, object]:
         },
         "stdout": bytes(process.stdout),
     }
+
+
+def snapshot_digest(process: Process) -> str:
+    """Content hash of a process's architectural snapshot (hex sha256).
+
+    A stable, canonical encoding of :func:`architectural_snapshot` —
+    registers and flags as repr over sorted keys, floats through
+    ``float.hex()`` so the digest survives JSON round trips, memory as
+    raw segment bytes.  Post-mortem bundles store this instead of the
+    snapshot itself (a full memory image per bundle would dwarf the
+    flight-recorder payload) and replay proves equality by re-deriving
+    the digest from the re-run slice.
+    """
+    snap = architectural_snapshot(process)
+    digest = hashlib.sha256()
+
+    def feed(label: str, payload: bytes) -> None:
+        digest.update(label.encode())
+        digest.update(len(payload).to_bytes(8, "little"))
+        digest.update(payload)
+
+    feed("state", repr(snap["state"]).encode())
+    feed("exit_status", repr(snap["exit_status"]).encode())
+    feed("signal", repr(snap["signal"]).encode())
+    for key in ("cycles", "tsc", "instructions"):
+        feed(key, float(snap[key]).hex().encode())  # type: ignore[arg-type]
+    feed("rip", repr(snap["rip"]).encode())
+    for bank in ("gpr", "xmm"):
+        values = snap[bank]
+        encoded = ";".join(
+            f"{name}={values[name]!r}" for name in sorted(values)  # type: ignore[index]
+        )
+        feed(bank, encoded.encode())
+    feed("flags", repr(snap["flags"]).encode())
+    memory = snap["memory"]
+    for name in sorted(memory):  # type: ignore[arg-type]
+        feed(f"memory:{name}", bytes(memory[name]))  # type: ignore[index]
+    feed("stdout", bytes(snap["stdout"]))  # type: ignore[arg-type]
+    return digest.hexdigest()
 
 
 def snapshot_divergences(fast: Dict[str, object], slow: Dict[str, object]) -> List[str]:

@@ -42,7 +42,8 @@ __all__ = [
     "NOTE_GROUPS", "PROLOGUE_NOTES", "EPILOGUE_NOTES", "canary_markers",
     "registry", "ring", "enabled", "enable", "disable", "generation",
     "reset", "snapshot", "delta", "absorb", "count", "observe", "event",
-    "sampled_event", "machine_flush", "canary_hooks", "CanaryHooks",
+    "sampled_event", "counter_value", "machine_flush", "canary_hooks",
+    "CanaryHooks",
 ]
 
 #: Run-cycle histogram buckets (simulated cycles per run-loop entry).
@@ -126,6 +127,16 @@ def sampled_event(kind: str, **fields: object) -> None:
     """Record a high-frequency lifecycle event through the sampler."""
     if registry().enabled:
         ring().emit_sampled(kind, **fields)
+
+
+def counter_value(name: str) -> float:
+    """Current scalar value of a counter/gauge (0 when unregistered).
+
+    A read, never a registration — the fleet tracer polls canary
+    counters between requests with this, and an untraced run must not
+    grow instruments it would otherwise never create.
+    """
+    return registry().value(name)
 
 
 # ---------------------------------------------------------------------------

@@ -12,8 +12,9 @@ per canary group leader; ``repro profile``/``repro stats`` and the
 ``--telemetry-out`` campaign flags turn it on for their run.
 
 The buffer is a bounded ring: once ``capacity`` events are held, the
-oldest are evicted and counted in ``dropped`` — emission cost stays O(1)
-and memory stays bounded no matter how long a campaign runs.
+oldest is *overwritten in place* (an index wrap, never a list shift)
+and counted in ``dropped`` — emission cost is O(1) regardless of
+capacity and memory stays bounded no matter how long a campaign runs.
 """
 
 from __future__ import annotations
@@ -44,14 +45,24 @@ class Event:
     fields: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, object]:
-        return {"seq": self.seq, "kind": self.kind, **self.fields}
+        # The payload nests under "fields" so a field named "seq" or
+        # "kind" can never shadow the envelope.
+        return {"seq": self.seq, "kind": self.kind, "fields": dict(self.fields)}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Event":
+        return cls(
+            seq=int(data["seq"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            fields=dict(data.get("fields", {})),  # type: ignore[arg-type]
+        )
 
 
 class EventRing:
     """Bounded event buffer with optional 1-in-N sampling."""
 
     __slots__ = ("capacity", "sample_every", "dropped", "sampled_out",
-                 "_buffer", "_next_seq", "_sample_counter")
+                 "_buffer", "_head", "_next_seq", "_sample_counter")
 
     def __init__(self, capacity: int = 512, sample_every: int = 0) -> None:
         if capacity <= 0:
@@ -62,18 +73,29 @@ class EventRing:
         self.dropped = 0
         self.sampled_out = 0
         self._buffer: List[Event] = []
+        #: Index of the oldest held event once the buffer is full.
+        self._head = 0
         self._next_seq = 0
         self._sample_counter = 0
 
-    def emit(self, kind: str, **fields: object) -> None:
-        """Record one event unconditionally (rare lifecycle events)."""
-        if len(self._buffer) >= self.capacity:
-            del self._buffer[0]
+    def emit(self, kind: str, /, **fields: object) -> None:
+        """Record one event unconditionally (rare lifecycle events).
+
+        ``kind`` is positional-only so a payload field may itself be
+        named ``kind`` (it nests under ``fields`` in the JSON shape).
+        """
+        buffer = self._buffer
+        if len(buffer) < self.capacity:
+            buffer.append(Event(self._next_seq, kind, fields))
+        else:
+            head = self._head
+            buffer[head] = Event(self._next_seq, kind, fields)
+            head += 1
+            self._head = 0 if head == self.capacity else head
             self.dropped += 1
-        self._buffer.append(Event(self._next_seq, kind, fields))
         self._next_seq += 1
 
-    def emit_sampled(self, kind: str, **fields: object) -> None:
+    def emit_sampled(self, kind: str, /, **fields: object) -> None:
         """Record every ``sample_every``-th call (high-frequency events)."""
         if self.sample_every <= 0:
             self.sampled_out += 1
@@ -86,13 +108,18 @@ class EventRing:
 
     def clear(self) -> None:
         self._buffer.clear()
+        self._head = 0
         self.dropped = 0
         self.sampled_out = 0
         self._next_seq = 0
         self._sample_counter = 0
 
     def events(self) -> List[Event]:
-        return list(self._buffer)
+        """Held events, oldest first."""
+        head = self._head
+        if head == 0:
+            return list(self._buffer)
+        return self._buffer[head:] + self._buffer[:head]
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -100,7 +127,7 @@ class EventRing:
             "sample_every": self.sample_every,
             "dropped": self.dropped,
             "sampled_out": self.sampled_out,
-            "events": [event.to_json() for event in self._buffer],
+            "events": [event.to_json() for event in self.events()],
         }
 
 

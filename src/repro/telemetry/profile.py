@@ -37,6 +37,29 @@ def _clock_hz() -> float:
     return CLOCK_HZ
 
 
+def cycles_to_us(cycles: float) -> float:
+    """Simulated cycles → trace-event microseconds (``CLOCK_HZ`` scaled)."""
+    return cycles * 1e6 / _clock_hz()
+
+
+def chrome_trace_container(
+    trace_events: List[Dict[str, object]],
+    other: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The Chrome trace-event JSON envelope every exporter shares.
+
+    Both the profiler and the fleet tracer emit through this, so a
+    ``--trace-out`` file and a ``repro profile --out`` file are the same
+    dialect: ``traceEvents`` object form, millisecond display unit, and
+    the cycle↔seconds conversion recorded in ``otherData``.
+    """
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock_hz": _clock_hz(), **(other or {})},
+    }
+
+
 class Profiler:
     """Collects function segments from a CPU's run loops."""
 
@@ -127,14 +150,9 @@ class Profiler:
                     "tid": tid,
                 }
             )
-        return {
-            "traceEvents": trace_events,
-            "displayTimeUnit": "ms",
-            "otherData": {
-                "clock_hz": _clock_hz(),
-                "total_cycles": self.total_cycles,
-            },
-        }
+        return chrome_trace_container(
+            trace_events, {"total_cycles": self.total_cycles}
+        )
 
     def render(self, limit: int = 20) -> str:
         """Terminal attribution table."""

@@ -293,6 +293,18 @@ class Registry:
     def instruments(self) -> List[Instrument]:
         return [self._instruments[name] for name in sorted(self._instruments)]
 
+    def value(self, name: str) -> Number:
+        """Current scalar value of a counter/gauge; 0 when unregistered.
+
+        One dict lookup + attribute read — cheap enough for per-request
+        polling (the fleet tracer attributes canary lifecycle counters to
+        request spans this way), and never creates the instrument.
+        """
+        instrument = self._instruments.get(name)
+        if instrument is None or isinstance(instrument, Histogram):
+            return 0
+        return instrument.value
+
     # -- state -----------------------------------------------------------
 
     def enable(self) -> None:
@@ -379,12 +391,21 @@ class Registry:
         return {"enabled": self.enabled, "instruments": self.snapshot()}
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition (counters/gauges/histograms)."""
+        """Prometheus text exposition (counters/gauges/histograms).
+
+        Every instrument gets a ``# HELP`` and a ``# TYPE`` line — a
+        scrape-valid exposition even for instruments whose help text was
+        lost crossing a process boundary (``absorb`` only ships values),
+        which fall back to their own name.  Help text is escaped per the
+        exposition format (backslash and newline).
+        """
         lines: List[str] = []
         for instrument in self.instruments():
             name = instrument.name
-            if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+            help_text = (instrument.help or name).replace(
+                "\\", "\\\\"
+            ).replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {instrument.kind}")
             if isinstance(instrument, Histogram):
                 cumulative = 0

@@ -1,0 +1,47 @@
+"""Deterministic causal tracing + flight-recorder forensics.
+
+The observability layer over the fleet plane (PR 9): span timelines
+threaded from traffic session → request → fork → canary lifecycle →
+supervisor decision → outcome, per-slice flight-recorder rings frozen
+into content-addressed post-mortem bundles, and periodic counter
+time-series — all derived purely from seeds and guest cycles, so
+``--jobs N`` traces are byte-identical to serial runs and every bundle
+replays exactly (``repro postmortem``).
+
+Public surface:
+
+* :class:`TraceConfig` / :class:`SliceTracer` — per-slice recording
+  (:mod:`repro.trace.tracer`);
+* :func:`span_id`, :class:`Span`, :class:`Instant`,
+  :class:`SliceTrace` — the span model (:mod:`repro.trace.spans`);
+* :class:`CampaignTrace`, :func:`write_trace`, :func:`write_bundles` —
+  campaign aggregation + Perfetto export (:mod:`repro.trace.export`);
+* bundle capture/IO/replay (:mod:`repro.trace.bundle`);
+* :class:`SeriesSampler`, :func:`merge_series`, :func:`render_series` —
+  counter time-series (:mod:`repro.trace.series`).
+"""
+
+from .bundle import (
+    BUNDLE_SUFFIX,
+    BUNDLE_TRIGGERS,
+    ReplayResult,
+    build_lost_bundle,
+    bundle_digest,
+    canonical_json,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from .export import CampaignTrace, write_bundles, write_trace
+from .series import SERIES_COUNTERS, SeriesSampler, merge_series, render_series
+from .spans import Instant, SliceTrace, Span, span_id
+from .tracer import SliceTracer, TraceConfig
+
+__all__ = [
+    "BUNDLE_SUFFIX", "BUNDLE_TRIGGERS", "ReplayResult", "build_lost_bundle",
+    "bundle_digest", "canonical_json", "load_bundle", "replay_bundle",
+    "write_bundle", "CampaignTrace", "write_bundles", "write_trace",
+    "SERIES_COUNTERS", "SeriesSampler", "merge_series", "render_series",
+    "Instant", "SliceTrace", "Span", "span_id",
+    "SliceTracer", "TraceConfig",
+]

@@ -1,0 +1,148 @@
+"""Per-slice counter time-series: detection/throughput/fault curves.
+
+Every ``interval`` requests the sampler closes a *point*: the delta of a
+fixed counter set since the previous point, plus the guest cycles the
+bucket consumed.  Points reuse the PR 5 snapshot merge algebra —
+:func:`merge_series` folds bucket *k* across every slice with
+:meth:`~repro.telemetry.registry.Snapshot.merge` — so a campaign-wide
+curve is the same associative fold the sharded counter plane already
+trusts, and jobs-N output is bit-identical to serial.
+
+Counter reads go through :func:`repro.telemetry.counter_value` (a dict
+lookup, never a registration), so sampling cannot perturb the audited
+counter set of an untraced run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .. import telemetry
+from ..telemetry.registry import Snapshot
+
+#: Counters a series point tracks — the detection-rate, availability,
+#: and fault-activity axes of the campaign curves.
+SERIES_COUNTERS: Tuple[str, ...] = (
+    "fleet_requests_total",
+    "fleet_request_crashes_total",
+    "canary_smashes_detected_total",
+    "fleet_deadline_reaps_total",
+    "fleet_crash_loop_trips_total",
+    "faults_delivered_total",
+    "faults_absorbed_total",
+    "fault_degradation_events_total",
+)
+
+
+class SeriesSampler:
+    """Closes one counter-delta point every ``interval`` requests."""
+
+    def __init__(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError("series interval must be >= 1")
+        self.interval = interval
+        self.points: List[Dict[str, Any]] = []
+        self._marks: Dict[str, float] = {}
+        self._mark_cycles = 0.0
+        self._since = 0
+        self._requests = 0
+
+    def start(self, clock_cycles: float = 0.0) -> None:
+        self._marks = {
+            name: telemetry.counter_value(name) for name in SERIES_COUNTERS
+        }
+        self._mark_cycles = clock_cycles
+        self._since = 0
+        self._requests = 0
+        self.points = []
+
+    def on_request(self, clock_cycles: float) -> None:
+        self._since += 1
+        self._requests += 1
+        if self._since >= self.interval:
+            self._close_point(clock_cycles)
+
+    def finish(self, clock_cycles: float) -> List[Dict[str, Any]]:
+        """Close the partial tail bucket (if any) and return all points."""
+        if self._since:
+            self._close_point(clock_cycles)
+        return self.points
+
+    def _close_point(self, clock_cycles: float) -> None:
+        counters: Dict[str, float] = {}
+        for name in SERIES_COUNTERS:
+            now = telemetry.counter_value(name)
+            counters[name] = now - self._marks[name]
+            self._marks[name] = now
+        self.points.append({
+            "request": self._requests,
+            "requests": self._since,
+            "cycles": (clock_cycles - self._mark_cycles).hex(),
+            "counters": counters,
+        })
+        self._mark_cycles = clock_cycles
+        self._since = 0
+
+
+def merge_series(
+    series_list: List[List[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Fold bucket *k* across slices via the snapshot merge algebra.
+
+    Slices are aligned on their request ordinals (every slice buckets at
+    the same interval), so bucket *k* of the merged curve covers the
+    same request window of every slice.  Associative with the empty
+    series as identity, like :meth:`Snapshot.merge` itself.
+    """
+    merged: List[Dict[str, Any]] = []
+    for series in series_list:
+        for index, point in enumerate(series):
+            if index == len(merged):
+                merged.append({
+                    "request": point["request"],
+                    "requests": point["requests"],
+                    "cycles": point["cycles"],
+                    "counters": dict(point["counters"]),
+                })
+                continue
+            bucket = merged[index]
+            bucket["request"] = max(bucket["request"], point["request"])
+            bucket["requests"] += point["requests"]
+            bucket["cycles"] = (
+                float.fromhex(bucket["cycles"])
+                + float.fromhex(point["cycles"])
+            ).hex()
+            bucket["counters"] = Snapshot(bucket["counters"]).merge(
+                Snapshot(point["counters"])
+            ).to_json()
+    return merged
+
+
+def render_series(points: List[Dict[str, Any]]) -> str:
+    """Terminal curve table: one row per bucket."""
+    from ..harness.metrics import CLOCK_HZ
+
+    lines = [
+        f"{'bucket':>7s} {'requests':>9s} {'detect':>7s} {'crash':>6s} "
+        f"{'det/req':>8s} {'rps':>12s} {'faults':>7s}"
+    ]
+    for index, point in enumerate(points):
+        counters = point["counters"]
+        requests = point["requests"]
+        cycles = float.fromhex(point["cycles"])
+        detections = counters.get("canary_smashes_detected_total", 0)
+        crashes = counters.get("fleet_request_crashes_total", 0)
+        faults = (
+            counters.get("faults_delivered_total", 0)
+            + counters.get("faults_absorbed_total", 0)
+            + counters.get("fault_degradation_events_total", 0)
+        )
+        rate = detections / requests if requests else 0.0
+        rps = requests / (cycles / CLOCK_HZ) if cycles > 0 else 0.0
+        lines.append(
+            f"{index:>7d} {requests:>9,d} {detections:>7,.0f} "
+            f"{crashes:>6,.0f} {rate:>8.3f} {rps:>12,.0f} {faults:>7,.0f}"
+        )
+    if not points:
+        lines.append("(no series points: slice shorter than one interval)")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Prometheus exposition format: golden file + scrape-validity lint.
+
+A Prometheus scraper keys HELP/TYPE metadata off the comment lines that
+precede each family's samples, so every family must carry both — even
+instruments re-created by ``absorb()`` on the parent side of a sharded
+campaign, which arrive without help text (the renderer falls back to the
+metric name rather than dropping the comment).
+"""
+
+import os
+
+from repro import cli, telemetry
+from repro.telemetry.registry import Registry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "prometheus.txt")
+
+
+def fixture_registry() -> Registry:
+    registry = Registry()
+    registry.counter(
+        "fleet_requests_total", "fleet requests served (all sessions)"
+    ).add(12)
+    # absorb()-created instruments carry no help text; the renderer
+    # must still emit a HELP line (falling back to the name).
+    registry.counter("absorbed_total").add(3)
+    registry.gauge("breaker_window", "open-window requests remaining").set(5)
+    histogram = registry.histogram(
+        "fleet_request_cycles", bounds=(10.0, 100.0),
+        help="simulated cycles per served fleet request",
+    )
+    histogram.observe(5)
+    histogram.observe(50)
+    return registry
+
+
+def family_name(sample_line: str) -> str:
+    """Metric family of one sample line (strips labels + histogram
+    series suffixes)."""
+    name = sample_line.split("{")[0].split(" ")[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def assert_scrape_valid(text: str) -> None:
+    """Every sample must be preceded by its family's HELP and TYPE."""
+    helped, typed = set(), set()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ")[2])
+        elif line.startswith("# TYPE "):
+            typed.add(line.split(" ")[2])
+        elif not line.startswith("#"):
+            family = family_name(line)
+            assert family in helped, f"sample before HELP: {line!r}"
+            assert family in typed, f"sample before TYPE: {line!r}"
+
+
+class TestRenderPrometheus:
+    def test_matches_golden_file(self):
+        rendered = fixture_registry().render_prometheus()
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert rendered == golden
+
+    def test_fixture_is_scrape_valid(self):
+        assert_scrape_valid(fixture_registry().render_prometheus())
+
+    def test_help_falls_back_to_name(self):
+        registry = Registry()
+        registry.counter("orphan_total").add(1)
+        text = registry.render_prometheus()
+        assert "# HELP orphan_total orphan_total" in text
+        assert "# TYPE orphan_total counter" in text
+
+    def test_help_escapes_newlines_and_backslashes(self):
+        registry = Registry()
+        registry.counter("odd_total", "line one\nline \\ two").add(1)
+        text = registry.render_prometheus()
+        assert "# HELP odd_total line one\\nline \\\\ two" in text
+
+
+class TestStatsPromCLI:
+    def test_stats_prom_is_scrape_valid(self, capsys):
+        assert telemetry.enabled()
+        assert cli.main(["stats", "--schemes", "pssp", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP canary_prologue_stores_total" in out
+        assert_scrape_valid(out)

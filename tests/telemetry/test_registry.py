@@ -175,12 +175,91 @@ class TestEventRing:
 
     def test_to_json_shape(self):
         ring = EventRing()
-        ring.emit("shadow-refresh", pid=4)
+        # A field named like a top-level key must survive untouched:
+        # payload fields nest under "fields" instead of merging in.
+        ring.emit("shadow-refresh", pid=4, kind="decoy", seq=99)
         payload = ring.to_json()
         assert payload["events"] == [
-            {"seq": 0, "kind": "shadow-refresh", "pid": 4}
+            {
+                "seq": 0,
+                "kind": "shadow-refresh",
+                "fields": {"pid": 4, "kind": "decoy", "seq": 99},
+            }
         ]
         assert payload["capacity"] == 512
+
+    def test_event_json_roundtrip(self):
+        from repro.telemetry.events import Event
+
+        ring = EventRing()
+        ring.emit("fork", pid=7, pages=3)
+        restored = Event.from_json(ring.events()[0].to_json())
+        assert restored == ring.events()[0]
+
+    def test_sample_every_one_keeps_everything(self):
+        ring = EventRing(sample_every=1)
+        for index in range(5):
+            ring.emit_sampled("prologue-store", index=index)
+        assert [event.fields["index"] for event in ring.events()] == \
+            [0, 1, 2, 3, 4]
+        assert ring.sampled_out == 0
+
+    def test_clear_resets_sampling_phase(self):
+        # clear() is a full reset: the 1-in-N phase restarts too, so a
+        # cleared ring samples exactly like a freshly constructed one —
+        # anything less would make replayed campaigns diverge from fresh
+        # ones in which events they keep.
+        ring = EventRing(sample_every=3)
+        ring.emit_sampled("prologue-store")   # counter 1: sampled out
+        ring.emit_sampled("prologue-store")   # counter 2: sampled out
+        ring.clear()
+        assert ring.sampled_out == 0
+        kept_after_clear = []
+        for index in range(6):
+            ring.emit_sampled("prologue-store", index=index)
+            kept_after_clear.append(len(ring.events()))
+        fresh = EventRing(sample_every=3)
+        kept_fresh = []
+        for index in range(6):
+            fresh.emit_sampled("prologue-store", index=index)
+            kept_fresh.append(len(fresh.events()))
+        assert kept_after_clear == kept_fresh == [0, 0, 1, 1, 1, 2]
+
+    def test_dropped_at_exact_capacity_boundary(self):
+        ring = EventRing(capacity=4)
+        for index in range(4):
+            ring.emit("request", index=index)
+        # Exactly full: nothing dropped yet.
+        assert ring.dropped == 0
+        assert [event.seq for event in ring.events()] == [0, 1, 2, 3]
+        ring.emit("request", index=4)
+        # One past capacity: exactly one dropped, oldest-first preserved.
+        assert ring.dropped == 1
+        assert [event.seq for event in ring.events()] == [1, 2, 3, 4]
+
+    def test_emit_is_constant_time_when_full(self):
+        # The old eviction (`del buffer[0]`) cost O(capacity) per emit;
+        # the index-wrapped ring must not.  Emitting into a full ring of
+        # 100_000 slots should cost about the same as into one of 100 —
+        # under list-shifting it would be ~1000x slower.
+        import time
+
+        def emit_cost(capacity: int, emissions: int) -> float:
+            ring = EventRing(capacity=capacity)
+            for _ in range(capacity):     # pre-fill to capacity
+                ring.emit("fill")
+            start = time.perf_counter()
+            for _ in range(emissions):
+                ring.emit("hot", index=1)
+            return time.perf_counter() - start
+
+        emissions = 100_000
+        small = emit_cost(100, emissions)
+        large = emit_cost(100_000, emissions)
+        assert large < small * 25, (
+            f"emit into a full ring scales with capacity: "
+            f"{large:.4f}s vs {small:.4f}s"
+        )
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,76 @@
+"""Span model: pure IDs, hex-float timestamps, lossless round trips."""
+
+from repro.trace import Instant, SliceTrace, Span, span_id
+
+
+class TestSpanId:
+    def test_pure_function_of_arguments(self):
+        assert span_id(20180625, 3, 7) == span_id(20180625, 3, 7)
+
+    def test_distinct_across_each_argument(self):
+        base = span_id(1, 2, 3)
+        assert span_id(4, 2, 3) != base
+        assert span_id(1, 5, 3) != base
+        assert span_id(1, 2, 6) != base
+
+    def test_argument_order_matters(self):
+        # The per-argument salts keep (a, b) and (b, a) apart.
+        assert span_id(7, 9, -1) != span_id(9, 7, -1)
+
+    def test_session_and_request_ids_differ(self):
+        assert span_id(11, 0) != span_id(11, 0, 0)
+
+    def test_shape_is_sixteen_hex_digits(self):
+        for seed in (0, 1, 2**63, -5):
+            value = span_id(seed, 0, 0)
+            assert len(value) == 16
+            int(value, 16)
+
+    def test_no_collisions_over_a_campaign_sized_sample(self):
+        seen = set()
+        for seed in (20180625, 20180626):
+            for session in range(50):
+                seen.add(span_id(seed, session))
+                for request in range(40):
+                    seen.add(span_id(seed, session, request))
+        assert len(seen) == 2 * (50 + 50 * 40)
+
+
+class TestRoundTrips:
+    def test_span_roundtrip(self):
+        span = Span(
+            name="request:smash", category="request", span_id="ab" * 8,
+            parent_id="cd" * 8, begin_cycles=123.5, end_cycles=456.25,
+            args={"request": 7, "crashed": True},
+        )
+        assert Span.from_json(span.to_json()) == span
+
+    def test_span_cycles_serialize_as_hex_floats(self):
+        span = Span(
+            name="s", category="session", span_id="00" * 8, parent_id="",
+            begin_cycles=0.1, end_cycles=0.3,
+        )
+        data = span.to_json()
+        assert data["begin_cycles"] == (0.1).hex()
+        assert Span.from_json(data).end_cycles == 0.3
+
+    def test_instant_roundtrip(self):
+        instant = Instant(
+            name="breaker-trip", category="supervisor", at_cycles=99.0,
+            parent_id="ef" * 8, args={"trips": 2},
+        )
+        assert Instant.from_json(instant.to_json()) == instant
+
+    def test_slice_trace_roundtrip(self):
+        trace = SliceTrace(
+            scheme="pssp", seed=42, chaos_seed=7, sessions=3, requests=30,
+            spans=[Span("s", "session", "11" * 8, "", 0.0, 5.0)],
+            instants=[Instant("fork", "fork", 1.0)],
+            events=[{"seq": 0, "kind": "slice-start", "fields": {}}],
+            series=[{"request": 30, "requests": 30,
+                     "cycles": (900.0).hex(), "counters": {}}],
+            bundles=[{"kind": "repro-postmortem", "trigger": "breach"}],
+        )
+        restored = SliceTrace.from_json(trace.to_json())
+        assert restored == trace
+        assert restored.to_json() == trace.to_json()
