@@ -19,7 +19,7 @@ Usage::
     python benchmarks/bench_interpreter.py --smoke          # CI-sized run
     python benchmarks/bench_interpreter.py --json OUT.json  # write results
     python benchmarks/bench_interpreter.py \
-        --compare benchmarks/bench_interpreter_baseline.json  # gate
+        --compare benchmarks/BENCH_interpreter.json  # gate
 
 Exit status: 0 on success, 1 on a gated regression, 2 if the fast and
 slow paths disagree (which is a correctness bug, not a perf problem).

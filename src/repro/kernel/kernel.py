@@ -213,6 +213,10 @@ class Kernel:
             )
         pid = self._next_pid
         self._next_pid += 1
+        # The COW clone below freezes the parent's private pages; drop
+        # the parent CPU's compiled superblocks so no JIT code outlives
+        # a memory-sharing boundary (the child's fresh CPU starts cold).
+        parent.cpu.flush_jit_cache()
         child = Process(
             parent.kernel,
             pid,

@@ -120,6 +120,9 @@ class Process:
         )
         #: Back-reference so native handlers can reach kernel services.
         self.cpu.process = self
+        #: An armed fault plane pins the CPU to per-step execution (the
+        #: trace-JIT tier side-exits and stays cold while it is set).
+        self.cpu.fault_plane = fault_plane
 
         #: Callbacks applied to a freshly forked child (the preload
         #: library's wrapped ``fork`` registers its TLS refresh here).

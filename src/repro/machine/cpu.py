@@ -33,6 +33,7 @@ from ..errors import (
 from ..isa.costs import instruction_cost
 from ..isa.instructions import Function, Imm, Instruction, Label, Mem, Reg, Sym
 from ..isa.registers import ARG_REGS, RegisterFile
+from . import jit as _jit
 from .decode import CONTROL, SYNC, DecodedFunction, FunctionDecoder
 from .devices import RdRandDevice, TimeStampCounter
 from .memory import EXIT_ADDRESS, Memory
@@ -109,6 +110,14 @@ class CPU:
         self.cycle_limit = cycle_limit
         self.dbi_multiplier = dbi_multiplier
         self.fast = fast
+        #: Trace-JIT tier (repro.machine.jit): profile control-transfer
+        #: arrivals on the fast path and compile hot straight-line runs
+        #: into superblocks.  ``REPRO_JIT=0`` disables it at CPU birth.
+        self.jit = _jit.jit_enabled()
+        #: Fault-injection plane, set by the owning Process.  While armed
+        #: the JIT stays out of the way: every step runs in the generic
+        #: loop so injected faults land at the same points as ``fast=False``.
+        self.fault_plane = None
 
         self.cycles = 0.0
         self.instructions_executed = 0
@@ -397,8 +406,34 @@ class CPU:
 
     def flush_decode_cache(self) -> None:
         """Drop every cached decode (e.g. after mutating code in place)."""
+        self.flush_jit_cache()
         self._decode_cache.clear()
         self._decoder = None
+
+    def flush_jit_cache(self) -> None:
+        """Drop compiled superblocks (and hotness counts), keep decodes.
+
+        Called by :meth:`flush_decode_cache` and by the kernel at a COW
+        ``clone()`` boundary — the superblocks would stay *correct* (they
+        bind the surviving ``Memory`` object's accessors), but dropping
+        them keeps the invalidation story uniform: no compiled code
+        outlives a memory-sharing event.
+        """
+        dropped = 0
+        for decoded in self._decode_cache.values():
+            if decoded.jit_blocks:
+                dropped += sum(
+                    1 for block in decoded.jit_blocks.values()
+                    if block is not None
+                )
+                decoded.jit_blocks.clear()
+            if decoded.jit_counts:
+                decoded.jit_counts.clear()
+        if dropped:
+            telemetry.count(
+                "jit_invalidations_total", delta=dropped,
+                help="compiled superblocks dropped by explicit flushes",
+            )
 
     def _decoded(self, function: Function) -> DecodedFunction:
         """Fetch (or build) the decoded form of ``function`` for this CPU.
@@ -452,6 +487,17 @@ class CPU:
         addition is non-associative and batch-first summation drifts off
         the slow path's sequential ``charge`` fold by a few ULPs — caught
         by the conformance fuzzer on the DCR scheme.
+
+        Above the step loop sits the trace-JIT tier (``repro.machine.
+        jit``): every control-transfer arrival is a dispatch point where
+        a hot anchor is compiled into a superblock and subsequent
+        arrivals run one Python call for the whole straight-line block,
+        with accounting batched at block granularity (exact, because
+        blocks only compile when every member cost is integral).
+        Side-exits — SYNC steps, canary group-leaders, trace-hook arms,
+        block ends — drop back into the step loop below with identical
+        architectural state; faults mid-block reconstruct it from the
+        block's prefix tables.
         """
         registers = self.registers
         tsc = self.tsc
@@ -460,6 +506,8 @@ class CPU:
         pending_ticks = 0
         pending_instructions = 0
         profiler = self.profiler
+        jit_entries = 0
+        jit_exits = 0
         try:
             while self.running:
                 function = self._current
@@ -469,57 +517,124 @@ class CPU:
                 name = function.name
                 if profiler is not None:
                     profiler.enter(name, cycle_total)
+                blocks = (
+                    decoded.jit_blocks
+                    if self.jit and self.fault_plane is None
+                    else None
+                )
                 index = registers.rip[1]
                 count = len(steps)
                 while True:
-                    if index >= count:
-                        raise InvalidJump(f"{name}: execution ran off the end")
-                    execute, cycles, ticks, kind, next_rip = steps[index]
-                    registers.rip = next_rip
-                    cycle_total += cycles
-                    pending_ticks += ticks
-                    if cycle_total > cycle_limit:
-                        # The finally clause flushes; instructions_executed
-                        # excludes this instruction, matching charge().
-                        raise CpuLimitExceeded(
-                            f"cycle limit {cycle_limit} exceeded at {registers.rip}"
-                        )
-                    pending_instructions += 1
-                    if kind == 0:
-                        execute()
-                        index += 1
-                        continue
-                    if kind & SYNC:
-                        # Make accounting exact before the step can observe
-                        # it (rdtsc, native charge), then re-sync afterwards
-                        # because natives may have charged more cycles.
-                        self.cycles = cycle_total
-                        tsc.advance(pending_ticks)
-                        self.instructions_executed += pending_instructions
-                        pending_ticks = 0
-                        pending_instructions = 0
-                        try:
+                    # -- JIT dispatch: one chance per control-transfer
+                    # arrival.  A mid-run trace-hook arm is honoured here:
+                    # the next side-exit lands on this check and no further
+                    # superblock runs until the hook is removed.
+                    if blocks is not None and self._trace is None:
+                        sb = blocks.get(index, False)
+                        if sb is False:
+                            counts = decoded.jit_counts
+                            hot = counts.get(index, 0) + 1
+                            counts[index] = hot
+                            sb = None
+                            if hot >= _jit.HOT_THRESHOLD:
+                                sb = _jit.compile_superblock(
+                                    self, decoded, index
+                                )
+                                blocks[index] = sb
+                        if (
+                            sb is not None
+                            and cycle_total + sb.cycles <= cycle_limit
+                        ):
+                            # (Blocks near the cycle limit fall through to
+                            # the step loop, which trips at the exact
+                            # instruction the slow path would.)
+                            try:
+                                sb.run()
+                            except BaseException:
+                                # Recreate the step loop's state at the
+                                # faulting step: rip staged before execute,
+                                # accounting charged through it.
+                                k = sb.fault_index
+                                cycle_total += sb.prefix_cycles[k]
+                                pending_ticks += sb.prefix_ticks[k]
+                                pending_instructions += k + 1
+                                registers.rip = sb.rips[k]
+                                raise
+                            cycle_total += sb.cycles
+                            pending_ticks += sb.ticks
+                            pending_instructions += sb.count
+                            jit_entries += 1
+                            if sb.terminal:
+                                if not self.running:
+                                    break
+                                if self._current is function:
+                                    index = registers.rip[1]
+                                    continue
+                                break
+                            jit_exits += 1
+                            index = sb.end_index
+                            # Re-dispatch: the side-exit index may anchor
+                            # another compiled block (or close a loop back
+                            # onto this one).  Unrunnable anchors fall
+                            # through to the step loop below, so every
+                            # iteration makes progress.
+                            continue
+                    # -- generic decoded-step loop (one control transfer)
+                    while True:
+                        if index >= count:
+                            raise InvalidJump(
+                                f"{name}: execution ran off the end"
+                            )
+                        execute, cycles, ticks, kind, next_rip = steps[index]
+                        registers.rip = next_rip
+                        cycle_total += cycles
+                        pending_ticks += ticks
+                        if cycle_total > cycle_limit:
+                            # The finally clause flushes; instructions_executed
+                            # excludes this instruction, matching charge().
+                            raise CpuLimitExceeded(
+                                f"cycle limit {cycle_limit} exceeded at "
+                                f"{registers.rip}"
+                            )
+                        pending_instructions += 1
+                        if kind == 0:
                             execute()
-                        finally:
-                            cycle_total = self.cycles
-                    else:
-                        execute()
-                    if not (kind & CONTROL):
-                        index += 1
-                        continue
+                            index += 1
+                            continue
+                        if kind & SYNC:
+                            # Make accounting exact before the step can
+                            # observe it (rdtsc, native charge), then re-sync
+                            # afterwards because natives may have charged
+                            # more cycles.
+                            self.cycles = cycle_total
+                            tsc.advance(pending_ticks)
+                            self.instructions_executed += pending_instructions
+                            pending_ticks = 0
+                            pending_instructions = 0
+                            try:
+                                execute()
+                            finally:
+                                cycle_total = self.cycles
+                        else:
+                            execute()
+                        if not (kind & CONTROL):
+                            index += 1
+                            continue
+                        break
+                    # -- after a CONTROL step
                     if not self.running:
                         break
-                    current = self._current
-                    if current is function:
-                        index = registers.rip[1]
-                        continue
-                    break
+                    if self._current is not function:
+                        break
+                    index = registers.rip[1]
         finally:
             self.cycles = cycle_total
             tsc.advance(pending_ticks)
             self.instructions_executed += pending_instructions
             if profiler is not None:
                 profiler.close(cycle_total)
+            if jit_entries:
+                telemetry.jit_flush(jit_entries, jit_exits)
 
     # ------------------------------------------------------------------
     # instruction semantics

@@ -69,13 +69,24 @@ Step = Tuple[Callable[[], None], float, int, int, Tuple[str, int]]
 
 
 class DecodedFunction:
-    """A function lowered to a step list for one specific CPU."""
+    """A function lowered to a step list for one specific CPU.
 
-    __slots__ = ("function", "steps")
+    The trace-JIT tier (:mod:`repro.machine.jit`) hangs its per-function
+    state off this object — ``jit_blocks`` maps dispatch indices to
+    compiled superblocks (or ``None`` for rejected anchors) and
+    ``jit_counts`` holds arrival counts for not-yet-hot anchors — so
+    every event that invalidates the decode cache (``code_generation``
+    bump, telemetry generation flip, decoder rebind, explicit flush)
+    drops compiled superblocks along with the steps they index into.
+    """
+
+    __slots__ = ("function", "steps", "jit_blocks", "jit_counts")
 
     def __init__(self, function: Function, steps: List[Step]) -> None:
         self.function = function
         self.steps = steps
+        self.jit_blocks: dict = {}
+        self.jit_counts: dict = {}
 
 
 class FunctionDecoder:

@@ -42,8 +42,8 @@ __all__ = [
     "NOTE_GROUPS", "PROLOGUE_NOTES", "EPILOGUE_NOTES", "canary_markers",
     "registry", "ring", "enabled", "enable", "disable", "generation",
     "reset", "snapshot", "delta", "absorb", "count", "observe", "event",
-    "sampled_event", "counter_value", "machine_flush", "canary_hooks",
-    "CanaryHooks",
+    "sampled_event", "counter_value", "machine_flush", "jit_flush",
+    "canary_hooks", "CanaryHooks",
 ]
 
 #: Run-cycle histogram buckets (simulated cycles per run-loop entry).
@@ -193,6 +193,49 @@ def machine_flush(cycles: float, instructions: int) -> None:
     counters.cycles.value += cycles
     counters.runs.value += 1
     counters.run_cycles.observe(cycles)
+
+
+class _JitCounters:
+    """Bound instrument references for the fast loop's JIT flush."""
+
+    __slots__ = ("entries", "side_exits")
+
+    def __init__(self, reg: Registry) -> None:
+        self.entries = reg.counter(
+            "jit_block_entries_total", "superblock executions (JIT tier)"
+        )
+        self.side_exits = reg.counter(
+            "jit_side_exits_total",
+            "superblock side-exits into the generic step loop",
+        )
+
+
+_jit_cache: Tuple[int, Optional[_JitCounters]] = (-1, None)
+
+
+def _jit() -> Optional[_JitCounters]:
+    global _jit_cache
+    reg = registry()
+    cached_generation, cached = _jit_cache
+    if cached_generation == reg.generation:
+        return cached
+    counters = _JitCounters(reg) if reg.enabled else None
+    _jit_cache = (reg.generation, counters)
+    return counters
+
+
+def jit_flush(entries: int, side_exits: int) -> None:
+    """Flush one run loop's batched JIT dispatch counts.
+
+    Mirrors :func:`machine_flush`: called once per ``CPU._run_loop``
+    return (and only when at least one superblock ran), never per
+    block entry.
+    """
+    counters = _jit()
+    if counters is None:
+        return
+    counters.entries.value += entries
+    counters.side_exits.value += side_exits
 
 
 class CanaryHooks:
